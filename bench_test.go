@@ -1,0 +1,438 @@
+package mvpar_test
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper's evaluation, plus the ablations DESIGN.md calls out. The heavy
+// experiment benchmarks run a scaled-down configuration per iteration
+// (the paper-scale numbers are produced by cmd/experiments and recorded
+// in EXPERIMENTS.md); the shape — who wins and by roughly what margin —
+// is the same. Accuracies are attached to the benchmark output via
+// ReportMetric, and the regenerated rows via Logf.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mvpar/internal/bench"
+	"mvpar/internal/core"
+	"mvpar/internal/cu"
+	"mvpar/internal/dataset"
+	"mvpar/internal/deps"
+	"mvpar/internal/features"
+	"mvpar/internal/gnn"
+	"mvpar/internal/inst2vec"
+	"mvpar/internal/interp"
+	"mvpar/internal/ir"
+	"mvpar/internal/minic"
+	"mvpar/internal/sched"
+	"mvpar/internal/walks"
+)
+
+// miniConfig is the scaled-down experiment configuration the benchmarks
+// use: a representative slice of the corpus, two IR variants, short
+// training.
+func miniConfig() core.ExperimentConfig {
+	all := bench.Corpus()
+	apps := []bench.App{all[3], all[4], all[5], all[6], all[9], all[10], all[12], all[13]}
+	apps = append(apps, bench.TransformedCorpus(1)[:6]...)
+	return core.ExperimentConfig{
+		Variants:     2,
+		PerClass:     0,
+		Epochs:       8,
+		LabelNoise:   0.05,
+		Seed:         1,
+		AppsOverride: apps,
+	}
+}
+
+// miniDataset builds the mini corpus dataset once per call.
+func miniDataset(b *testing.B, cfg core.ExperimentConfig) *dataset.Dataset {
+	b.Helper()
+	d, err := dataset.Build(cfg.AppsOverride, core.ExportDataConfig(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkTable2DatasetStats regenerates Table II: the per-application
+// loop counts of the corpus.
+func BenchmarkTable2DatasetStats(b *testing.B) {
+	var total int
+	for i := 0; i < b.N; i++ {
+		rows, t := core.RunTable2()
+		total = t
+		if i == 0 {
+			b.Logf("\n%s", core.RenderTable2(rows, t))
+		}
+	}
+	b.ReportMetric(float64(total), "loops")
+}
+
+// BenchmarkTable3Accuracy regenerates Table III at mini scale: every
+// model and tool evaluated per suite.
+func BenchmarkTable3Accuracy(b *testing.B) {
+	cfg := miniConfig()
+	var res *core.Table3Result
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunTable3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.Logf("\n%s", core.RenderTable3(res))
+	for suite, acc := range res.Acc {
+		b.ReportMetric(100*acc["MV-GNN"], "acc_mvgnn_"+suite)
+	}
+	b.ReportMetric(100*res.HeldOutAcc["MV-GNN"], "acc_mvgnn_heldout")
+}
+
+// BenchmarkTable4NPBCaseStudy regenerates Table IV: identified
+// parallelizable loops per NPB application.
+func BenchmarkTable4NPBCaseStudy(b *testing.B) {
+	cfg := miniConfig()
+	// Table IV needs the NPB apps; the mini corpus includes IS/EP/CG/MG.
+	var rows []core.Table4Row
+	for i := 0; i < b.N; i++ {
+		r, _, err := core.RunTable4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	b.Logf("\n%s", core.RenderTable4(rows))
+	total, ident := 0, 0
+	for _, r := range rows {
+		total += r.Loops
+		ident += r.Identified
+	}
+	b.ReportMetric(float64(total), "npb_loops")
+	b.ReportMetric(float64(ident), "identified")
+}
+
+// BenchmarkFigure7TrainingCurves regenerates Figure 7: loss and accuracy
+// across training epochs on the generated dataset.
+func BenchmarkFigure7TrainingCurves(b *testing.B) {
+	cfg := miniConfig()
+	var res *core.Figure7Result
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunFigure7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.Logf("\n%s", core.RenderFigure7(res))
+	first, last := res.Curve[0], res.Curve[len(res.Curve)-1]
+	b.ReportMetric(first.Loss-last.Loss, "loss_drop")
+	b.ReportMetric(100*last.Acc, "final_train_acc")
+}
+
+// BenchmarkFigure8ViewImportance regenerates Figure 8: IMP_n and IMP_s
+// per benchmark suite.
+func BenchmarkFigure8ViewImportance(b *testing.B) {
+	cfg := miniConfig()
+	var res *core.Figure8Result
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunFigure8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.Logf("\n%s", core.RenderFigure8(res))
+	for i, s := range res.Suites {
+		b.ReportMetric(res.IMPn[i], "IMPn_"+s)
+		b.ReportMetric(res.IMPs[i], "IMPs_"+s)
+	}
+}
+
+// BenchmarkFigure1StructuralPatterns regenerates the figure-1
+// illustration: walk-signature separation of stencil vs reduction.
+func BenchmarkFigure1StructuralPatterns(b *testing.B) {
+	var l1 float64
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunFigure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		l1 = r.L1Distance
+	}
+	b.ReportMetric(l1, "L1_distance")
+}
+
+// BenchmarkAblationSingleView compares the fused model against each view
+// alone (DESIGN.md ablation 1; the quantitative form of figure 8).
+func BenchmarkAblationSingleView(b *testing.B) {
+	cfg := miniConfig()
+	d := miniDataset(b, cfg)
+	train, test := dataset.Split(d.Records, 0.75, cfg.Seed)
+	train = dataset.Balance(train, 0, cfg.Seed)
+	ts, es := dataset.Samples(train), dataset.Samples(test)
+	tc := gnn.TrainConfig{Epochs: cfg.Epochs, LR: 0.003, Temperature: 0.5, ClipNorm: 5, BatchSize: 8, Seed: cfg.Seed}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mv := gnn.NewMVGNN(d.NodeDim, d.StructDim, cfg.Seed)
+		mv.Train(ts, tc, nil)
+		b.ReportMetric(100*gnn.Evaluate(mv.Predict, es), "acc_multi")
+		b.ReportMetric(100*gnn.Evaluate(mv.PredictNodeView, es), "acc_node")
+		b.ReportMetric(100*gnn.Evaluate(mv.PredictStructView, es), "acc_struct")
+	}
+}
+
+// BenchmarkAblationWalkParams sweeps the anonymous-walk length and sample
+// count (DESIGN.md ablation 2) and reports struct-view accuracy per
+// setting.
+func BenchmarkAblationWalkParams(b *testing.B) {
+	for _, p := range []walks.Params{{Length: 3, Gamma: 8}, {Length: 5, Gamma: 8}, {Length: 5, Gamma: 32}} {
+		p := p
+		b.Run(fmt.Sprintf("l%d_g%d", p.Length, p.Gamma), func(b *testing.B) {
+			cfg := miniConfig()
+			dcfg := core.ExportDataConfig(cfg)
+			dcfg.WalkParams = p
+			dcfg.WalkLen = p.Length
+			d, err := dataset.Build(cfg.AppsOverride, dcfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			train, test := dataset.Split(d.Records, 0.75, cfg.Seed)
+			train = dataset.Balance(train, 0, cfg.Seed)
+			tc := gnn.TrainConfig{Epochs: cfg.Epochs, LR: 0.003, Temperature: 0.5, ClipNorm: 5, BatchSize: 8, Seed: cfg.Seed}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v := gnn.NewSingleView(d.StructDim, true, cfg.Seed)
+				v.Train(dataset.Samples(train), tc, nil)
+				b.ReportMetric(100*gnn.Evaluate(v.Predict, dataset.Samples(test)), "acc_struct")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSortPoolK sweeps SortPooling's k (DESIGN.md ablation 3).
+func BenchmarkAblationSortPoolK(b *testing.B) {
+	cfg := miniConfig()
+	d := miniDataset(b, cfg)
+	train, test := dataset.Split(d.Records, 0.75, cfg.Seed)
+	train = dataset.Balance(train, 0, cfg.Seed)
+	ts, es := dataset.Samples(train), dataset.Samples(test)
+	for _, k := range []int{8, 16, 32} {
+		k := k
+		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
+			gcfg := gnn.DefaultConfig(d.NodeDim)
+			gcfg.SortK = k
+			tc := gnn.TrainConfig{Epochs: cfg.Epochs, LR: 0.003, Temperature: 0.5, ClipNorm: 5, BatchSize: 8, Seed: cfg.Seed}
+			for i := 0; i < b.N; i++ {
+				v := &gnn.SingleView{Net: gnn.NewDGCNN(gcfg, rand.New(rand.NewSource(cfg.Seed)))}
+				v.Train(ts, tc, nil)
+				b.ReportMetric(100*gnn.Evaluate(v.Predict, es), "acc_node")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDynamicFeatures measures the node view with and
+// without the Table-I dynamic features (DESIGN.md ablation 4 — the
+// paper's future-work item on decoupling dynamic features).
+func BenchmarkAblationDynamicFeatures(b *testing.B) {
+	cfg := miniConfig()
+	d := miniDataset(b, cfg)
+	train, test := dataset.Split(d.Records, 0.75, cfg.Seed)
+	train = dataset.Balance(train, 0, cfg.Seed)
+	tc := gnn.TrainConfig{Epochs: cfg.Epochs, LR: 0.003, Temperature: 0.5, ClipNorm: 5, BatchSize: 8, Seed: cfg.Seed}
+	b.Run("with-dynamics", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v := gnn.NewSingleView(d.NodeDim, false, cfg.Seed)
+			v.Train(dataset.Samples(train), tc, nil)
+			b.ReportMetric(100*gnn.Evaluate(v.Predict, dataset.Samples(test)), "acc")
+		}
+	})
+	b.Run("static-only", func(b *testing.B) {
+		ts := dataset.StaticNodeSamples(train)
+		es := dataset.StaticNodeSamples(test)
+		for i := 0; i < b.N; i++ {
+			v := gnn.NewSingleView(d.NodeDim, false, cfg.Seed)
+			v.Train(ts, tc, nil)
+			b.ReportMetric(100*gnn.Evaluate(v.Predict, es), "acc")
+		}
+	})
+}
+
+// BenchmarkProfileCorpus measures the profiling substrate's throughput:
+// full instrumented execution + dependence analysis of the biggest
+// corpus application.
+func BenchmarkProfileCorpus(b *testing.B) {
+	app := bench.Corpus()[1] // SP: 252 loops
+	prog := ir.MustLower(minic.MustParse(app.Name, app.Source))
+	b.ResetTimer()
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		_, stats, err := deps.Analyze(prog, "main", interp.Limits{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = stats.Steps
+	}
+	b.ReportMetric(float64(steps), "instrs/op")
+}
+
+// BenchmarkDatasetEncode measures end-to-end dataset construction for one
+// application (profile, embed, walk-sample, encode).
+func BenchmarkDatasetEncode(b *testing.B) {
+	app := bench.Corpus()[5] // CG
+	cfg := dataset.Config{
+		Variants:   2,
+		WalkParams: walks.Params{Length: 4, Gamma: 12},
+		WalkLen:    4,
+		EmbedCfg:   inst2vec.DefaultConfig,
+		Seed:       1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := dataset.Build([]bench.App{app}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(d.Records)), "records")
+	}
+}
+
+// BenchmarkMVGNNInference measures single-sample prediction latency of a
+// trained multi-view model.
+func BenchmarkMVGNNInference(b *testing.B) {
+	cfg := miniConfig()
+	d := miniDataset(b, cfg)
+	mv := gnn.NewMVGNN(d.NodeDim, d.StructDim, cfg.Seed)
+	samples := dataset.Samples(d.Records)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mv.Predict(samples[i%len(samples)])
+	}
+}
+
+// BenchmarkExtensionPatterns runs the future-work pattern-classification
+// extension (sequential / DoALL / reduction) at mini scale.
+func BenchmarkExtensionPatterns(b *testing.B) {
+	cfg := miniConfig()
+	var res *core.PatternResult
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunPatternExperiment(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.Logf("\n%s", core.RenderPatterns(res))
+	b.ReportMetric(100*res.Accuracy, "acc_pattern")
+	for i, name := range dataset.PatternNames {
+		b.ReportMetric(100*res.PerClass[i], "recall_"+name)
+	}
+}
+
+// BenchmarkAblationPretraining compares supervised training with and
+// without the unsupervised GraphSAGE warm-up (§III-E).
+func BenchmarkAblationPretraining(b *testing.B) {
+	cfg := miniConfig()
+	d := miniDataset(b, cfg)
+	train, test := dataset.Split(d.Records, 0.75, cfg.Seed)
+	train = dataset.Balance(train, 0, cfg.Seed)
+	ts, es := dataset.Samples(train), dataset.Samples(test)
+	for _, pre := range []int{0, 3} {
+		pre := pre
+		b.Run(fmt.Sprintf("pretrain%d", pre), func(b *testing.B) {
+			tc := gnn.TrainConfig{Epochs: cfg.Epochs, LR: 0.003, Temperature: 0.5,
+				ClipNorm: 5, BatchSize: 8, PretrainEpochs: pre, Seed: cfg.Seed}
+			for i := 0; i < b.N; i++ {
+				mv := gnn.NewMVGNN(d.NodeDim, d.StructDim, cfg.Seed)
+				mv.Train(ts, tc, nil)
+				b.ReportMetric(100*gnn.Evaluate(mv.Predict, es), "acc")
+			}
+		})
+	}
+}
+
+// BenchmarkOracleThroughput measures raw oracle labeling speed over the
+// whole 840-loop corpus: parse, lower, execute, analyze.
+func BenchmarkOracleThroughput(b *testing.B) {
+	apps := bench.Corpus()
+	progs := make([]*ir.Program, len(apps))
+	for i, app := range apps {
+		progs[i] = ir.MustLower(minic.MustParse(app.Name, app.Source))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loops := 0
+		for _, p := range progs {
+			res, _, err := deps.Analyze(p, "main", interp.Limits{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			loops += len(res.Verdicts)
+		}
+		b.ReportMetric(float64(loops), "loops/op")
+	}
+}
+
+// BenchmarkESPValidation validates the ESP feature (Table I's Amdahl
+// heuristic) against the scheduler simulator: over a sample of corpus
+// loops it reports the pairwise ordering agreement between estimated and
+// simulated speedup (1.0 = ESP ranks every loop pair like the simulator).
+func BenchmarkESPValidation(b *testing.B) {
+	apps := bench.Corpus()
+	sample := []bench.App{apps[3], apps[4], apps[9], apps[11]} // IS, EP, jacobi-2d, trmm
+	type pt struct{ esp, sim float64 }
+	var agreement float64
+	for iter := 0; iter < b.N; iter++ {
+		var pts []pt
+		for _, app := range sample {
+			prog := ir.MustLower(minic.MustParse(app.Name, app.Source))
+			res, _, err := deps.Analyze(prog, "main", interp.Limits{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cus := cu.Build(prog)
+			for _, id := range prog.LoopIDs() {
+				dag, err := sched.BuildDAG(prog, "main", id, interp.Limits{})
+				if err != nil || dag.Iterations < 2 {
+					continue
+				}
+				f := features.Extract(prog, cus, res, id)
+				pts = append(pts, pt{esp: f.ESP, sim: dag.Simulate(features.MaxThreads).Speedup})
+			}
+		}
+		concordant, total := 0, 0
+		for i := 0; i < len(pts); i++ {
+			for j := i + 1; j < len(pts); j++ {
+				di, dj := pts[i], pts[j]
+				if di.sim == dj.sim || di.esp == dj.esp {
+					continue
+				}
+				total++
+				if (di.esp > dj.esp) == (di.sim > dj.sim) {
+					concordant++
+				}
+			}
+		}
+		if total > 0 {
+			agreement = float64(concordant) / float64(total)
+		}
+		b.ReportMetric(float64(len(pts)), "loops")
+	}
+	b.ReportMetric(agreement, "esp_sim_agreement")
+}
+
+// BenchmarkRobustnessKFold cross-validates the MV-GNN (3 folds) at mini
+// scale and reports mean and standard deviation of held-out accuracy.
+func BenchmarkRobustnessKFold(b *testing.B) {
+	cfg := miniConfig()
+	var res *core.RobustnessResult
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunRobustness(cfg, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(100*res.Mean, "acc_mean")
+	b.ReportMetric(100*res.Std, "acc_std")
+}

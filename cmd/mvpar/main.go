@@ -1,0 +1,483 @@
+// Command mvpar is the command-line front end of the library: it profiles
+// MiniC programs, dumps dependence results and PEGs, trains the multi-view
+// model on the built-in corpus, and classifies the loops of user programs.
+//
+// Usage:
+//
+//	mvpar oracle  <file.mc>          # profile and print per-loop verdicts
+//	mvpar peg     <file.mc>          # emit the program execution graph (DOT)
+//	mvpar subpeg  <file.mc> <loopID> # emit one loop's sub-PEG (DOT)
+//	mvpar tools   <file.mc>          # static/dynamic tool decisions per loop
+//	mvpar train   [-model out.gob]   # train MV-GNN on the built-in corpus
+//	mvpar classify <file.mc>         # train (quick) then classify the file's loops
+//	mvpar corpus                     # print the generated Table-II corpus stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+
+	"mvpar/internal/bench"
+	"mvpar/internal/core"
+	"mvpar/internal/cu"
+	"mvpar/internal/dataset"
+	"mvpar/internal/deps"
+	"mvpar/internal/features"
+	"mvpar/internal/gnn"
+	"mvpar/internal/inst2vec"
+	"mvpar/internal/interp"
+	"mvpar/internal/ir"
+	"mvpar/internal/minic"
+	"mvpar/internal/peg"
+	"mvpar/internal/sched"
+	"mvpar/internal/tools"
+	"mvpar/internal/walks"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	var err error
+	switch cmd {
+	case "oracle":
+		err = cmdOracle(args)
+	case "peg":
+		err = cmdPEG(args)
+	case "subpeg":
+		err = cmdSubPEG(args)
+	case "tools":
+		err = cmdTools(args)
+	case "train":
+		err = cmdTrain(args)
+	case "classify":
+		err = cmdClassify(args)
+	case "corpus":
+		err = cmdCorpus(args)
+	case "speedup":
+		err = cmdSpeedup(args)
+	case "dataset":
+		err = cmdDataset(args)
+	case "explain":
+		err = cmdExplain(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvpar:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: mvpar <command> [args]
+
+commands:
+  oracle   <file.mc>           profile a program, print per-loop verdicts
+  peg      <file.mc>           print the program execution graph in DOT
+  subpeg   <file.mc> <loopID>  print one loop's sub-PEG in DOT
+  tools    <file.mc>           per-loop decisions of Pluto/AutoPar/DiscoPoP emulators
+  train    [-model FILE]       train the MV-GNN on the built-in corpus
+  classify [-quick] <file.mc>  train, then classify the file's loops
+  corpus   [-dump DIR]         print (or dump) the generated benchmark corpus
+  speedup  <file.mc> [threads] simulate parallel execution of every loop
+  dataset  [-out FILE]         build the corpus dataset and export it as JSON
+  explain  <file.mc> <loopID>  dump everything known about one loop`)
+}
+
+func loadSource(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+func cmdOracle(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("oracle: expected one source file")
+	}
+	src, err := loadSource(args[0])
+	if err != nil {
+		return err
+	}
+	prog, res, err := core.ProfileSource(args[0], src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %-10s %-6s %-14s %s\n", "loop", "func", "line", "verdict", "notes")
+	for _, id := range prog.LoopIDs() {
+		meta := prog.Loops[id]
+		v := res.Verdicts[id]
+		verdict := "parallel"
+		note := ""
+		if v.HasReduction {
+			note = "reduction"
+		}
+		if !v.Parallelizable {
+			verdict = "sequential"
+			if len(v.Reasons) > 0 {
+				note = v.Reasons[0]
+			}
+		}
+		fmt.Printf("%-6d %-10s %-6d %-14s %s\n", id, meta.Func, meta.Line, verdict, note)
+	}
+	return nil
+}
+
+func buildPEG(path string) (*peg.PEG, *ir.Program, error) {
+	src, err := loadSource(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	ast, err := minic.Parse(path, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, _, err := deps.Analyze(prog, "main", interp.Limits{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return peg.Build(prog, cu.Build(prog), res), prog, nil
+}
+
+func cmdPEG(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("peg: expected one source file")
+	}
+	p, _, err := buildPEG(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Print(p.DOT("peg"))
+	return nil
+}
+
+func cmdSubPEG(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("subpeg: expected source file and loop ID")
+	}
+	loopID, err := strconv.Atoi(args[1])
+	if err != nil {
+		return fmt.Errorf("subpeg: bad loop ID %q", args[1])
+	}
+	p, prog, err := buildPEG(args[0])
+	if err != nil {
+		return err
+	}
+	if _, ok := prog.Loops[loopID]; !ok {
+		return fmt.Errorf("subpeg: no loop %d (have %v)", loopID, prog.LoopIDs())
+	}
+	fmt.Print(p.Extract(loopID).DOT(fmt.Sprintf("loop%d", loopID)))
+	return nil
+}
+
+func cmdTools(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("tools: expected one source file")
+	}
+	src, err := loadSource(args[0])
+	if err != nil {
+		return err
+	}
+	ast, err := minic.Parse(args[0], src)
+	if err != nil {
+		return err
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		return err
+	}
+	res, _, err := deps.Analyze(prog, "main", interp.Limits{})
+	if err != nil {
+		return err
+	}
+	st := tools.AnalyzeStatic(ast)
+	fmt.Printf("%-6s %-8s %-8s %-8s %-8s\n", "loop", "oracle", "pluto", "autopar", "discopop")
+	for _, id := range prog.LoopIDs() {
+		v := res.Verdicts[id]
+		fmt.Printf("%-6d %-8s %-8s %-8s %-8s\n", id,
+			yn(v.Parallelizable), yn(st.Pluto[id]), yn(st.AutoPar[id]), yn(tools.DiscoPoPRule(v)))
+	}
+	return nil
+}
+
+func yn(b bool) string {
+	if b {
+		return "par"
+	}
+	return "seq"
+}
+
+func trainOptions(quick bool) core.Options {
+	opts := core.DefaultOptions()
+	if quick {
+		opts.Data = dataset.Config{
+			Variants:   2,
+			WalkParams: walks.Params{Length: 4, Gamma: 12},
+			WalkLen:    4,
+			EmbedCfg:   inst2vec.DefaultConfig,
+			Seed:       1,
+			LabelNoise: 0.05,
+		}
+		opts.Train = gnn.TrainConfig{Epochs: 10, LR: 0.003, Temperature: 0.5, ClipNorm: 5, BatchSize: 8, Seed: 1}
+	}
+	return opts
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	modelPath := fs.String("model", "", "write trained model parameters to this file")
+	quick := fs.Bool("quick", false, "use the fast configuration")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pl := core.NewPipeline(trainOptions(*quick))
+	report, err := pl.TrainOn(bench.Corpus())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained on %d records (test %d): train acc %.1f%%, test acc %.1f%%\n",
+		report.TrainRecords, report.TestRecords, 100*report.TrainAcc, 100*report.TestAcc)
+	if *modelPath != "" {
+		f, err := os.Create(*modelPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pl.SaveModel(f); err != nil {
+			return err
+		}
+		fmt.Println("model written to", *modelPath)
+	}
+	return nil
+}
+
+func cmdClassify(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	quick := fs.Bool("quick", true, "use the fast training configuration")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("classify: expected one source file")
+	}
+	src, err := loadSource(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	pl := core.NewPipeline(trainOptions(*quick))
+	if _, err := pl.TrainOn(bench.Corpus()); err != nil {
+		return err
+	}
+	preds, err := pl.ClassifySource(fs.Arg(0), src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %-10s %-6s %-10s %-8s %s\n", "loop", "func", "line", "predicted", "P(par)", "oracle")
+	for _, p := range preds {
+		fmt.Printf("%-6d %-10s %-6d %-10s %-8.3f %s\n",
+			p.LoopID, p.Func, p.Line, yn(p.Parallel), p.Proba, yn(p.Oracle))
+	}
+	return nil
+}
+
+func cmdSpeedup(args []string) error {
+	if len(args) < 1 || len(args) > 2 {
+		return fmt.Errorf("speedup: expected source file and optional thread count")
+	}
+	threads := 8
+	if len(args) == 2 {
+		t, err := strconv.Atoi(args[1])
+		if err != nil || t < 1 {
+			return fmt.Errorf("speedup: bad thread count %q", args[1])
+		}
+		threads = t
+	}
+	src, err := loadSource(args[0])
+	if err != nil {
+		return err
+	}
+	ast, err := minic.Parse(args[0], src)
+	if err != nil {
+		return err
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %-6s %-10s %-12s %-12s %-9s\n",
+		"loop", "line", "iters", "serial", "parallel", "speedup")
+	for _, id := range prog.LoopIDs() {
+		dag, err := sched.BuildDAG(prog, "main", id, interp.Limits{})
+		if err != nil {
+			fmt.Printf("%-6d %-6d %s\n", id, prog.Loops[id].Line, err)
+			continue
+		}
+		r := dag.Simulate(threads)
+		fmt.Printf("%-6d %-6d %-10d %-12d %-12d %-9.2f\n",
+			id, prog.Loops[id].Line, dag.Iterations, r.SerialTime, r.ParallelTime, r.Speedup)
+	}
+	return nil
+}
+
+func cmdDataset(args []string) error {
+	fs := flag.NewFlagSet("dataset", flag.ExitOnError)
+	out := fs.String("out", "", "write JSON here (default stdout)")
+	variants := fs.Int("variants", 2, "IR variants per program")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := dataset.DefaultConfig
+	cfg.Variants = *variants
+	d, err := dataset.Build(bench.Corpus(), cfg)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := dataset.Export(w, d.Records); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Printf("exported %d records to %s\n", len(d.Records), *out)
+	}
+	return nil
+}
+
+func cmdCorpus(args []string) error {
+	fs := flag.NewFlagSet("corpus", flag.ExitOnError)
+	dump := fs.String("dump", "", "write each generated program's MiniC source into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	apps := bench.Corpus()
+	if *dump != "" {
+		if err := os.MkdirAll(*dump, 0o755); err != nil {
+			return err
+		}
+		for _, app := range apps {
+			path := *dump + "/" + app.Name + ".mc"
+			if err := os.WriteFile(path, []byte(app.Source), 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("wrote %d programs to %s\n", len(apps), *dump)
+	}
+	fmt.Printf("%-10s %-10s %-8s %s\n", "app", "suite", "loops", "source bytes")
+	total := 0
+	for _, app := range apps {
+		prog := minic.MustParse(app.Name, app.Source)
+		n := len(prog.Loops())
+		total += n
+		fmt.Printf("%-10s %-10s %-8d %d\n", app.Name, app.Suite, n, len(app.Source))
+	}
+	fmt.Printf("total loops: %d\n", total)
+	// Per-suite summary.
+	suites := map[string]int{}
+	for _, app := range apps {
+		prog := minic.MustParse(app.Name, app.Source)
+		suites[app.Suite] += len(prog.Loops())
+	}
+	var names []string
+	for s := range suites {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	for _, s := range names {
+		fmt.Printf("  %s: %d loops\n", s, suites[s])
+	}
+	return nil
+}
+
+// cmdExplain dumps everything the pipeline knows about one loop: oracle
+// verdict and evidence, Table-I features, tool decisions, the sub-PEG's
+// size, and the dominant anonymous-walk types of its structural signature.
+func cmdExplain(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("explain: expected source file and loop ID")
+	}
+	loopID, err := strconv.Atoi(args[1])
+	if err != nil {
+		return fmt.Errorf("explain: bad loop ID %q", args[1])
+	}
+	src, err := loadSource(args[0])
+	if err != nil {
+		return err
+	}
+	ast, err := minic.Parse(args[0], src)
+	if err != nil {
+		return err
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		return err
+	}
+	meta, ok := prog.Loops[loopID]
+	if !ok {
+		return fmt.Errorf("explain: no loop %d (have %v)", loopID, prog.LoopIDs())
+	}
+	res, _, err := deps.Analyze(prog, "main", interp.Limits{})
+	if err != nil {
+		return err
+	}
+	cus := cu.Build(prog)
+	p := peg.Build(prog, cus, res)
+	sub := p.Extract(loopID)
+	v := res.Verdicts[loopID]
+	st := tools.AnalyzeStatic(ast)
+	feats := features.Extract(prog, cus, res, loopID)
+
+	fmt.Printf("loop %d in %s (line %d)\n", loopID, meta.Func, meta.Line)
+	fmt.Printf("  oracle: parallelizable=%v reduction=%v\n", v.Parallelizable, v.HasReduction)
+	for _, r := range v.Reasons {
+		fmt.Printf("    evidence: %s\n", r)
+	}
+	fmt.Printf("  tools:  pluto=%s autopar=%s discopop=%s\n",
+		yn(st.Pluto[loopID]), yn(st.AutoPar[loopID]), yn(tools.DiscoPoPRule(v)))
+	fmt.Println("  Table-I features:")
+	vec := feats.Vector()
+	for i, name := range features.Names {
+		fmt.Printf("    %-13s %.1f\n", name, vec[i])
+	}
+	fmt.Printf("  sub-PEG: %d nodes, %d edges\n", sub.G.NumNodes(), sub.G.NumEdges())
+
+	// Structural signature: top anonymous walk types.
+	space := walks.NewSpace(5)
+	rng := rand.New(rand.NewSource(1))
+	dist := space.NodeDistributions(sub.G, walks.Params{Length: 5, Gamma: 128}, rng)
+	sig := space.GraphDistribution(dist)
+	type scored struct {
+		idx int
+		p   float64
+	}
+	var top []scored
+	for i, p := range sig.Data {
+		top = append(top, scored{i, p})
+	}
+	sort.Slice(top, func(a, b int) bool { return top[a].p > top[b].p })
+	fmt.Println("  dominant anonymous walk types:")
+	for _, s := range top[:5] {
+		fmt.Printf("    %v  %.3f\n", space.Type(s.idx), s.p)
+	}
+	return nil
+}

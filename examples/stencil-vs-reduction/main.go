@@ -1,0 +1,116 @@
+// Stencil vs reduction: the figure-1 scenario. Two loops with similar
+// instruction mixes but different dependence structure produce visibly
+// different anonymous-walk signatures — the evidence the structural view
+// feeds the MV-GNN.
+//
+// Run with: go run ./examples/stencil-vs-reduction
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"mvpar/internal/cu"
+	"mvpar/internal/deps"
+	"mvpar/internal/interp"
+	"mvpar/internal/ir"
+	"mvpar/internal/minic"
+	"mvpar/internal/peg"
+	"mvpar/internal/walks"
+)
+
+const stencilSrc = `
+float in[24];
+float out[24];
+void main() {
+    for (int i = 1; i < 23; i++) {
+        out[i] = (in[i - 1] + in[i] + in[i + 1]) * 0.333;
+    }
+}
+`
+
+const reduceSrc = `
+float in[24];
+float acc;
+void main() {
+    for (int i = 0; i < 24; i++) {
+        acc += in[i] * 0.333;
+    }
+}
+`
+
+// signature profiles one program and returns the graph-level anonymous
+// walk distribution of its single loop's sub-PEG.
+func signature(name, src string, space *walks.Space, seed int64) ([]float64, *peg.SubPEG) {
+	prog := ir.MustLower(minic.MustParse(name, src))
+	res, _, err := deps.Analyze(prog, "main", interp.Limits{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := peg.Build(prog, cu.Build(prog), res)
+	sub := p.Extract(prog.LoopIDs()[0])
+	rng := rand.New(rand.NewSource(seed))
+	dist := space.NodeDistributions(sub.G, walks.Params{Length: 5, Gamma: 256}, rng)
+	return space.GraphDistribution(dist).Data, sub
+}
+
+func main() {
+	space := walks.NewSpace(5)
+	sigStencil, subStencil := signature("stencil", stencilSrc, space, 1)
+	sigReduce, subReduce := signature("reduce", reduceSrc, space, 2)
+
+	fmt.Printf("stencil sub-PEG: %d nodes, %d edges\n", subStencil.G.NumNodes(), subStencil.G.NumEdges())
+	fmt.Printf("reduce  sub-PEG: %d nodes, %d edges\n\n", subReduce.G.NumNodes(), subReduce.G.NumEdges())
+
+	// Rank walk types by how strongly they separate the two kernels.
+	type diff struct {
+		idx   int
+		delta float64
+	}
+	var diffs []diff
+	l1 := 0.0
+	for i := range sigStencil {
+		d := sigStencil[i] - sigReduce[i]
+		l1 += abs(d)
+		diffs = append(diffs, diff{i, d})
+	}
+	sort.Slice(diffs, func(a, b int) bool { return abs(diffs[a].delta) > abs(diffs[b].delta) })
+
+	fmt.Printf("L1 distance between walk signatures: %.3f\n\n", l1)
+	fmt.Println("most discriminative anonymous walk types:")
+	fmt.Printf("%-14s %-10s %-10s %s\n", "walk type", "stencil", "reduction", "favours")
+	for _, d := range diffs[:6] {
+		side := "stencil"
+		if d.delta < 0 {
+			side = "reduction"
+		}
+		fmt.Printf("%-14s %-10.3f %-10.3f %s\n",
+			walkName(space.Type(d.idx)), sigStencil[d.idx], sigReduce[d.idx], side)
+	}
+
+	fmt.Println("\nInterpretation: the reduction's accumulator statement depends on")
+	fmt.Println("itself across iterations, creating a hub the walks keep revisiting;")
+	fmt.Println("the stencil's dependences fan out along the array, so its walks")
+	fmt.Println("wander chains instead. This is the separation figure 1 illustrates.")
+}
+
+// walkName renders an anonymous walk compactly, e.g. "0-1-2-1".
+func walkName(aw []int) string {
+	out := ""
+	for i, v := range aw {
+		if i > 0 {
+			out += "-"
+		}
+		out += fmt.Sprint(v)
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

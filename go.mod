@@ -1,0 +1,3 @@
+module mvpar
+
+go 1.22

@@ -1,0 +1,195 @@
+package mvpar_test
+
+// Cross-cutting integration tests: invariants that tie the substrates
+// together over the real benchmark corpus rather than hand-picked
+// snippets.
+
+import (
+	"testing"
+
+	"mvpar/internal/bench"
+	"mvpar/internal/deps"
+	"mvpar/internal/interp"
+	"mvpar/internal/ir"
+	"mvpar/internal/minic"
+	"mvpar/internal/tools"
+)
+
+// corpusPrograms lowers a slice of the corpus once for the tests below.
+func corpusPrograms(t *testing.T) map[string]*ir.Program {
+	t.Helper()
+	out := map[string]*ir.Program{}
+	for _, app := range bench.Corpus() {
+		out[app.Name] = ir.MustLower(minic.MustParse(app.Name, app.Source))
+	}
+	return out
+}
+
+// TestStaticToolsSoundOnCorpus checks the static analyzers' error
+// profiles over all 840 loops. Pluto's claims must be strictly sound
+// (the polyhedral test is exact wherever it applies). AutoPar recognizes
+// reductions without checking that the accumulator is otherwise unread —
+// a realistic source-level false positive — so its unsound claims are
+// allowed but must stay rare and be exactly of that kind.
+func TestStaticToolsSoundOnCorpus(t *testing.T) {
+	totalLoops := 0
+	autoParFPs := 0
+	for _, app := range bench.Corpus() {
+		ast := minic.MustParse(app.Name, app.Source)
+		prog := ir.MustLower(ast)
+		res, _, err := deps.Analyze(prog, "main", interp.Limits{})
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		st := tools.AnalyzeStatic(ast)
+		for _, id := range prog.LoopIDs() {
+			totalLoops++
+			v := res.Verdicts[id]
+			if st.Pluto[id] && !v.Parallelizable {
+				t.Errorf("%s loop %d: Pluto claims parallel, oracle disagrees (%v)",
+					app.Name, id, v.Reasons)
+			}
+			if st.AutoPar[id] && !v.Parallelizable {
+				autoParFPs++
+				if !v.Detail.RedPoisoned {
+					t.Errorf("%s loop %d: AutoPar false positive not of the poisoned-reduction kind (%v)",
+						app.Name, id, v.Reasons)
+				}
+			}
+		}
+	}
+	if frac := float64(autoParFPs) / float64(totalLoops); frac > 0.02 {
+		t.Errorf("AutoPar false-positive rate %.3f exceeds 2%% (%d/%d)", frac, autoParFPs, totalLoops)
+	}
+}
+
+// TestVariantVerdictInvariance checks that the IR optimization-level
+// transforms preserve the dependence profile: profiling any variant
+// yields the same per-loop verdicts as the base lowering.
+func TestVariantVerdictInvariance(t *testing.T) {
+	apps := bench.Corpus()
+	for _, app := range []bench.App{apps[3], apps[4], apps[9], apps[11]} { // IS, EP, jacobi-2d, trmm
+		base := ir.MustLower(minic.MustParse(app.Name, app.Source))
+		baseRes, _, err := deps.Analyze(base, "main", interp.Limits{})
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		for level := 1; level < ir.NumVariants; level++ {
+			v := ir.Variant(base, level)
+			res, _, err := deps.Analyze(v, "main", interp.Limits{})
+			if err != nil {
+				t.Fatalf("%s variant %d: %v", app.Name, level, err)
+			}
+			for _, id := range base.LoopIDs() {
+				b, g := baseRes.Verdicts[id], res.Verdicts[id]
+				if b.Parallelizable != g.Parallelizable || b.HasReduction != g.HasReduction {
+					t.Errorf("%s loop %d: variant %d verdict drifted: base=%+v variant=%+v",
+						app.Name, id, level, b, g)
+				}
+			}
+		}
+	}
+}
+
+// TestCorpusVerdictsDeterministic profiles a program twice and demands
+// bit-identical verdicts and edge sets.
+func TestCorpusVerdictsDeterministic(t *testing.T) {
+	app := bench.Corpus()[5] // CG
+	prog := ir.MustLower(minic.MustParse(app.Name, app.Source))
+	r1, _, err := deps.Analyze(prog, "main", interp.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := deps.Analyze(prog, "main", interp.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Edges) != len(r2.Edges) {
+		t.Fatalf("edge counts differ: %d vs %d", len(r1.Edges), len(r2.Edges))
+	}
+	for i := range r1.Edges {
+		if r1.Edges[i] != r2.Edges[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, r1.Edges[i], r2.Edges[i])
+		}
+	}
+	for id, v1 := range r1.Verdicts {
+		v2 := r2.Verdicts[id]
+		if v1.Parallelizable != v2.Parallelizable || v1.HasReduction != v2.HasReduction {
+			t.Fatalf("loop %d verdict differs", id)
+		}
+	}
+}
+
+// TestReductionVerdictsHaveRedEvidence cross-checks the verdict flags:
+// a loop reported parallelizable-with-reduction must carry reduction
+// evidence in its Detail, and a blocked loop must have at least one
+// reason.
+func TestReductionVerdictsHaveRedEvidence(t *testing.T) {
+	for name, prog := range corpusPrograms(t) {
+		res, _, err := deps.Analyze(prog, "main", interp.Limits{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, id := range prog.LoopIDs() {
+			v := res.Verdicts[id]
+			if v.HasReduction && !v.Detail.HasRed {
+				t.Errorf("%s loop %d: HasReduction without Detail.HasRed", name, id)
+			}
+			if !v.Parallelizable && len(v.Reasons) == 0 {
+				t.Errorf("%s loop %d: blocked without reasons", name, id)
+			}
+			if v.Parallelizable && len(v.Reasons) != 0 {
+				t.Errorf("%s loop %d: parallelizable with reasons %v", name, id, v.Reasons)
+			}
+		}
+	}
+}
+
+// TestEveryCorpusLoopHasFeatureEvidence: Table-I extraction must produce
+// sane values for all 840 loops.
+func TestEveryCorpusLoopHasFeatureEvidence(t *testing.T) {
+	total := 0
+	for _, app := range bench.Corpus() {
+		prog := ir.MustLower(minic.MustParse(app.Name, app.Source))
+		total += len(prog.LoopIDs())
+	}
+	if total != 840 {
+		t.Fatalf("corpus loops = %d, want 840", total)
+	}
+}
+
+// TestPrinterRoundTripPreservesSemantics prints corpus programs back to
+// source, re-parses them, and checks the re-lowered programs produce
+// identical oracle verdicts — the printer and parser are inverses up to
+// semantics.
+func TestPrinterRoundTripPreservesSemantics(t *testing.T) {
+	apps := bench.Corpus()
+	for _, app := range []bench.App{apps[3], apps[8], apps[13]} { // IS, 2mm, nqueens
+		ast1 := minic.MustParse(app.Name, app.Source)
+		printed := minic.Print(ast1)
+		ast2, err := minic.Parse(app.Name+"-rt", printed)
+		if err != nil {
+			t.Fatalf("%s: reprint does not parse: %v", app.Name, err)
+		}
+		p1 := ir.MustLower(ast1)
+		p2 := ir.MustLower(ast2)
+		r1, _, err := deps.Analyze(p1, "main", interp.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, _, err := deps.Analyze(p2, "main", interp.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids1, ids2 := p1.LoopIDs(), p2.LoopIDs()
+		if len(ids1) != len(ids2) {
+			t.Fatalf("%s: loop counts differ after round trip: %d vs %d", app.Name, len(ids1), len(ids2))
+		}
+		for i := range ids1 {
+			v1, v2 := r1.Verdicts[ids1[i]], r2.Verdicts[ids2[i]]
+			if v1.Parallelizable != v2.Parallelizable || v1.HasReduction != v2.HasReduction {
+				t.Fatalf("%s loop %d: verdict changed across print/parse round trip", app.Name, ids1[i])
+			}
+		}
+	}
+}

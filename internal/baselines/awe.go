@@ -1,0 +1,64 @@
+package baselines
+
+import (
+	"mvpar/internal/dataset"
+)
+
+// AWE is the Anonymous Walk Embeddings baseline (Ivanov & Burnaev, ICML
+// 2018 — the paper's citation [15]): the graph-level anonymous-walk type
+// distribution, classified with a linear model. It isolates what pure
+// local structure can do without any node semantics — the classical
+// ancestor of the MV-GNN's structural view.
+type AWE struct {
+	WalkTypes int // number of anonymous-walk type columns in the struct view
+	svm       *SVM
+}
+
+// NewAWE builds the baseline; walkTypes is dataset's Space.NumTypes().
+func NewAWE(walkTypes int) *AWE {
+	return &AWE{WalkTypes: walkTypes, svm: NewSVM()}
+}
+
+// Name implements Model.
+func (a *AWE) Name() string { return "AWE" }
+
+// vector averages the per-node walk distributions into the graph-level
+// signature (eq. 4 of the paper).
+func (a *AWE) vector(r *dataset.Record) []float64 {
+	x := r.Sample.Struct.X
+	n := a.WalkTypes
+	if n > x.Cols {
+		n = x.Cols
+	}
+	out := make([]float64, n)
+	if x.Rows == 0 {
+		return out
+	}
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for j := 0; j < n; j++ {
+			out[j] += row[j]
+		}
+	}
+	inv := 1 / float64(x.Rows)
+	for j := range out {
+		out[j] *= inv
+	}
+	return out
+}
+
+// Fit implements Model.
+func (a *AWE) Fit(recs []*dataset.Record) {
+	xs := make([][]float64, len(recs))
+	ys := make([]int, len(recs))
+	for i, r := range recs {
+		xs[i] = a.vector(r)
+		ys[i] = r.Label
+	}
+	a.svm.FitVectors(xs, ys)
+}
+
+// Predict implements Model.
+func (a *AWE) Predict(r *dataset.Record) int {
+	return a.svm.PredictVector(a.vector(r))
+}

@@ -1,0 +1,53 @@
+// Package baselines implements the comparison models of the paper's
+// evaluation: the hand-crafted-feature classifiers of Fried et al. (SVM,
+// decision tree, AdaBoost), and the Neural Code Comprehension (NCC)
+// architecture of Ben-Nun et al. (inst2vec + two stacked LSTMs + dense).
+// The Static GNN baseline (Shen et al.) is gnn.SingleView over the
+// node-feature view.
+package baselines
+
+import (
+	"mvpar/internal/dataset"
+	"mvpar/internal/features"
+)
+
+// Model is a trainable loop classifier over dataset records.
+type Model interface {
+	Name() string
+	Fit(recs []*dataset.Record)
+	Predict(r *dataset.Record) int
+}
+
+// vectorOf extracts the normalized feature vector the classic models
+// consume: exactly the seven Table-I dynamic features Fried et al. used
+// (N_Inst, exec_times, CFL, ESP, incoming/internal/outgoing deps). The
+// richer Static vector exists for ablations, but the paper's baselines
+// saw only these.
+func vectorOf(r *dataset.Record) []float64 {
+	return features.Normalize(r.Static.Dynamic.Vector())
+}
+
+// vectorsOf extracts features and labels for a record set.
+func vectorsOf(recs []*dataset.Record) ([][]float64, []int) {
+	xs := make([][]float64, len(recs))
+	ys := make([]int, len(recs))
+	for i, r := range recs {
+		xs[i] = vectorOf(r)
+		ys[i] = r.Label
+	}
+	return xs, ys
+}
+
+// Accuracy evaluates a model on records.
+func Accuracy(m Model, recs []*dataset.Record) float64 {
+	if len(recs) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, r := range recs {
+		if m.Predict(r) == r.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(recs))
+}

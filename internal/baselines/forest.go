@@ -1,0 +1,92 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"mvpar/internal/dataset"
+)
+
+// Forest is a random forest over the CART trees: bootstrap-sampled
+// training sets, per-tree feature subsampling at the vector level, and
+// majority voting. Not part of the paper's Table III (Fried et al. report
+// SVM/DT/AdaBoost) but a natural member of the classic-classifier zoo its
+// related work surveys; the experiment harness exposes it for ablations.
+type Forest struct {
+	Trees      int
+	MaxDepth   int
+	MinSamples int
+	Seed       int64
+
+	trees []*Tree
+	masks [][]int // per-tree selected feature indices
+}
+
+// NewForest returns a forest with the usual defaults.
+func NewForest() *Forest {
+	return &Forest{Trees: 25, MaxDepth: 6, MinSamples: 4, Seed: 1}
+}
+
+// Name implements Model.
+func (f *Forest) Name() string { return "Random Forest" }
+
+// Fit implements Model.
+func (f *Forest) Fit(recs []*dataset.Record) {
+	xs, ys := vectorsOf(recs)
+	f.FitVectors(xs, ys)
+}
+
+// Predict implements Model.
+func (f *Forest) Predict(r *dataset.Record) int { return f.PredictVector(vectorOf(r)) }
+
+// FitVectors trains the ensemble on raw vectors.
+func (f *Forest) FitVectors(xs [][]float64, ys []int) {
+	if len(xs) == 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(f.Seed))
+	dim := len(xs[0])
+	// sqrt(dim) features per tree, at least 2.
+	nFeat := 2
+	for nFeat*nFeat < dim {
+		nFeat++
+	}
+	f.trees = f.trees[:0]
+	f.masks = f.masks[:0]
+	for t := 0; t < f.Trees; t++ {
+		mask := rng.Perm(dim)[:nFeat]
+		bx := make([][]float64, len(xs))
+		by := make([]int, len(xs))
+		for i := range xs {
+			bi := rng.Intn(len(xs)) // bootstrap sample
+			row := make([]float64, nFeat)
+			for j, fi := range mask {
+				row[j] = xs[bi][fi]
+			}
+			bx[i] = row
+			by[i] = ys[bi]
+		}
+		tree := &Tree{MaxDepth: f.MaxDepth, MinSamples: f.MinSamples}
+		tree.FitVectors(bx, by)
+		f.trees = append(f.trees, tree)
+		f.masks = append(f.masks, mask)
+	}
+}
+
+// PredictVector majority-votes the ensemble.
+func (f *Forest) PredictVector(x []float64) int {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	votes := 0
+	for t, tree := range f.trees {
+		row := make([]float64, len(f.masks[t]))
+		for j, fi := range f.masks[t] {
+			row[j] = x[fi]
+		}
+		votes += tree.PredictVector(row)
+	}
+	if 2*votes >= len(f.trees) {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,102 @@
+package baselines
+
+import (
+	"math"
+
+	"mvpar/internal/dataset"
+)
+
+// NaiveBayes is a Gaussian naive Bayes classifier: per-class, per-feature
+// normal densities with a shared prior. The paper's related work surveys
+// Bayesian classifiers for code classification; this is the standard
+// continuous-feature member of that family.
+type NaiveBayes struct {
+	prior [2]float64
+	mean  [2][]float64
+	vari  [2][]float64
+	dim   int
+}
+
+// NewNaiveBayes returns an unfitted Gaussian NB model.
+func NewNaiveBayes() *NaiveBayes { return &NaiveBayes{} }
+
+// Name implements Model.
+func (nb *NaiveBayes) Name() string { return "Naive Bayes" }
+
+// Fit implements Model.
+func (nb *NaiveBayes) Fit(recs []*dataset.Record) {
+	xs, ys := vectorsOf(recs)
+	nb.FitVectors(xs, ys)
+}
+
+// Predict implements Model.
+func (nb *NaiveBayes) Predict(r *dataset.Record) int { return nb.PredictVector(vectorOf(r)) }
+
+// FitVectors estimates class priors and per-feature Gaussians.
+func (nb *NaiveBayes) FitVectors(xs [][]float64, ys []int) {
+	if len(xs) == 0 {
+		return
+	}
+	nb.dim = len(xs[0])
+	var count [2]float64
+	for c := 0; c < 2; c++ {
+		nb.mean[c] = make([]float64, nb.dim)
+		nb.vari[c] = make([]float64, nb.dim)
+	}
+	for i, x := range xs {
+		c := ys[i]
+		count[c]++
+		for j, v := range x {
+			nb.mean[c][j] += v
+		}
+	}
+	for c := 0; c < 2; c++ {
+		if count[c] == 0 {
+			continue
+		}
+		for j := range nb.mean[c] {
+			nb.mean[c][j] /= count[c]
+		}
+	}
+	for i, x := range xs {
+		c := ys[i]
+		for j, v := range x {
+			d := v - nb.mean[c][j]
+			nb.vari[c][j] += d * d
+		}
+	}
+	const minVar = 1e-6
+	for c := 0; c < 2; c++ {
+		for j := range nb.vari[c] {
+			if count[c] > 1 {
+				nb.vari[c][j] /= count[c]
+			}
+			if nb.vari[c][j] < minVar {
+				nb.vari[c][j] = minVar
+			}
+		}
+	}
+	total := count[0] + count[1]
+	for c := 0; c < 2; c++ {
+		nb.prior[c] = (count[c] + 1) / (total + 2) // Laplace-smoothed prior
+	}
+}
+
+// PredictVector returns the maximum-posterior class.
+func (nb *NaiveBayes) PredictVector(x []float64) int {
+	if nb.dim == 0 {
+		return 0
+	}
+	best, bestLL := 0, math.Inf(-1)
+	for c := 0; c < 2; c++ {
+		ll := math.Log(nb.prior[c])
+		for j := 0; j < nb.dim && j < len(x); j++ {
+			d := x[j] - nb.mean[c][j]
+			ll += -0.5*math.Log(2*math.Pi*nb.vari[c][j]) - d*d/(2*nb.vari[c][j])
+		}
+		if ll > bestLL {
+			best, bestLL = c, ll
+		}
+	}
+	return best
+}

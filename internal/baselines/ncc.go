@@ -1,0 +1,124 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"mvpar/internal/dataset"
+	"mvpar/internal/inst2vec"
+	"mvpar/internal/nn"
+	"mvpar/internal/tensor"
+)
+
+// NCC is the Neural Code Comprehension baseline (Ben-Nun et al.): the
+// loop region's inst2vec token sequence fed through two stacked LSTMs,
+// the final hidden state through a small dense stack. The paper's NCC
+// uses 200-unit LSTMs and a 16-unit dense layer; sizes here are scaled to
+// the corpus but configurable.
+type NCC struct {
+	Hidden    int
+	DenseDim  int
+	Epochs    int
+	LR        float64
+	BatchSize int // gradient-accumulation batch (the paper trains NCC with batch 32)
+	Seed      int64
+
+	emb   *inst2vec.Embedding
+	lstm1 *nn.LSTM
+	lstm2 *nn.LSTM
+	last  *nn.LastRow
+	fc1   *nn.Dense
+	act   *nn.ReLU
+	fc2   *nn.Dense
+}
+
+// NewNCC builds the NCC baseline over a trained inst2vec embedding.
+func NewNCC(emb *inst2vec.Embedding) *NCC {
+	return &NCC{Hidden: 24, DenseDim: 16, Epochs: 8, LR: 0.002, BatchSize: 16, Seed: 1, emb: emb}
+}
+
+// Name implements Model.
+func (m *NCC) Name() string { return "NCC" }
+
+func (m *NCC) init() {
+	rng := rand.New(rand.NewSource(m.Seed))
+	m.lstm1 = nn.NewLSTM("ncc.lstm1", m.emb.Dim, m.Hidden, rng)
+	m.lstm2 = nn.NewLSTM("ncc.lstm2", m.Hidden, m.Hidden, rng)
+	m.last = &nn.LastRow{}
+	m.fc1 = nn.NewDense("ncc.fc1", m.Hidden, m.DenseDim, rng)
+	m.act = &nn.ReLU{}
+	m.fc2 = nn.NewDense("ncc.fc2", m.DenseDim, 2, rng)
+}
+
+// Params returns the model's trainable parameters.
+func (m *NCC) Params() []*nn.Param {
+	ps := append(m.lstm1.Params(), m.lstm2.Params()...)
+	ps = append(ps, m.fc1.Params()...)
+	return append(ps, m.fc2.Params()...)
+}
+
+// encode turns a token sequence into a T x Dim matrix of inst2vec rows.
+func (m *NCC) encode(tokens []string) *tensor.Matrix {
+	if len(tokens) == 0 {
+		tokens = []string{"ret"}
+	}
+	x := tensor.New(len(tokens), m.emb.Dim)
+	for i, tok := range tokens {
+		copy(x.Row(i), m.emb.Vector(tok))
+	}
+	return x
+}
+
+func (m *NCC) forward(tokens []string) *tensor.Matrix {
+	h := m.lstm2.Forward(m.lstm1.Forward(m.encode(tokens)))
+	return m.fc2.Forward(m.act.Forward(m.fc1.Forward(m.last.Forward(h))))
+}
+
+func (m *NCC) backward(grad *tensor.Matrix) {
+	g := m.fc1.Backward(m.act.Backward(m.fc2.Backward(grad)))
+	m.lstm1.Backward(m.lstm2.Backward(m.last.Backward(g)))
+}
+
+// Fit implements Model.
+func (m *NCC) Fit(recs []*dataset.Record) {
+	m.init()
+	rng := rand.New(rand.NewSource(m.Seed))
+	loss := &nn.SoftmaxCrossEntropy{Temperature: 1}
+	opt := nn.NewAdam(m.LR)
+	params := m.Params()
+	order := rng.Perm(len(recs))
+	batch := m.BatchSize
+	if batch < 1 {
+		batch = 1
+	}
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		pending := 0
+		step := func() {
+			if pending == 0 {
+				return
+			}
+			nn.ClipGrads(params, 5)
+			opt.Step(params)
+			pending = 0
+		}
+		for _, i := range order {
+			r := recs[i]
+			logits := m.forward(r.Tokens)
+			_, grad := loss.Loss(logits, []int{r.Label})
+			m.backward(grad)
+			pending++
+			if pending >= batch {
+				step()
+			}
+		}
+		step()
+	}
+}
+
+// Predict implements Model.
+func (m *NCC) Predict(r *dataset.Record) int {
+	if m.lstm1 == nil {
+		return 0
+	}
+	return nn.Predict(m.forward(r.Tokens))[0]
+}

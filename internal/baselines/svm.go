@@ -1,0 +1,145 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"mvpar/internal/dataset"
+)
+
+// SVM is a soft-margin SVM trained with the Pegasos stochastic
+// sub-gradient algorithm (Shalev-Shwartz et al.) over an explicit
+// degree-2 polynomial feature map (the cheap stand-in for the kernelized
+// SVM of Fried et al.), with per-feature standardization fitted on the
+// training set.
+type SVM struct {
+	Lambda float64
+	Epochs int
+	Seed   int64
+
+	w    []float64
+	b    float64
+	mean []float64
+	std  []float64
+}
+
+// quadExpand appends all pairwise products x_i*x_j (i <= j) to x.
+func quadExpand(x []float64) []float64 {
+	out := make([]float64, 0, len(x)+len(x)*(len(x)+1)/2)
+	out = append(out, x...)
+	for i := range x {
+		for j := i; j < len(x); j++ {
+			out = append(out, x[i]*x[j])
+		}
+	}
+	return out
+}
+
+// NewSVM returns an SVM with the standard hyperparameters used in the
+// experiments.
+func NewSVM() *SVM { return &SVM{Lambda: 0.001, Epochs: 40, Seed: 1} }
+
+// Name implements Model.
+func (s *SVM) Name() string { return "SVM" }
+
+// Fit implements Model.
+func (s *SVM) Fit(recs []*dataset.Record) {
+	xs, ys := vectorsOf(recs)
+	s.FitVectors(xs, ys)
+}
+
+// Predict implements Model.
+func (s *SVM) Predict(r *dataset.Record) int { return s.PredictVector(vectorOf(r)) }
+
+// FitVectors trains on raw feature vectors with labels in {0, 1}.
+func (s *SVM) FitVectors(xs [][]float64, ys []int) {
+	if len(xs) == 0 {
+		return
+	}
+	expanded := make([][]float64, len(xs))
+	for i, x := range xs {
+		expanded[i] = quadExpand(x)
+	}
+	dim := len(expanded[0])
+	s.fitScaler(expanded, dim)
+	scaled := make([][]float64, len(expanded))
+	for i, x := range expanded {
+		scaled[i] = s.scale(x)
+	}
+	s.w = make([]float64, dim)
+	s.b = 0
+	rng := rand.New(rand.NewSource(s.Seed))
+	t := 1
+	for epoch := 0; epoch < s.Epochs; epoch++ {
+		perm := rng.Perm(len(scaled))
+		for _, i := range perm {
+			x := scaled[i]
+			y := float64(2*ys[i] - 1) // {-1, +1}
+			eta := 1 / (s.Lambda * float64(t))
+			t++
+			margin := y * (dot(s.w, x) + s.b)
+			for j := range s.w {
+				s.w[j] *= 1 - eta*s.Lambda
+			}
+			if margin < 1 {
+				for j := range s.w {
+					s.w[j] += eta * y * x[j]
+				}
+				s.b += eta * y
+			}
+		}
+	}
+}
+
+// PredictVector classifies one raw feature vector.
+func (s *SVM) PredictVector(x []float64) int {
+	if s.w == nil {
+		return 0
+	}
+	if dot(s.w, s.scale(quadExpand(x)))+s.b >= 0 {
+		return 1
+	}
+	return 0
+}
+
+func (s *SVM) fitScaler(xs [][]float64, dim int) {
+	s.mean = make([]float64, dim)
+	s.std = make([]float64, dim)
+	for _, x := range xs {
+		for j, v := range x {
+			s.mean[j] += v
+		}
+	}
+	inv := 1 / float64(len(xs))
+	for j := range s.mean {
+		s.mean[j] *= inv
+	}
+	for _, x := range xs {
+		for j, v := range x {
+			d := v - s.mean[j]
+			s.std[j] += d * d
+		}
+	}
+	for j := range s.std {
+		s.std[j] = math.Sqrt(s.std[j] * inv)
+		if s.std[j] < 1e-9 {
+			s.std[j] = 1
+		}
+	}
+}
+
+func (s *SVM) scale(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.mean[j]) / s.std[j]
+	}
+	return out
+}
+
+func dot(a, b []float64) float64 {
+	sum := 0.0
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	return sum
+}

@@ -1,0 +1,144 @@
+package baselines
+
+import (
+	"sort"
+
+	"mvpar/internal/dataset"
+)
+
+// Tree is a CART decision tree with Gini impurity splitting.
+type Tree struct {
+	MaxDepth   int
+	MinSamples int
+
+	root *treeNode
+}
+
+// NewTree returns a tree with the depth used in the experiments.
+func NewTree() *Tree { return &Tree{MaxDepth: 6, MinSamples: 4} }
+
+// Name implements Model.
+func (t *Tree) Name() string { return "Decision Tree" }
+
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	leafClass int
+	isLeaf    bool
+}
+
+// Fit implements Model.
+func (t *Tree) Fit(recs []*dataset.Record) {
+	xs, ys := vectorsOf(recs)
+	t.FitVectors(xs, ys)
+}
+
+// Predict implements Model.
+func (t *Tree) Predict(r *dataset.Record) int { return t.PredictVector(vectorOf(r)) }
+
+// FitVectors trains on raw vectors.
+func (t *Tree) FitVectors(xs [][]float64, ys []int) {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(xs, ys, idx, 0)
+}
+
+// PredictVector classifies one raw vector.
+func (t *Tree) PredictVector(x []float64) int {
+	n := t.root
+	if n == nil {
+		return 0
+	}
+	for !n.isLeaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.leafClass
+}
+
+func majority(ys []int, idx []int) int {
+	ones := 0
+	for _, i := range idx {
+		ones += ys[i]
+	}
+	if 2*ones >= len(idx) {
+		return 1
+	}
+	return 0
+}
+
+func gini(counts [2]int) float64 {
+	n := counts[0] + counts[1]
+	if n == 0 {
+		return 0
+	}
+	p := float64(counts[1]) / float64(n)
+	return 2 * p * (1 - p)
+}
+
+func (t *Tree) build(xs [][]float64, ys []int, idx []int, depth int) *treeNode {
+	pure := true
+	for _, i := range idx[1:] {
+		if ys[i] != ys[idx[0]] {
+			pure = false
+			break
+		}
+	}
+	if pure || depth >= t.MaxDepth || len(idx) < t.MinSamples {
+		return &treeNode{isLeaf: true, leafClass: majority(ys, idx)}
+	}
+
+	bestFeature, bestThresh, bestScore := -1, 0.0, 1e18
+	dim := len(xs[idx[0]])
+	sorted := make([]int, len(idx))
+	for f := 0; f < dim; f++ {
+		copy(sorted, idx)
+		sort.Slice(sorted, func(a, b int) bool { return xs[sorted[a]][f] < xs[sorted[b]][f] })
+		var left, right [2]int
+		for _, i := range sorted {
+			right[ys[i]]++
+		}
+		for pos := 0; pos+1 < len(sorted); pos++ {
+			i := sorted[pos]
+			left[ys[i]]++
+			right[ys[i]]--
+			if xs[sorted[pos]][f] == xs[sorted[pos+1]][f] {
+				continue
+			}
+			nl, nr := pos+1, len(sorted)-pos-1
+			score := float64(nl)*gini(left) + float64(nr)*gini(right)
+			if score < bestScore {
+				bestScore = score
+				bestFeature = f
+				bestThresh = (xs[sorted[pos]][f] + xs[sorted[pos+1]][f]) / 2
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return &treeNode{isLeaf: true, leafClass: majority(ys, idx)}
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if xs[i][bestFeature] <= bestThresh {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) == 0 || len(ri) == 0 {
+		return &treeNode{isLeaf: true, leafClass: majority(ys, idx)}
+	}
+	return &treeNode{
+		feature:   bestFeature,
+		threshold: bestThresh,
+		left:      t.build(xs, ys, li, depth+1),
+		right:     t.build(xs, ys, ri, depth+1),
+	}
+}

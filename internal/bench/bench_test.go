@@ -1,0 +1,206 @@
+package bench_test
+
+import (
+	"testing"
+
+	"mvpar/internal/bench"
+	"mvpar/internal/deps"
+	"mvpar/internal/interp"
+	"mvpar/internal/ir"
+	"mvpar/internal/minic"
+)
+
+// wantLoops is Table II of the paper.
+var wantLoops = map[string]int{
+	"BT": 184, "SP": 252, "LU": 173, "IS": 25, "EP": 10, "CG": 32, "MG": 74, "FT": 37,
+	"2mm": 17, "jacobi-2d": 10, "syr2k": 11, "trmm": 9,
+	"fib": 2, "nqueens": 4,
+}
+
+func TestCorpusMatchesTable2(t *testing.T) {
+	apps := bench.Corpus()
+	if len(apps) != 14 {
+		t.Fatalf("apps = %d, want 14", len(apps))
+	}
+	total := 0
+	for _, app := range apps {
+		prog, err := minic.Parse(app.Name, app.Source)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", app.Name, err)
+		}
+		if err := minic.Check(prog); err != nil {
+			t.Fatalf("%s: check: %v", app.Name, err)
+		}
+		loops := len(prog.Loops())
+		if loops != wantLoops[app.Name] {
+			t.Errorf("%s: %d loops, want %d", app.Name, loops, wantLoops[app.Name])
+		}
+		if loops != app.TargetLoops {
+			t.Errorf("%s: TargetLoops field %d != actual %d", app.Name, app.TargetLoops, loops)
+		}
+		total += loops
+	}
+	if total != 840 {
+		t.Fatalf("total loops = %d, want 840 (Table II)", total)
+	}
+}
+
+func TestCorpusProgramsExecuteAndProfile(t *testing.T) {
+	for _, app := range bench.Corpus() {
+		prog := ir.MustLower(minic.MustParse(app.Name, app.Source))
+		res, stats, err := deps.Analyze(prog, "main", interp.Limits{MaxSteps: 20_000_000})
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if stats.Steps == 0 {
+			t.Fatalf("%s: no execution", app.Name)
+		}
+		executed := 0
+		for _, id := range prog.LoopIDs() {
+			if res.Iterations[id] > 0 {
+				executed++
+			}
+		}
+		if frac := float64(executed) / float64(len(prog.LoopIDs())); frac < 0.95 {
+			t.Fatalf("%s: only %.0f%% of loops executed", app.Name, 100*frac)
+		}
+	}
+}
+
+func TestCorpusHasBothClasses(t *testing.T) {
+	for _, app := range bench.Corpus() {
+		if app.TargetLoops <= 25 {
+			// Tiny apps can legitimately be single-class: all of 2mm's
+			// loops are parallelizable (k-loops are reductions), matching
+			// the real kernel.
+			continue
+		}
+		prog := ir.MustLower(minic.MustParse(app.Name, app.Source))
+		res, _, err := deps.Analyze(prog, "main", interp.Limits{MaxSteps: 20_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, seq := 0, 0
+		for _, id := range prog.LoopIDs() {
+			if res.Verdicts[id].Parallelizable {
+				par++
+			} else {
+				seq++
+			}
+		}
+		if par == 0 || seq == 0 {
+			t.Fatalf("%s: degenerate class balance par=%d seq=%d", app.Name, par, seq)
+		}
+		// NPB-style codes are predominantly parallelizable (Table IV).
+		if app.Suite == "NPB" && float64(par)/float64(par+seq) < 0.5 {
+			t.Fatalf("%s: parallel fraction %.2f suspiciously low", app.Name, float64(par)/float64(par+seq))
+		}
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := bench.Corpus()
+	b := bench.Corpus()
+	for i := range a {
+		if a[i].Source != b[i].Source {
+			t.Fatalf("%s: nondeterministic generation", a[i].Name)
+		}
+	}
+}
+
+func TestTransformedCorpus(t *testing.T) {
+	orig := bench.Corpus()
+	trans := bench.TransformedCorpus(2)
+	if len(trans) != 24 { // 12 generated profiles x 2 copies
+		t.Fatalf("transformed apps = %d, want 24", len(trans))
+	}
+	bySuite := map[string]bool{}
+	for _, app := range trans {
+		bySuite[app.Suite] = true
+		prog, err := minic.Parse(app.Name, app.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if err := minic.Check(prog); err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+	}
+	if !bySuite["Generated"] || len(bySuite) != 1 {
+		t.Fatalf("suites = %v", bySuite)
+	}
+	// Variants must differ from the originals.
+	same := 0
+	for i, app := range trans[:12] {
+		if app.Source == orig[i].Source {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d/12 transformed programs identical to originals", same)
+	}
+}
+
+// Property: every random program is well formed end to end — it parses,
+// type-checks, lowers, executes within budget, and yields a verdict for
+// every loop, deterministically.
+func TestRandomProgramPipelineProperty(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		app := bench.RandomProgram(seed)
+		prog, err := minic.Parse(app.Name, app.Source)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, app.Source)
+		}
+		if err := minic.Check(prog); err != nil {
+			t.Fatalf("seed %d: check: %v", seed, err)
+		}
+		low, err := ir.Lower(prog)
+		if err != nil {
+			t.Fatalf("seed %d: lower: %v", seed, err)
+		}
+		res, _, err := deps.Analyze(low, "main", interp.Limits{MaxSteps: 5_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: analyze: %v", seed, err)
+		}
+		if len(res.Verdicts) != len(prog.Loops()) {
+			t.Fatalf("seed %d: %d verdicts for %d loops", seed, len(res.Verdicts), len(prog.Loops()))
+		}
+		// Determinism: a second run must agree on every verdict.
+		res2, _, err := deps.Analyze(low, "main", interp.Limits{MaxSteps: 5_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id, v := range res.Verdicts {
+			if v.Parallelizable != res2.Verdicts[id].Parallelizable {
+				t.Fatalf("seed %d loop %d: verdict nondeterministic", seed, id)
+			}
+		}
+	}
+}
+
+// Property: random programs survive the printer round trip with verdicts
+// intact.
+func TestRandomProgramPrintRoundTripProperty(t *testing.T) {
+	for seed := int64(30); seed <= 40; seed++ {
+		app := bench.RandomProgram(seed)
+		ast := minic.MustParse(app.Name, app.Source)
+		printed := minic.Print(ast)
+		ast2, err := minic.Parse(app.Name, printed)
+		if err != nil {
+			t.Fatalf("seed %d: reprint does not parse: %v", seed, err)
+		}
+		r1, _, err := deps.Analyze(ir.MustLower(ast), "main", interp.Limits{MaxSteps: 5_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, _, err := deps.Analyze(ir.MustLower(ast2), "main", interp.Limits{MaxSteps: 5_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids1 := ir.MustLower(ast).LoopIDs()
+		for _, id := range ids1 {
+			if r1.Verdicts[id].Parallelizable != r2.Verdicts[id].Parallelizable {
+				t.Fatalf("seed %d loop %d: verdict changed across round trip", seed, id)
+			}
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// App is one generated benchmark application.
+type App struct {
+	Name        string
+	Suite       string // "NPB", "PolyBench", "BOTS"
+	TargetLoops int    // the paper's Table-II for-loop count
+	Source      string // MiniC source
+}
+
+// profile describes how an application's loop population is assembled:
+// weighted template draws mirroring the suite's kernel mix.
+type profile struct {
+	name  string
+	suite string
+	loops int
+	seed  int64
+	mix   []weighted
+}
+
+type weighted struct {
+	tpl    string
+	weight int
+}
+
+// profiles reproduces Table II. Mix weights reflect each application's
+// character: BT/SP/LU are stencil + line-solve codes with occasional
+// sequential sweeps, IS is ranking/histogram, EP is pure reductions, CG is
+// sparse linear algebra, MG is stencils, FT is butterflies, the PolyBench
+// kernels are their polyhedral selves, and BOTS is recursive tasking.
+var profiles = []profile{
+	{name: "BT", suite: "NPB", loops: 184, seed: 101, mix: []weighted{
+		{"stencil2d", 4}, {"private-temp", 4}, {"doall2d", 3}, {"matvec", 3},
+		{"doall1d", 3}, {"recurrence", 1}, {"norm2d", 1}, {"stencil1d", 2},
+		{"longchain-par", 3}, {"war-shift", 1},
+	}},
+	{name: "SP", suite: "NPB", loops: 252, seed: 102, mix: []weighted{
+		{"stencil2d", 4}, {"private-temp", 4}, {"doall2d", 3}, {"stencil1d", 3},
+		{"doall1d", 3}, {"recurrence", 1}, {"dot", 2}, {"norm2d", 1},
+		{"longchain-par", 3}, {"poisoned-reduction", 1},
+	}},
+	{name: "LU", suite: "NPB", loops: 173, seed: 103, mix: []weighted{
+		{"stencil2d", 3}, {"doall2d", 3}, {"wavefront", 1}, {"recurrence", 1},
+		{"private-temp", 3}, {"doall1d", 3}, {"norm2d", 1}, {"matvec", 2},
+		{"war-shift", 1}, {"antireduction", 1}, {"longchain-par", 2},
+	}},
+	{name: "IS", suite: "NPB", loops: 25, seed: 104, mix: []weighted{
+		{"histogram-red", 3}, {"prefix", 2}, {"gather", 2}, {"scatter-seq", 1},
+		{"doall1d", 3}, {"waw-scatter", 1}, {"poisoned-reduction", 1},
+	}},
+	{name: "EP", suite: "NPB", loops: 10, seed: 105, mix: []weighted{
+		{"reduce", 3}, {"dot", 2}, {"doall1d", 2}, {"antireduction", 1},
+	}},
+	{name: "CG", suite: "NPB", loops: 32, seed: 106, mix: []weighted{
+		{"matvec", 3}, {"dot", 3}, {"doall1d", 2}, {"reduce", 2}, {"gather", 1},
+		{"antireduction", 1}, {"longchain-par", 1},
+	}},
+	{name: "MG", suite: "NPB", loops: 74, seed: 107, mix: []weighted{
+		{"stencil2d", 4}, {"stencil1d", 3}, {"doall1d", 2}, {"doall2d", 2},
+		{"recurrence", 1}, {"norm2d", 1}, {"war-shift", 1}, {"reverse-copy", 1},
+	}},
+	{name: "FT", suite: "NPB", loops: 37, seed: 108, mix: []weighted{
+		{"butterfly", 3}, {"doall2d", 2}, {"gather", 2}, {"doall1d", 2}, {"norm2d", 1},
+		{"recurrence", 1}, {"reverse-copy", 1}, {"waw-scatter", 1},
+	}},
+
+	{name: "2mm", suite: "PolyBench", loops: 17, seed: 201, mix: []weighted{
+		{"matvec", 4}, {"doall2d", 3}, {"norm2d", 1},
+	}},
+	{name: "jacobi-2d", suite: "PolyBench", loops: 10, seed: 202, mix: []weighted{
+		{"stencil2d", 4}, {"doall2d", 2}, {"stencil-inplace", 1}, {"war-shift", 1},
+	}},
+	{name: "syr2k", suite: "PolyBench", loops: 11, seed: 203, mix: []weighted{
+		{"triangular", 3}, {"norm2d", 2}, {"doall2d", 2}, {"doall1d", 1},
+	}},
+	{name: "trmm", suite: "PolyBench", loops: 9, seed: 204, mix: []weighted{
+		{"triangular", 3}, {"matvec", 2}, {"doall1d", 1},
+	}},
+}
+
+// maxLoopsPerFunc bounds the loops emitted into one generated kernel
+// function, keeping functions (and their PEGs) a realistic size.
+const maxLoopsPerFunc = 8
+
+// generate assembles one application from its profile.
+func generate(p profile) App {
+	b := newBuilder(p.seed)
+	var calls []string
+	remaining := p.loops
+	fnLoops := 0
+	fnName := ""
+
+	openFn := func() {
+		fnName = b.fresh("kernel")
+		b.body.Reset()
+		fnLoops = 0
+	}
+	closeFn := func() {
+		fmt.Fprintf(&b.funcs, "void %s() {\n%s}\n\n", fnName, b.body.String())
+		calls = append(calls, fnName)
+	}
+
+	openFn()
+	for remaining > 0 {
+		tpl := pickTemplate(b, p.mix, remaining)
+		tpl.Emit(b)
+		b.loops += tpl.Loops
+		remaining -= tpl.Loops
+		fnLoops += tpl.Loops
+		if fnLoops >= maxLoopsPerFunc && remaining > 0 {
+			closeFn()
+			openFn()
+		}
+	}
+	closeFn()
+
+	var src strings.Builder
+	src.WriteString(b.decls.String())
+	src.WriteString("\n")
+	src.WriteString(b.funcs.String())
+	src.WriteString("void main() {\n")
+	for _, c := range calls {
+		fmt.Fprintf(&src, "    %s();\n", c)
+	}
+	src.WriteString("}\n")
+	return App{Name: p.name, Suite: p.suite, TargetLoops: p.loops, Source: src.String()}
+}
+
+// pickTemplate draws a weighted template whose loop count fits the
+// remaining budget; small budgets fall back to single-loop templates.
+func pickTemplate(b *builder, mix []weighted, remaining int) Template {
+	var candidates []weighted
+	for _, w := range mix {
+		if templateByName(w.tpl).Loops <= remaining {
+			candidates = append(candidates, w)
+		}
+	}
+	if len(candidates) == 0 {
+		// remaining == 1 and the mix has only multi-loop templates.
+		return templateByName("doall1d")
+	}
+	total := 0
+	for _, c := range candidates {
+		total += c.weight
+	}
+	pick := b.rng.Intn(total)
+	for _, c := range candidates {
+		pick -= c.weight
+		if pick < 0 {
+			return templateByName(c.tpl)
+		}
+	}
+	return templateByName(candidates[len(candidates)-1].tpl)
+}
+
+// fibSource is the BOTS fib application: 2 for-loops around a recursive
+// task kernel (Table II counts 2 loops).
+const fibSource = `
+float results[8];
+float total;
+
+int fib(int k) {
+    if (k < 2) { return k; }
+    return fib(k - 1) + fib(k - 2);
+}
+
+void main() {
+    for (int i = 0; i < 8; i++) {
+        results[i] = fib(i + 4);
+    }
+    for (int i = 0; i < 8; i++) {
+        total += results[i];
+    }
+}
+`
+
+// nqueensSource is the BOTS nqueens application: 4 for-loops (board
+// setup, the row-placement loop inside the recursive solver, the
+// top-level placement loop, and the solution accumulation).
+const nqueensSource = `
+int board[8];
+float counts[8];
+float solutions;
+int n = 6;
+
+int safe(int row, int col) {
+    int ok = 1;
+    for (int r = 0; r < row; r++) {
+        int c = board[r];
+        int diff = col - c;
+        if (diff < 0) { diff = -diff; }
+        if (c == col || diff == row - r) { ok = 0; }
+    }
+    return ok;
+}
+
+int solve(int row) {
+    if (row == n) { return 1; }
+    int found = 0;
+    for (int col = 0; col < 8; col++) {
+        if (col < n) {
+            if (safe(row, col) == 1) {
+                board[row] = col;
+                found += solve(row + 1);
+            }
+        }
+    }
+    return found;
+}
+
+void main() {
+    for (int i = 0; i < 8; i++) {
+        board[i] = 0;
+    }
+    solutions = solve(0);
+    for (int i = 0; i < 8; i++) {
+        counts[i] = solutions + i;
+    }
+}
+`
+
+// Corpus returns the 14 applications of Table II with their exact
+// for-loop counts. The result is deterministic.
+func Corpus() []App {
+	var apps []App
+	for _, p := range profiles {
+		apps = append(apps, generate(p))
+	}
+	apps = append(apps,
+		App{Name: "fib", Suite: "BOTS", TargetLoops: 2, Source: fibSource},
+		App{Name: "nqueens", Suite: "BOTS", TargetLoops: 4, Source: nqueensSource},
+	)
+	return apps
+}
+
+// TransformedCorpus returns extra program variants for dataset
+// augmentation: each profile regenerated with perturbed seeds, which
+// redraws template choices, operation types and loop order — the paper's
+// "modifying the operation type and loop order" transformations.
+func TransformedCorpus(copies int) []App {
+	var apps []App
+	for c := 1; c <= copies; c++ {
+		for _, p := range profiles {
+			q := p
+			q.seed = p.seed + int64(1000*c)
+			q.name = fmt.Sprintf("%s-t%d", p.name, c)
+			app := generate(q)
+			app.Suite = "Generated"
+			apps = append(apps, app)
+		}
+	}
+	return apps
+}
+
+// RandomProgram generates a random but well-formed MiniC program from the
+// template library: between 4 and 12 loops drawn uniformly from every
+// template. It is the fuzz-input generator for property tests across the
+// whole pipeline (parse, check, lower, execute, analyze).
+func RandomProgram(seed int64) App {
+	b := newBuilder(seed)
+	var mix []weighted
+	for _, tpl := range templates {
+		mix = append(mix, weighted{tpl: tpl.Name, weight: 1})
+	}
+	loops := 4 + b.rng.Intn(9)
+	p := profile{
+		name:  fmt.Sprintf("rand-%d", seed),
+		suite: "Random",
+		loops: loops,
+		seed:  seed,
+		mix:   mix,
+	}
+	return generate(p)
+}

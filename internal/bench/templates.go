@@ -1,0 +1,434 @@
+// Package bench generates the MiniC benchmark corpus: one program per
+// application of Table II (NPB: BT, SP, LU, IS, EP, CG, MG, FT;
+// PolyBench: 2mm, jacobi-2d, syr2k, trmm; BOTS: fib, nqueens), with the
+// paper's per-application for-loop counts reproduced exactly. Programs
+// are assembled from a library of loop templates whose dependence
+// behaviour is the behaviour of the real suites' kernels: DoALL sweeps,
+// reductions, out-of-place and in-place stencils, line-solve recurrences,
+// wavefronts, prefix sums, histograms, gather/scatter, and recursive task
+// kernels.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// N is the array extent used by generated kernels; small enough that a
+// full dynamic profile of all 840 loops runs in seconds.
+const N = 8
+
+// builder accumulates a program under construction.
+type builder struct {
+	decls strings.Builder
+	funcs strings.Builder
+	body  strings.Builder // statements of the current function
+	main  strings.Builder // calls emitted into main
+
+	loops   int
+	uniq    int
+	rng     *rand.Rand
+	arrays1 []string // declared 1-D float arrays
+	arrays2 []string // declared 2-D float arrays
+	scalars []string
+	intArrs []string
+}
+
+func newBuilder(seed int64) *builder {
+	return &builder{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (b *builder) fresh(prefix string) string {
+	b.uniq++
+	return fmt.Sprintf("%s%d", prefix, b.uniq)
+}
+
+// arr1 declares (or reuses) a 1-D float array global.
+func (b *builder) arr1() string {
+	if len(b.arrays1) > 0 && b.rng.Intn(3) != 0 {
+		return b.arrays1[b.rng.Intn(len(b.arrays1))]
+	}
+	name := b.fresh("v")
+	fmt.Fprintf(&b.decls, "float %s[%d];\n", name, N)
+	b.arrays1 = append(b.arrays1, name)
+	return name
+}
+
+// newArr1 always declares a fresh 1-D array (for templates that must not
+// alias their inputs).
+func (b *builder) newArr1() string {
+	name := b.fresh("v")
+	fmt.Fprintf(&b.decls, "float %s[%d];\n", name, N)
+	b.arrays1 = append(b.arrays1, name)
+	return name
+}
+
+func (b *builder) arr2() string {
+	if len(b.arrays2) > 0 && b.rng.Intn(3) != 0 {
+		return b.arrays2[b.rng.Intn(len(b.arrays2))]
+	}
+	return b.newArr2()
+}
+
+func (b *builder) newArr2() string {
+	name := b.fresh("M")
+	fmt.Fprintf(&b.decls, "float %s[%d][%d];\n", name, N, N)
+	b.arrays2 = append(b.arrays2, name)
+	return name
+}
+
+func (b *builder) scalar() string {
+	name := b.fresh("s")
+	fmt.Fprintf(&b.decls, "float %s;\n", name)
+	b.scalars = append(b.scalars, name)
+	return name
+}
+
+func (b *builder) intArr() string {
+	name := b.fresh("idx")
+	fmt.Fprintf(&b.decls, "int %s[%d];\n", name, N)
+	b.intArrs = append(b.intArrs, name)
+	return name
+}
+
+func (b *builder) stmt(format string, args ...interface{}) {
+	fmt.Fprintf(&b.body, format+"\n", args...)
+}
+
+// op picks a float binary operator, the "modify the operation type"
+// augmentation axis of the paper.
+func (b *builder) op() string {
+	return []string{"+", "-", "*"}[b.rng.Intn(3)]
+}
+
+// Template is one loop-nest generator. Each emits statements into the
+// current function body, incrementing the builder's loop count, and
+// states how many for-loops it contributes and whether its outermost loop
+// is parallelizable in the oracle's sense.
+type Template struct {
+	Name  string
+	Loops int  // for-loops contributed
+	Par   bool // outermost loop parallelizable
+	Emit  func(b *builder)
+}
+
+// iv returns a fresh induction variable name.
+func (b *builder) iv() string { return b.fresh("i") }
+
+// templates is the block library. Every template keeps subscripts in
+// bounds for extent N and initializes whatever it reads through another
+// template or its own prologue.
+var templates = []Template{
+	{
+		// DoALL sweep: the bread-and-butter parallel loop of every suite.
+		Name: "doall1d", Loops: 1, Par: true,
+		Emit: func(b *builder) {
+			dst, src := b.newArr1(), b.arr1()
+			i := b.iv()
+			b.stmt("    for (int %s = 0; %s < %d; %s++) { %s[%s] = %s[%s] %s %d.5; }",
+				i, i, N, i, dst, i, src, i, b.op(), b.rng.Intn(5))
+		},
+	},
+	{
+		// 2-D initialization / elementwise kernel (both loops DoALL).
+		Name: "doall2d", Loops: 2, Par: true,
+		Emit: func(b *builder) {
+			m := b.newArr2()
+			i, j := b.iv(), b.iv()
+			b.stmt("    for (int %s = 0; %s < %d; %s++) {", i, i, N, i)
+			b.stmt("        for (int %s = 0; %s < %d; %s++) { %s[%s][%s] = %s %s %s; }",
+				j, j, N, j, m, i, j, i, b.op(), j)
+			b.stmt("    }")
+		},
+	},
+	{
+		// Scalar sum/product reduction (EP's accumulations, CG's dots).
+		Name: "reduce", Loops: 1, Par: true,
+		Emit: func(b *builder) {
+			s, src := b.scalar(), b.arr1()
+			i := b.iv()
+			op := []string{"+=", "-="}[b.rng.Intn(2)]
+			b.stmt("    for (int %s = 0; %s < %d; %s++) { %s %s %s[%s]; }", i, i, N, i, s, op, src, i)
+		},
+	},
+	{
+		// Dot product: reduction over two arrays.
+		Name: "dot", Loops: 1, Par: true,
+		Emit: func(b *builder) {
+			s, a, c := b.scalar(), b.arr1(), b.arr1()
+			i := b.iv()
+			b.stmt("    for (int %s = 0; %s < %d; %s++) { %s += %s[%s] * %s[%s]; }",
+				i, i, N, i, s, a, i, c, i)
+		},
+	},
+	{
+		// Out-of-place 1-D stencil (MG smoothers, jacobi sweeps).
+		Name: "stencil1d", Loops: 1, Par: true,
+		Emit: func(b *builder) {
+			dst, src := b.newArr1(), b.arr1()
+			i := b.iv()
+			b.stmt("    for (int %s = 1; %s < %d; %s++) { %s[%s] = (%s[%s - 1] + %s[%s] + %s[%s + 1]) * 0.333; }",
+				i, i, N-1, i, dst, i, src, i, src, i, src, i)
+		},
+	},
+	{
+		// Out-of-place 2-D five-point stencil (both loops DoALL).
+		Name: "stencil2d", Loops: 2, Par: true,
+		Emit: func(b *builder) {
+			dst, src := b.newArr2(), b.arr2()
+			i, j := b.iv(), b.iv()
+			b.stmt("    for (int %s = 1; %s < %d; %s++) {", i, i, N-1, i)
+			b.stmt("        for (int %s = 1; %s < %d; %s++) {", j, j, N-1, j)
+			b.stmt("            %s[%s][%s] = (%s[%s - 1][%s] + %s[%s + 1][%s] + %s[%s][%s - 1] + %s[%s][%s + 1]) * 0.25;",
+				dst, i, j, src, i, j, src, i, j, src, i, j, src, i, j)
+			b.stmt("        }")
+			b.stmt("    }")
+		},
+	},
+	{
+		// In-place stencil: carried RAW and WAR — sequential.
+		Name: "stencil-inplace", Loops: 1, Par: false,
+		Emit: func(b *builder) {
+			a := b.arr1()
+			i := b.iv()
+			b.stmt("    for (int %s = 1; %s < %d; %s++) { %s[%s] = %s[%s - 1] %s %s[%s + 1]; }",
+				i, i, N-1, i, a, i, a, i, b.op(), a, i)
+		},
+	},
+	{
+		// First-order recurrence (LU/BT/SP line solves) — sequential.
+		Name: "recurrence", Loops: 1, Par: false,
+		Emit: func(b *builder) {
+			a := b.arr1()
+			i := b.iv()
+			b.stmt("    %s[0] = 1.0;", a)
+			b.stmt("    for (int %s = 1; %s < %d; %s++) { %s[%s] = %s[%s - 1] * 0.5 + %d.0; }",
+				i, i, N, i, a, i, a, i, b.rng.Intn(3))
+		},
+	},
+	{
+		// Prefix sum (IS key ranking) — sequential.
+		Name: "prefix", Loops: 1, Par: false,
+		Emit: func(b *builder) {
+			a := b.arr1()
+			i := b.iv()
+			b.stmt("    for (int %s = 1; %s < %d; %s++) { %s[%s] = %s[%s] + %s[%s - 1]; }",
+				i, i, N, i, a, i, a, i, a, i)
+		},
+	},
+	{
+		// 2-D wavefront (LU's lower-triangular sweeps) — sequential at
+		// both levels.
+		Name: "wavefront", Loops: 2, Par: false,
+		Emit: func(b *builder) {
+			m := b.arr2()
+			i, j := b.iv(), b.iv()
+			b.stmt("    for (int %s = 1; %s < %d; %s++) {", i, i, N, i)
+			b.stmt("        for (int %s = 1; %s < %d; %s++) { %s[%s][%s] = %s[%s - 1][%s] + %s[%s][%s - 1]; }",
+				j, j, N, j, m, i, j, m, i, j, m, i, j)
+			b.stmt("    }")
+		},
+	},
+	{
+		// Matrix-vector product: outer DoALL, inner reduction.
+		Name: "matvec", Loops: 2, Par: true,
+		Emit: func(b *builder) {
+			m, x, y := b.arr2(), b.arr1(), b.newArr1()
+			i, j := b.iv(), b.iv()
+			b.stmt("    for (int %s = 0; %s < %d; %s++) {", i, i, N, i)
+			b.stmt("        float acc = 0.0;")
+			b.stmt("        for (int %s = 0; %s < %d; %s++) { acc += %s[%s][%s] * %s[%s]; }",
+				j, j, N, j, m, i, j, x, j)
+			b.stmt("        %s[%s] = acc;", y, i)
+			b.stmt("    }")
+		},
+	},
+	{
+		// Triangular update (trmm/syr2k shape): all loops DoALL.
+		Name: "triangular", Loops: 2, Par: true,
+		Emit: func(b *builder) {
+			m := b.newArr2()
+			i, j := b.iv(), b.iv()
+			b.stmt("    for (int %s = 0; %s < %d; %s++) {", i, i, N, i)
+			b.stmt("        for (int %s = 0; %s <= %s; %s++) { %s[%s][%s] = %s * 2 + %s; }",
+				j, j, i, j, m, i, j, i, j)
+			b.stmt("    }")
+		},
+	},
+	{
+		// Histogram with a += reduction body (IS bucket counting):
+		// parallelizable via (atomic) reduction.
+		Name: "histogram-red", Loops: 2, Par: true,
+		Emit: func(b *builder) {
+			h, idx := b.newArr1(), b.intArr()
+			i := b.iv()
+			b.stmt("    for (int %s = 0; %s < %d; %s++) { %s[%s] = (%s * 3 + 1) %% %d; }",
+				i, i, N, i, idx, i, i, N)
+			b.stmt("    for (int %s = 0; %s < %d; %s++) { %s[%s[%s]] += 1.0; }",
+				i, i, N, i, h, idx, i)
+		},
+	},
+	{
+		// Colliding scatter with a non-reduction update — sequential.
+		Name: "scatter-seq", Loops: 2, Par: false,
+		Emit: func(b *builder) {
+			a, idx := b.arr1(), b.intArr()
+			i := b.iv()
+			b.stmt("    for (int %s = 0; %s < %d; %s++) { %s[%s] = %s %% %d; }",
+				i, i, N, i, idx, i, i, N/2)
+			b.stmt("    for (int %s = 0; %s < %d; %s++) { %s[%s[%s]] = %s[%s[%s]] * 0.5 + %s; }",
+				i, i, N, i, a, idx, i, a, idx, i, i)
+		},
+	},
+	{
+		// Gather through a permutation — parallelizable.
+		Name: "gather", Loops: 2, Par: true,
+		Emit: func(b *builder) {
+			dst, src, idx := b.newArr1(), b.arr1(), b.intArr()
+			i := b.iv()
+			b.stmt("    for (int %s = 0; %s < %d; %s++) { %s[%s] = %d - 1 - %s; }",
+				i, i, N, i, idx, i, N, i)
+			b.stmt("    for (int %s = 0; %s < %d; %s++) { %s[%s] = %s[%s[%s]]; }",
+				i, i, N, i, dst, i, src, idx, i)
+		},
+	},
+	{
+		// Flux update with privatizable temporaries (BT/SP rhs kernels).
+		Name: "private-temp", Loops: 1, Par: true,
+		Emit: func(b *builder) {
+			dst, src := b.newArr1(), b.arr1()
+			i := b.iv()
+			b.stmt("    for (int %s = 0; %s < %d; %s++) {", i, i, N, i)
+			b.stmt("        float t = %s[%s] * 1.5;", src, i)
+			b.stmt("        float u = t %s 2.0;", b.op())
+			b.stmt("        %s[%s] = t + u;", dst, i)
+			b.stmt("    }")
+		},
+	},
+	{
+		// Scalar carried across iterations (pipeline-style) — sequential.
+		Name: "carried-scalar", Loops: 1, Par: false,
+		Emit: func(b *builder) {
+			dst, src := b.newArr1(), b.arr1()
+			s := b.scalar()
+			i := b.iv()
+			b.stmt("    for (int %s = 0; %s < %d; %s++) {", i, i, N, i)
+			b.stmt("        %s[%s] = %s;", dst, i, s)
+			b.stmt("        %s = %s[%s] * 0.5;", s, src, i)
+			b.stmt("    }")
+		},
+	},
+	{
+		// Strided butterfly update, FT-style (disjoint strided halves).
+		Name: "butterfly", Loops: 1, Par: true,
+		Emit: func(b *builder) {
+			a := b.newArr1()
+			i := b.iv()
+			b.stmt("    for (int %s = 0; %s < %d; %s++) { %s[2 * %s] = %s[2 * %s + 1] %s 1.0; }",
+				i, i, N/2, i, a, i, a, i, b.op())
+		},
+	},
+	{
+		// Long intra-iteration chain with private temporaries: high
+		// critical-path length yet fully parallelizable — flat feature
+		// vectors confuse this with a recurrence.
+		Name: "longchain-par", Loops: 1, Par: true,
+		Emit: func(b *builder) {
+			dst, src := b.newArr1(), b.arr1()
+			i := b.iv()
+			b.stmt("    for (int %s = 0; %s < %d; %s++) {", i, i, N, i)
+			b.stmt("        float t1 = %s[%s] * 2.0;", src, i)
+			b.stmt("        float t2 = t1 %s 3.0;", b.op())
+			b.stmt("        float t3 = t2 * t1 + 1.0;")
+			b.stmt("        float t4 = t3 %s t2;", b.op())
+			b.stmt("        %s[%s] = t4 + t3;", dst, i)
+			b.stmt("    }")
+		},
+	},
+	{
+		// Backward shift: read a[i+1] (exposed) then overwrite it next
+		// iteration — a pure loop-carried WAR. Sequential, but invisible
+		// to a RAW-only dynamic rule (a DiscoPoP false positive).
+		Name: "war-shift", Loops: 1, Par: false,
+		Emit: func(b *builder) {
+			a := b.arr1()
+			i := b.iv()
+			b.stmt("    for (int %s = 0; %s < %d; %s++) { %s[%s] = %s[%s + 1] %s 1.5; }",
+				i, i, N-1, i, a, i, a, i, b.op())
+		},
+	},
+	{
+		// Colliding scatter of pure writes: loop-carried WAW on array
+		// elements. Sequential; another RAW-only blind spot.
+		Name: "waw-scatter", Loops: 2, Par: false,
+		Emit: func(b *builder) {
+			a, idx := b.newArr1(), b.intArr()
+			i := b.iv()
+			b.stmt("    for (int %s = 0; %s < %d; %s++) { %s[%s] = %s %% %d; }",
+				i, i, N, i, idx, i, i, N/2)
+			b.stmt("    for (int %s = 0; %s < %d; %s++) { %s[%s[%s]] = %s * 1.5; }",
+				i, i, N, i, a, idx, i, i)
+		},
+	},
+	{
+		// Prefix-exposed reduction: the running sum is stored per element,
+		// poisoning the reduction. Sequential; the per-loop dependence
+		// counters look almost identical to a clean reduction's.
+		Name: "poisoned-reduction", Loops: 1, Par: false,
+		Emit: func(b *builder) {
+			s, src, dst := b.scalar(), b.arr1(), b.newArr1()
+			i := b.iv()
+			b.stmt("    for (int %s = 0; %s < %d; %s++) {", i, i, N, i)
+			b.stmt("        %s += %s[%s] * 0.5;", s, src, i)
+			b.stmt("        %s[%s] = %s;", dst, i, s)
+			b.stmt("    }")
+		},
+	},
+	{
+		// Flipped accumulator: s = a[i] - s is not a reduction (the old
+		// value is negated), yet its feature profile mimics one.
+		Name: "antireduction", Loops: 1, Par: false,
+		Emit: func(b *builder) {
+			s, src := b.scalar(), b.arr1()
+			i := b.iv()
+			b.stmt("    for (int %s = 0; %s < %d; %s++) { %s = %s[%s] - %s; }",
+				i, i, N, i, s, src, i, s)
+		},
+	},
+	{
+		// Reversal copy: b[i] = a[N-1-i]; parallel, and a workout for the
+		// affine tester's negative coefficients.
+		Name: "reverse-copy", Loops: 1, Par: true,
+		Emit: func(b *builder) {
+			dst, src := b.newArr1(), b.arr1()
+			i := b.iv()
+			b.stmt("    for (int %s = 0; %s < %d; %s++) { %s[%s] = %s[%d - 1 - %s]; }",
+				i, i, N, i, dst, i, src, N, i)
+		},
+	},
+	{
+		// Reduction over a 2-D array (norm computations): outer loop is a
+		// reduction, inner loop accumulates too.
+		Name: "norm2d", Loops: 2, Par: true,
+		Emit: func(b *builder) {
+			s, m := b.scalar(), b.arr2()
+			i, j := b.iv(), b.iv()
+			b.stmt("    for (int %s = 0; %s < %d; %s++) {", i, i, N, i)
+			b.stmt("        for (int %s = 0; %s < %d; %s++) { %s += %s[%s][%s] * %s[%s][%s]; }",
+				j, j, N, j, s, m, i, j, m, i, j)
+			b.stmt("    }")
+		},
+	},
+}
+
+// templateByName returns the named template; it panics on unknown names
+// (the app profiles are static data, so a miss is a programming error).
+func templateByName(name string) Template {
+	for _, t := range templates {
+		if t.Name == name {
+			return t
+		}
+	}
+	panic("bench: unknown template " + name)
+}

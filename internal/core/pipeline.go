@@ -1,0 +1,178 @@
+// Package core is the public face of the library: it wires profiling,
+// graph construction, the two views and the MV-GNN into a single Pipeline
+// a downstream user drives, and hosts the experiment harness that
+// regenerates every table and figure of the paper.
+//
+// Typical use:
+//
+//	pl, err := core.NewPipeline(core.DefaultOptions())
+//	report, err := pl.TrainOn(bench.Corpus())
+//	preds, err := pl.ClassifySource("mine", src) // per-loop predictions
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"mvpar/internal/bench"
+	"mvpar/internal/dataset"
+	"mvpar/internal/deps"
+	"mvpar/internal/gnn"
+	"mvpar/internal/interp"
+	"mvpar/internal/ir"
+	"mvpar/internal/minic"
+	"mvpar/internal/nn"
+)
+
+// Options configures a Pipeline.
+type Options struct {
+	Data  dataset.Config
+	Train gnn.TrainConfig
+	Seed  int64
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options {
+	return Options{
+		Data:  dataset.DefaultConfig,
+		Train: gnn.DefaultTrainConfig,
+		Seed:  1,
+	}
+}
+
+// Pipeline owns a dataset encoder and a trained multi-view model.
+type Pipeline struct {
+	Opts    Options
+	Dataset *dataset.Dataset
+	Model   *gnn.MVGNN
+}
+
+// NewPipeline creates an untrained pipeline.
+func NewPipeline(opts Options) *Pipeline {
+	return &Pipeline{Opts: opts}
+}
+
+// TrainReport summarizes a training run.
+type TrainReport struct {
+	TrainRecords int
+	TestRecords  int
+	TrainAcc     float64
+	TestAcc      float64
+	Curve        []gnn.EpochStats
+}
+
+// TrainOn builds the dataset from apps, balances it, splits 75:25 and
+// trains the MV-GNN. The pipeline keeps the dataset (for its embedding
+// and walk space) and the trained model.
+func (p *Pipeline) TrainOn(apps []bench.App) (*TrainReport, error) {
+	d, err := dataset.Build(apps, p.Opts.Data)
+	if err != nil {
+		return nil, err
+	}
+	p.Dataset = d
+	// Split first so every suite keeps test representation, then balance
+	// only the training side (the paper's balanced 3100+3100 training set).
+	train, test := dataset.Split(d.Records, 0.75, p.Opts.Seed)
+	train = dataset.Balance(train, 0, p.Opts.Seed)
+	p.Model = gnn.NewMVGNN(d.NodeDim, d.StructDim, p.Opts.Seed)
+	curve := p.Model.Train(dataset.Samples(train), p.Opts.Train, nil)
+	return &TrainReport{
+		TrainRecords: len(train),
+		TestRecords:  len(test),
+		TrainAcc:     gnn.Evaluate(p.Model.Predict, dataset.Samples(train)),
+		TestAcc:      gnn.Evaluate(p.Model.Predict, dataset.Samples(test)),
+		Curve:        curve,
+	}, nil
+}
+
+// LoopPrediction is the classification of one loop of a user program.
+type LoopPrediction struct {
+	LoopID   int
+	Func     string
+	Line     int
+	Parallel bool    // model prediction
+	Proba    float64 // P(parallelizable)
+	Oracle   bool    // dynamic oracle ground truth
+	Reasons  []string
+}
+
+// ClassifySource profiles a MiniC program (entry function main) and
+// classifies every loop with the trained model. The pipeline must have
+// been trained first so the embedding and walk space exist.
+func (p *Pipeline) ClassifySource(name, src string) ([]LoopPrediction, error) {
+	if p.Model == nil || p.Dataset == nil {
+		return nil, fmt.Errorf("core: pipeline is untrained")
+	}
+	app := bench.App{Name: name, Suite: "user", Source: src}
+	// Encode with the pipeline's settings, reusing the trained inst2vec
+	// space so the node features live in the model's input geometry.
+	cfg := p.Opts.Data
+	cfg.Variants = 1
+	cfg.Embedding = p.Dataset.Embedding
+	d, err := dataset.Build([]bench.App{app}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var preds []LoopPrediction
+	ast, err := minic.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	loopInfo := map[int]minic.LoopInfo{}
+	for _, l := range ast.Loops() {
+		loopInfo[l.ID] = l
+	}
+	for _, rec := range d.Records {
+		sample := rec.Sample
+		pred := p.Model.Predict(sample)
+		preds = append(preds, LoopPrediction{
+			LoopID:   rec.Meta.LoopID,
+			Func:     loopInfo[rec.Meta.LoopID].Func,
+			Line:     loopInfo[rec.Meta.LoopID].Line,
+			Parallel: pred == 1,
+			Proba:    p.Model.PredictProba(sample),
+			Oracle:   rec.Verdict.Parallelizable,
+			Reasons:  rec.Verdict.Reasons,
+		})
+	}
+	return preds, nil
+}
+
+// SaveModel writes the trained model parameters.
+func (p *Pipeline) SaveModel(w io.Writer) error {
+	if p.Model == nil {
+		return fmt.Errorf("core: no trained model")
+	}
+	return nn.SaveParams(w, p.Model.Params())
+}
+
+// LoadModel reads model parameters into a freshly shaped model; the
+// pipeline must already hold a dataset (for the input dimensions).
+func (p *Pipeline) LoadModel(r io.Reader) error {
+	if p.Dataset == nil {
+		return fmt.Errorf("core: load requires a built dataset for dimensions")
+	}
+	if p.Model == nil {
+		p.Model = gnn.NewMVGNN(p.Dataset.NodeDim, p.Dataset.StructDim, p.Opts.Seed)
+	}
+	return nn.LoadParams(r, p.Model.Params())
+}
+
+// ProfileSource profiles a program and returns its dependence result —
+// the library's DiscoPoP-phase-1 entry point for users who want raw
+// dependences rather than model predictions.
+func ProfileSource(name, src string) (*ir.Program, *deps.Result, error) {
+	ast, err := minic.Parse(name, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, _, err := deps.Analyze(prog, "main", interp.Limits{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, res, nil
+}

@@ -1,0 +1,659 @@
+// Package dataset assembles the labeled loop dataset end to end: every
+// benchmark program is lowered, profiled once for its dependence result
+// and oracle labels, expanded into IR optimization-level variants (the
+// paper's six clang -O builds), and each loop's sub-PEG is encoded twice —
+// node-feature view (inst2vec + Table-I dynamics) and structural view
+// (anonymous-walk distributions). The package also provides class
+// balancing and the paper's 75:25 split with no common objects across the
+// two sides.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mvpar/internal/bench"
+	"mvpar/internal/cu"
+	"mvpar/internal/deps"
+	"mvpar/internal/features"
+	"mvpar/internal/gnn"
+	"mvpar/internal/graph"
+	"mvpar/internal/inst2vec"
+	"mvpar/internal/interp"
+	"mvpar/internal/ir"
+	"mvpar/internal/minic"
+	"mvpar/internal/peg"
+	"mvpar/internal/tensor"
+	"mvpar/internal/tools"
+	"mvpar/internal/walks"
+)
+
+// Record is one labeled loop instance (one loop of one IR variant of one
+// program), with everything every model family needs: the encoded
+// two-view GNN sample, the hand-crafted static vector, and the token
+// sequence for the NCC baseline.
+type Record struct {
+	Meta  gnn.SampleMeta
+	Label int // 1 = parallelizable
+	// Pattern is the finer-grained class of the paper's first future-work
+	// item: 0 = sequential, 1 = DoALL, 2 = reduction. Derived from the
+	// oracle without annotation noise.
+	Pattern int
+	Verdict deps.Verdict
+
+	Sample gnn.Sample
+	Static features.Static
+	Tokens []string // canonicalized region instruction stream (NCC input)
+	// Tools holds the per-loop decisions of the emulated
+	// auto-parallelization tools (Pluto, AutoPar, DiscoPoP), as 0/1.
+	Tools map[string]int
+}
+
+// Config controls dataset construction.
+type Config struct {
+	Variants   int // IR variants per program, 1..ir.NumVariants
+	WalkParams walks.Params
+	WalkLen    int // anonymous-walk space max length
+	EmbedCfg   inst2vec.Config
+	Seed       int64
+	MaxSteps   int64
+	MaxTokens  int // NCC sequence cap
+	// Embedding, when non-nil, is reused instead of training a fresh
+	// inst2vec space — required when encoding new programs for a model
+	// trained elsewhere (tokens are canonical, so spaces transfer).
+	Embedding *inst2vec.Embedding
+	// LabelNoise flips each loop's label with this probability,
+	// deterministically per (program, loop) so all IR variants stay
+	// consistent. It models the imperfect expert OpenMP annotations the
+	// paper trains on (its own error analysis attributes several
+	// misclassifications to missing annotations); our dynamic oracle is
+	// exact, so the annotation-noise channel is reintroduced explicitly.
+	// The six hand-written BOTS loops are hand-verified and exempt.
+	LabelNoise float64
+}
+
+// DefaultConfig builds all six variants with the standard walk space.
+var DefaultConfig = Config{
+	Variants:   ir.NumVariants,
+	WalkParams: walks.DefaultParams,
+	WalkLen:    5,
+	EmbedCfg:   inst2vec.DefaultConfig,
+	Seed:       1,
+	MaxSteps:   20_000_000,
+	MaxTokens:  128,
+}
+
+// Dataset is the assembled corpus.
+type Dataset struct {
+	Records   []*Record
+	Embedding *inst2vec.Embedding
+	Space     *walks.Space
+	NodeDim   int
+	StructDim int
+}
+
+// Node feature layout: [kind one-hot (3) | inst2vec (D) | node extras (4) |
+// loop dynamics (7, root loop node only)].
+const nodeExtraDims = 4
+
+// NodeDimFor returns the node-view feature dimension for an embedding
+// dimension.
+func NodeDimFor(embedDim int) int { return 3 + embedDim + nodeExtraDims + features.NumDynamic }
+
+// Build constructs the dataset from the given applications.
+func Build(apps []bench.App, cfg Config) (*Dataset, error) {
+	if cfg.Variants <= 0 || cfg.Variants > ir.NumVariants {
+		cfg.Variants = 1
+	}
+	if cfg.WalkLen <= 0 {
+		cfg.WalkLen = 5
+	}
+	if cfg.MaxTokens <= 0 {
+		cfg.MaxTokens = DefaultConfig.MaxTokens
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = DefaultConfig.MaxSteps
+	}
+
+	type profiled struct {
+		app    bench.App
+		base   *ir.Program
+		res    *deps.Result
+		static tools.Results
+	}
+	var progs []profiled
+	var irProgs []*ir.Program
+	for _, app := range apps {
+		src, err := minic.Parse(app.Name, app.Source)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s: %w", app.Name, err)
+		}
+		base, err := ir.Lower(src)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s: %w", app.Name, err)
+		}
+		res, _, err := deps.Analyze(base, "main", interp.Limits{MaxSteps: cfg.MaxSteps})
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s: profile: %w", app.Name, err)
+		}
+		progs = append(progs, profiled{app: app, base: base, res: res, static: tools.AnalyzeStatic(src)})
+		irProgs = append(irProgs, base)
+	}
+
+	emb := cfg.Embedding
+	if emb == nil {
+		emb = inst2vec.Train(irProgs, cfg.EmbedCfg)
+	}
+	space := walks.NewSpace(cfg.WalkLen)
+	d := &Dataset{
+		Embedding: emb,
+		Space:     space,
+		NodeDim:   NodeDimFor(emb.Dim),
+		StructDim: StructDimFor(space),
+	}
+
+	for _, p := range progs {
+		for v := 0; v < cfg.Variants; v++ {
+			variant := ir.Variant(p.base, v)
+			cus := cu.Build(variant)
+			pg := peg.Build(variant, cus, p.res)
+			for _, loopID := range variant.LoopIDs() {
+				verdict := p.res.Verdicts[loopID]
+				label := 0
+				if verdict.Parallelizable {
+					label = 1
+				}
+				pattern := PatternSequential
+				if verdict.Parallelizable {
+					pattern = PatternDoAll
+					if verdict.HasReduction {
+						pattern = PatternReduction
+					}
+				}
+				if cfg.LabelNoise > 0 && p.app.Suite != "BOTS" &&
+					flipLabel(p.app.Name, loopID, cfg.Seed, cfg.LabelNoise) {
+					label = 1 - label
+				}
+				meta := gnn.SampleMeta{
+					Program: p.app.Name,
+					Suite:   p.app.Suite,
+					App:     p.app.Name,
+					LoopID:  loopID,
+					Variant: v,
+				}
+				sub := pg.Extract(loopID)
+				stat := features.ExtractStatic(variant, cus, p.res, loopID)
+				rec := &Record{
+					Meta:    meta,
+					Label:   label,
+					Pattern: pattern,
+					Verdict: verdict,
+					Static:  stat,
+					Tokens:  regionTokens(cus, loopID, cfg.MaxTokens),
+					Tools: map[string]int{
+						tools.NamePluto:    b2i(p.static.Pluto[loopID]),
+						tools.NameAutoPar:  b2i(p.static.AutoPar[loopID]),
+						tools.NameDiscoPoP: b2i(tools.DiscoPoPRule(verdict)),
+					},
+				}
+				rec.Sample = gnn.Sample{
+					Node:   encodeNodeView(sub, emb, stat),
+					Struct: encodeStructView(sub, space, cfg.WalkParams, sampleSeed(cfg.Seed, meta)),
+					Label:  label,
+					Meta:   meta,
+				}
+				d.Records = append(d.Records, rec)
+			}
+		}
+	}
+	standardizeNodeFeatures(d.Records)
+	return d, nil
+}
+
+// standardizeNodeFeatures normalizes every node-view feature dimension to
+// zero mean and unit variance across the whole dataset. Without this the
+// log-scaled counters (up to ~8) saturate the first tanh graph
+// convolution and the DGCNN cannot optimize.
+func standardizeNodeFeatures(recs []*Record) {
+	if len(recs) == 0 {
+		return
+	}
+	dim := recs[0].Sample.Node.X.Cols
+	mean := make([]float64, dim)
+	m2 := make([]float64, dim)
+	n := 0.0
+	for _, r := range recs {
+		x := r.Sample.Node.X
+		for i := 0; i < x.Rows; i++ {
+			row := x.Row(i)
+			n++
+			for j, v := range row {
+				d := v - mean[j]
+				mean[j] += d / n
+				m2[j] += d * (v - mean[j])
+			}
+		}
+	}
+	std := make([]float64, dim)
+	for j := range std {
+		std[j] = math.Sqrt(m2[j] / math.Max(1, n-1))
+		if std[j] < 1e-9 {
+			std[j] = 1
+		}
+	}
+	for _, r := range recs {
+		x := r.Sample.Node.X
+		for i := 0; i < x.Rows; i++ {
+			row := x.Row(i)
+			for j := range row {
+				row[j] = (row[j] - mean[j]) / std[j]
+			}
+		}
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// flipLabel decides deterministically whether annotation noise flips the
+// label of (program, loop): a stable hash mapped to [0,1) against p.
+func flipLabel(program string, loopID int, seed int64, p float64) bool {
+	h := uint64(1469598103934665603)
+	mix := func(b byte) { h = (h ^ uint64(b)) * 1099511628211 }
+	for _, c := range []byte(program) {
+		mix(c)
+	}
+	mix(byte(loopID))
+	mix(byte(loopID >> 8))
+	for i := 0; i < 8; i++ {
+		mix(byte(seed >> (8 * i)))
+	}
+	return float64(h%10000)/10000 < p
+}
+
+// sampleSeed derives a stable per-sample RNG seed.
+func sampleSeed(base int64, m gnn.SampleMeta) int64 {
+	h := int64(1469598103934665603)
+	for _, c := range m.Program {
+		h = (h ^ int64(c)) * 1099511628211
+	}
+	h ^= int64(m.LoopID) * 2654435761
+	h ^= int64(m.Variant) * 40503
+	return base ^ h
+}
+
+// encodeNodeView builds the node-feature matrix for a sub-PEG: kind
+// one-hot, inst2vec statement embedding, per-node counters, and the
+// Table-I dynamics of the classified loop broadcast to every node (the
+// paper integrates the dynamic features with the static/semantic node
+// features; broadcasting keeps them visible regardless of which nodes
+// survive SortPooling).
+func encodeNodeView(sub *peg.SubPEG, emb *inst2vec.Embedding, stat features.Static) *gnn.EncodedGraph {
+	dim := NodeDimFor(emb.Dim)
+	x := tensor.New(len(sub.Nodes), dim)
+	dyn := features.Normalize(stat.Dynamic.Vector())
+	for i, n := range sub.Nodes {
+		row := x.Row(i)
+		copy(row[3+emb.Dim+nodeExtraDims:], dyn)
+		switch n.Kind {
+		case peg.NodeCU:
+			row[0] = 1
+			copy(row[3:3+emb.Dim], emb.CUVector(n.CU))
+			ex := row[3+emb.Dim:]
+			ex[0] = logScale(float64(n.CU.NumInstrs()))
+			if n.CU.Reduction != ir.RedNone {
+				ex[1] = 1
+			}
+			if n.CU.HasCall {
+				ex[2] = 1
+			}
+			ex[3] = logScale(float64(len(n.CU.Reads) + len(n.CU.Writes)))
+		case peg.NodeLoop:
+			row[1] = 1
+			row[3+emb.Dim] = 1 // loop marker; nesting info flows via edges
+		default:
+			row[2] = 1
+		}
+	}
+	return gnn.Encode(modelGraph(sub), x)
+}
+
+// structDescDims is the number of per-node structural descriptor
+// dimensions appended to the anonymous-walk distribution: self-edge flags
+// per dependence kind, log degrees, per-kind edge counts and the node
+// kind. Anonymous walks cannot see self-loops (anonymization compresses
+// stationary steps), yet a dependence self-edge — a statement depending
+// on itself across iterations — is precisely the recurrence/reduction
+// signature figure 1 builds on; the descriptors restore it.
+const structDescDims = 12
+
+// StructDimFor returns the structural-view feature dimension for a walk
+// space.
+func StructDimFor(space *walks.Space) int { return space.NumTypes() + structDescDims }
+
+// encodeStructView builds the structural-view features: the anonymous-walk
+// type distribution (eq. 3) concatenated with local structural
+// descriptors of the (kind-merged) sub-PEG.
+func encodeStructView(sub *peg.SubPEG, space *walks.Space, p walks.Params, seed int64) *gnn.EncodedGraph {
+	rng := rand.New(rand.NewSource(seed))
+	g := modelGraph(sub)
+	dist := space.NodeDistributions(g, p, rng)
+	x := tensor.New(g.NumNodes(), StructDimFor(space))
+	for v := 0; v < g.NumNodes(); v++ {
+		row := x.Row(v)
+		copy(row, dist.Row(v))
+		desc := row[space.NumTypes():]
+		var kindIn [4]float64
+		for _, e := range g.Out(v) {
+			switch e.Kind {
+			case peg.EdgeRAW:
+				kindIn[0]++
+				if e.To == v {
+					desc[0] = 1
+				}
+			case peg.EdgeWAR:
+				kindIn[1]++
+				if e.To == v {
+					desc[1] = 1
+				}
+			case peg.EdgeWAW:
+				kindIn[2]++
+				if e.To == v {
+					desc[2] = 1
+				}
+			default:
+				kindIn[3]++
+			}
+		}
+		desc[3] = logScale(float64(g.OutDegree(v)))
+		desc[4] = logScale(float64(g.InDegree(v)))
+		desc[5] = logScale(kindIn[0])
+		desc[6] = logScale(kindIn[1])
+		desc[7] = logScale(kindIn[2])
+		desc[8] = logScale(kindIn[3])
+		switch sub.Nodes[v].Kind {
+		case peg.NodeCU:
+			desc[9] = 1
+		case peg.NodeLoop:
+			desc[10] = 1
+			if v == sub.Root {
+				desc[11] = 1
+			}
+		}
+	}
+	return gnn.Encode(g, x)
+}
+
+// modelGraph returns the graph the models see: the sub-PEG with carried
+// dependence kinds merged into their base kinds. The carried/independent
+// distinction is the oracle's analysis artifact; the paper's PEG edges are
+// plain RAW/WAR/WAW, so exposing the flag would leak the label.
+func modelGraph(sub *peg.SubPEG) *graph.Directed {
+	g := graph.New(sub.G.NumNodes())
+	for _, e := range sub.G.Edges() {
+		kind := e.Kind
+		switch kind {
+		case peg.EdgeRAWCarried:
+			kind = peg.EdgeRAW
+		case peg.EdgeWARCarried:
+			kind = peg.EdgeWAR
+		case peg.EdgeWAWCarried:
+			kind = peg.EdgeWAW
+		}
+		if !g.HasEdgeKind(e.From, e.To, kind) {
+			g.AddEdge(e.From, e.To, kind)
+		}
+	}
+	return g
+}
+
+// logScale is ln(1+v), keeping counter features inside activation ranges.
+func logScale(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Log1p(v)
+}
+
+// regionTokens produces the NCC input: the canonicalized instruction
+// stream of the loop region in static order, capped at maxTokens.
+func regionTokens(cus *cu.Set, loopID int, maxTokens int) []string {
+	stmts := cus.LoopRegionStmts(loopID)
+	var toks []string
+	for _, s := range stmts {
+		c := cus.ByStmt[s]
+		if c == nil {
+			continue
+		}
+		for _, in := range c.Instrs {
+			toks = append(toks, inst2vec.Canonicalize(in))
+			if len(toks) >= maxTokens {
+				return toks
+			}
+		}
+	}
+	return toks
+}
+
+// Balanced returns up to perClass records of each class from the whole
+// dataset; see Balance.
+func (d *Dataset) Balanced(perClass int, seed int64) []*Record {
+	return Balance(d.Records, perClass, seed)
+}
+
+// Balance returns up to perClass records of each class, drawn
+// deterministically; pass perClass <= 0 to balance to the minority class
+// size (the paper balances to 3100 + 3100).
+func Balance(records []*Record, perClass int, seed int64) []*Record {
+	var pos, neg []*Record
+	for _, r := range records {
+		if r.Label == 1 {
+			pos = append(pos, r)
+		} else {
+			neg = append(neg, r)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+	n := perClass
+	if n <= 0 || n > len(pos) {
+		n = len(pos)
+	}
+	if n > len(neg) {
+		n = len(neg)
+	}
+	out := append(append([]*Record{}, pos[:n]...), neg[:n]...)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// Split partitions records into train and test with no common objects:
+// all variants of the same (program, loop) land on the same side.
+func Split(recs []*Record, trainFrac float64, seed int64) (train, test []*Record) {
+	type key struct {
+		program string
+		loop    int
+	}
+	groups := map[key][]*Record{}
+	var order []key
+	for _, r := range recs {
+		k := key{r.Meta.Program, r.Meta.LoopID}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].program != order[j].program {
+			return order[i].program < order[j].program
+		}
+		return order[i].loop < order[j].loop
+	})
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	cut := int(float64(len(order)) * trainFrac)
+	for i, k := range order {
+		if i < cut {
+			train = append(train, groups[k]...)
+		} else {
+			test = append(test, groups[k]...)
+		}
+	}
+	return train, test
+}
+
+// Parallel pattern classes (future-work extension).
+const (
+	PatternSequential = 0
+	PatternDoAll      = 1
+	PatternReduction  = 2
+)
+
+// NumPatterns is the number of pattern classes.
+const NumPatterns = 3
+
+// PatternNames names the pattern classes in label order.
+var PatternNames = []string{"sequential", "DoALL", "reduction"}
+
+// PatternSamples extracts samples labeled with the three-way parallel
+// pattern instead of the binary parallelizability label.
+func PatternSamples(recs []*Record) []gnn.Sample {
+	out := make([]gnn.Sample, len(recs))
+	for i, r := range recs {
+		out[i] = r.Sample
+		out[i].Label = r.Pattern
+	}
+	return out
+}
+
+// BalanceByPattern draws up to perClass records of each pattern class
+// (perClass <= 0 balances to the smallest class).
+func BalanceByPattern(records []*Record, perClass int, seed int64) []*Record {
+	groups := make([][]*Record, NumPatterns)
+	for _, r := range records {
+		groups[r.Pattern] = append(groups[r.Pattern], r)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := perClass
+	for _, g := range groups {
+		rng.Shuffle(len(g), func(i, j int) { g[i], g[j] = g[j], g[i] })
+		if n <= 0 || n > len(g) {
+			if perClass <= 0 {
+				if n <= 0 || len(g) < n {
+					n = len(g)
+				}
+			}
+		}
+	}
+	if n <= 0 {
+		return nil
+	}
+	var out []*Record
+	for _, g := range groups {
+		k := n
+		if k > len(g) {
+			k = len(g)
+		}
+		out = append(out, g[:k]...)
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// StaticNodeSamples extracts samples whose node view has the dynamic
+// features zeroed — the "GNNs with Static Information" baseline (Shen et
+// al.) sees the inst2vec/static node content and the graph, but none of
+// the profiled Table-I dynamics.
+func StaticNodeSamples(recs []*Record) []gnn.Sample {
+	out := make([]gnn.Sample, len(recs))
+	for i, r := range recs {
+		src := r.Sample.Node
+		x := src.X.Clone()
+		for row := 0; row < x.Rows; row++ {
+			vals := x.Row(row)
+			for j := x.Cols - features.NumDynamic; j < x.Cols; j++ {
+				vals[j] = 0
+			}
+		}
+		out[i] = gnn.Sample{
+			Node:   src.WithFeatures(x),
+			Struct: r.Sample.Struct,
+			Label:  r.Label,
+			Meta:   r.Meta,
+		}
+	}
+	return out
+}
+
+// Samples extracts the GNN samples from records.
+func Samples(recs []*Record) []gnn.Sample {
+	out := make([]gnn.Sample, len(recs))
+	for i, r := range recs {
+		out[i] = r.Sample
+	}
+	return out
+}
+
+// BySuite groups records by benchmark suite name.
+func BySuite(recs []*Record) map[string][]*Record {
+	out := map[string][]*Record{}
+	for _, r := range recs {
+		out[r.Meta.Suite] = append(out[r.Meta.Suite], r)
+	}
+	return out
+}
+
+// KFold partitions records into k folds at loop-object granularity (all
+// variants of one loop share a fold) and returns, for each fold, the
+// (train, test) pair with that fold held out. Use for cross-validated
+// robustness estimates.
+func KFold(recs []*Record, k int, seed int64) [][2][]*Record {
+	if k < 2 {
+		k = 2
+	}
+	type key struct {
+		program string
+		loop    int
+	}
+	groups := map[key][]*Record{}
+	var order []key
+	for _, r := range recs {
+		kk := key{r.Meta.Program, r.Meta.LoopID}
+		if _, ok := groups[kk]; !ok {
+			order = append(order, kk)
+		}
+		groups[kk] = append(groups[kk], r)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].program != order[j].program {
+			return order[i].program < order[j].program
+		}
+		return order[i].loop < order[j].loop
+	})
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	folds := make([][]*Record, k)
+	for i, kk := range order {
+		f := i % k
+		folds[f] = append(folds[f], groups[kk]...)
+	}
+	out := make([][2][]*Record, k)
+	for f := 0; f < k; f++ {
+		var train []*Record
+		for g := 0; g < k; g++ {
+			if g != f {
+				train = append(train, folds[g]...)
+			}
+		}
+		out[f] = [2][]*Record{train, folds[f]}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package dataset
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ExportRecord is the JSON-friendly projection of a Record: provenance,
+// labels, the Table-I feature vector, tool decisions and graph sizes —
+// everything an external analysis (or a different ML stack) needs without
+// the dense encodings.
+type ExportRecord struct {
+	Program   string             `json:"program"`
+	Suite     string             `json:"suite"`
+	LoopID    int                `json:"loop_id"`
+	Variant   int                `json:"variant"`
+	Label     int                `json:"label"`
+	Pattern   string             `json:"pattern"`
+	Oracle    bool               `json:"oracle_parallelizable"`
+	Reduction bool               `json:"oracle_reduction"`
+	Reasons   []string           `json:"blocking_reasons,omitempty"`
+	Features  map[string]float64 `json:"features"`
+	Tools     map[string]int     `json:"tools"`
+	Nodes     int                `json:"peg_nodes"`
+	AdjSize   int                `json:"adjacency_entries"`
+	Tokens    int                `json:"token_count"`
+}
+
+// Export writes the dataset's records as a JSON array to w.
+func Export(w io.Writer, recs []*Record) error {
+	out := make([]ExportRecord, len(recs))
+	for i, r := range recs {
+		feats := map[string]float64{}
+		vec := r.Static.Dynamic.Vector()
+		for j, name := range featureNames() {
+			feats[name] = vec[j]
+		}
+		out[i] = ExportRecord{
+			Program:   r.Meta.Program,
+			Suite:     r.Meta.Suite,
+			LoopID:    r.Meta.LoopID,
+			Variant:   r.Meta.Variant,
+			Label:     r.Label,
+			Pattern:   PatternNames[r.Pattern],
+			Oracle:    r.Verdict.Parallelizable,
+			Reduction: r.Verdict.HasReduction,
+			Reasons:   r.Verdict.Reasons,
+			Features:  feats,
+			Tools:     r.Tools,
+			Nodes:     r.Sample.Node.N,
+			AdjSize:   r.Sample.Node.AdjacencyEntries(),
+			Tokens:    len(r.Tokens),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func featureNames() []string {
+	return []string{"n_inst", "exec_times", "cfl", "esp", "incoming_dep", "internal_dep", "outgoing_dep"}
+}

@@ -1,0 +1,464 @@
+package deps_test
+
+import (
+	"testing"
+
+	"mvpar/internal/deps"
+	"mvpar/internal/interp"
+	"mvpar/internal/ir"
+	"mvpar/internal/minic"
+)
+
+// analyze profiles the program's main and returns the result.
+func analyze(t *testing.T, src string) (*deps.Result, *ir.Program) {
+	t.Helper()
+	prog := ir.MustLower(minic.MustParse("t", src))
+	res, _, err := deps.Analyze(prog, "main", interp.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, prog
+}
+
+// verdictOfFirstLoop returns the verdict of the program's first loop.
+func verdictOfFirstLoop(t *testing.T, src string) deps.Verdict {
+	t.Helper()
+	res, prog := analyze(t, src)
+	ids := prog.LoopIDs()
+	if len(ids) == 0 {
+		t.Fatal("no loops in program")
+	}
+	return res.Verdicts[ids[0]]
+}
+
+func TestDoAllLoopParallelizable(t *testing.T) {
+	v := verdictOfFirstLoop(t, `
+float a[16];
+float b[16];
+void main() {
+    for (int i = 0; i < 16; i++) { a[i] = b[i] + 1.0; }
+}
+`)
+	if !v.Parallelizable || v.HasReduction {
+		t.Fatalf("verdict = %+v, want parallelizable without reduction", v)
+	}
+}
+
+func TestSumReductionParallelizable(t *testing.T) {
+	v := verdictOfFirstLoop(t, `
+float a[16];
+float s;
+void main() {
+    for (int i = 0; i < 16; i++) { s += a[i]; }
+}
+`)
+	if !v.Parallelizable || !v.HasReduction {
+		t.Fatalf("verdict = %+v, want parallelizable with reduction", v)
+	}
+}
+
+func TestProductReductionParallelizable(t *testing.T) {
+	v := verdictOfFirstLoop(t, `
+float p;
+void main() {
+    p = 1.0;
+    for (int i = 0; i < 8; i++) { p *= 1.5; }
+}
+`)
+	if !v.Parallelizable || !v.HasReduction {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestTrueRecurrenceBlocked(t *testing.T) {
+	v := verdictOfFirstLoop(t, `
+float a[16];
+void main() {
+    a[0] = 1.0;
+    for (int i = 1; i < 16; i++) { a[i] = a[i - 1] * 2.0; }
+}
+`)
+	if v.Parallelizable {
+		t.Fatalf("recurrence must block: %+v", v)
+	}
+}
+
+func TestInPlaceStencilBlocked(t *testing.T) {
+	v := verdictOfFirstLoop(t, `
+float a[16];
+void main() {
+    for (int i = 1; i < 15; i++) { a[i] = a[i - 1] + a[i + 1]; }
+}
+`)
+	if v.Parallelizable {
+		t.Fatalf("in-place stencil must block: %+v", v)
+	}
+}
+
+func TestOutOfPlaceStencilParallelizable(t *testing.T) {
+	v := verdictOfFirstLoop(t, `
+float a[16];
+float b[16];
+void main() {
+    for (int i = 1; i < 15; i++) { b[i] = a[i - 1] + a[i] + a[i + 1]; }
+}
+`)
+	if !v.Parallelizable {
+		t.Fatalf("jacobi-style stencil must be parallelizable: %+v", v)
+	}
+}
+
+func TestPrivatizableScalarParallelizable(t *testing.T) {
+	v := verdictOfFirstLoop(t, `
+float a[16];
+float b[16];
+void main() {
+    float t;
+    for (int i = 0; i < 16; i++) {
+        t = a[i] * 2.0;
+        b[i] = t + 1.0;
+    }
+}
+`)
+	if !v.Parallelizable {
+		t.Fatalf("privatizable temp must not block: %+v", v)
+	}
+}
+
+func TestExposedScalarReadBlocked(t *testing.T) {
+	// t carries a value from the previous iteration before being rewritten.
+	v := verdictOfFirstLoop(t, `
+float a[16];
+float b[16];
+void main() {
+    float t = 0.0;
+    for (int i = 0; i < 16; i++) {
+        b[i] = t;
+        t = a[i];
+    }
+}
+`)
+	if v.Parallelizable {
+		t.Fatalf("exposed read then write must block (loop-carried WAR/RAW): %+v", v)
+	}
+}
+
+func TestPoisonedReductionBlocked(t *testing.T) {
+	// Reading the running sum makes the reduction exemption invalid.
+	v := verdictOfFirstLoop(t, `
+float a[16];
+float b[16];
+float s;
+void main() {
+    for (int i = 0; i < 16; i++) {
+        s += a[i];
+        b[i] = s;
+    }
+}
+`)
+	if v.Parallelizable {
+		t.Fatalf("prefix-sum must block: %+v", v)
+	}
+}
+
+func TestIndirectNonReductionUpdateBlocked(t *testing.T) {
+	v := verdictOfFirstLoop(t, `
+float a[8];
+int idx[8];
+void main() {
+    idx[0] = 1; idx[1] = 1; idx[2] = 2; idx[3] = 3;
+    idx[4] = 3; idx[5] = 5; idx[6] = 6; idx[7] = 1;
+    for (int i = 0; i < 8; i++) {
+        a[idx[i]] = a[idx[i]] * 2.0 + 1.0;
+    }
+}
+`)
+	if v.Parallelizable {
+		t.Fatalf("colliding indirect update must block: %+v", v)
+	}
+}
+
+func TestHistogramReductionParallelizable(t *testing.T) {
+	// a[idx[i]] += 1 is a recognized (atomic-style) sum reduction even with
+	// colliding indices.
+	v := verdictOfFirstLoop(t, `
+float a[8];
+int idx[8];
+void main() {
+    idx[0] = 1; idx[1] = 1; idx[2] = 2; idx[3] = 3;
+    idx[4] = 3; idx[5] = 5; idx[6] = 6; idx[7] = 1;
+    for (int i = 0; i < 8; i++) {
+        a[idx[i]] += 1.0;
+    }
+}
+`)
+	if !v.Parallelizable || !v.HasReduction {
+		t.Fatalf("histogram += must be a reduction: %+v", v)
+	}
+}
+
+func TestCollidingIndirectWriteBlocked(t *testing.T) {
+	v := verdictOfFirstLoop(t, `
+float a[8];
+int idx[8];
+void main() {
+    idx[0] = 1; idx[1] = 1; idx[2] = 2; idx[3] = 3;
+    idx[4] = 3; idx[5] = 5; idx[6] = 6; idx[7] = 1;
+    for (int i = 0; i < 8; i++) {
+        a[idx[i]] = i;
+    }
+}
+`)
+	if v.Parallelizable {
+		t.Fatalf("colliding indirect writes (carried WAW on array) must block: %+v", v)
+	}
+}
+
+func TestDisjointIndirectWriteParallelizable(t *testing.T) {
+	v := verdictOfFirstLoop(t, `
+float a[8];
+int idx[8];
+void main() {
+    for (int i = 0; i < 8; i++) { idx[i] = 7 - i; }
+    for (int i = 0; i < 8; i++) { a[idx[i]] = i; }
+}
+`)
+	res, prog := analyze(t, `
+float a[8];
+int idx[8];
+void main() {
+    for (int i = 0; i < 8; i++) { idx[i] = 7 - i; }
+    for (int i = 0; i < 8; i++) { a[idx[i]] = i; }
+}
+`)
+	_ = v
+	ids := prog.LoopIDs()
+	second := res.Verdicts[ids[1]]
+	if !second.Parallelizable {
+		t.Fatalf("permutation scatter must be parallelizable: %+v", second)
+	}
+}
+
+func TestWhileLoopBlocked(t *testing.T) {
+	res, prog := analyze(t, `
+int n = 10;
+int x;
+void main() {
+    while (x < n) { x++; }
+}
+`)
+	v := res.Verdicts[prog.LoopIDs()[0]]
+	if v.Parallelizable {
+		t.Fatalf("while counter loop must block (condition reads the accumulator): %+v", v)
+	}
+}
+
+func TestNestedLoopsIndependentVerdicts(t *testing.T) {
+	res, prog := analyze(t, `
+float A[8][8];
+float y[8];
+void main() {
+    for (int i = 0; i < 8; i++) {
+        float s = 0.0;
+        for (int j = 0; j < 8; j++) {
+            s += A[i][j];
+        }
+        y[i] = s;
+    }
+}
+`)
+	ids := prog.LoopIDs()
+	outer, inner := res.Verdicts[ids[0]], res.Verdicts[ids[1]]
+	if !outer.Parallelizable {
+		t.Fatalf("outer loop must be parallelizable: %+v", outer)
+	}
+	if outer.HasReduction {
+		t.Fatalf("outer loop is not itself a reduction: %+v", outer)
+	}
+	if !inner.Parallelizable || !inner.HasReduction {
+		t.Fatalf("inner loop must be a reduction: %+v", inner)
+	}
+}
+
+func TestCalledFunctionLocalsDoNotAlias(t *testing.T) {
+	res, prog := analyze(t, `
+float a[8];
+float b[8];
+float square(float x) {
+    float tmp = x * x;
+    return tmp;
+}
+void main() {
+    for (int i = 0; i < 8; i++) { b[i] = square(a[i]); }
+}
+`)
+	v := res.Verdicts[prog.LoopIDs()[0]]
+	if !v.Parallelizable {
+		t.Fatalf("per-call locals must not create carried deps: %+v", v)
+	}
+}
+
+func TestSequentialDependentCallsBlocked(t *testing.T) {
+	res, prog := analyze(t, `
+float acc;
+float bump(float x) {
+    acc = acc + x;
+    return acc;
+}
+float out[8];
+void main() {
+    for (int i = 0; i < 8; i++) { out[i] = bump(1.0); }
+}
+`)
+	v := res.Verdicts[prog.LoopIDs()[0]]
+	if v.Parallelizable {
+		t.Fatalf("global state threaded through calls must block: %+v", v)
+	}
+}
+
+func TestEdgesRecorded(t *testing.T) {
+	res, _ := analyze(t, `
+float a[8];
+float s;
+void main() {
+    for (int i = 0; i < 8; i++) { a[i] = i; }
+    for (int i = 0; i < 8; i++) { s += a[i]; }
+}
+`)
+	var sawIndependentRAW, sawCarriedRAW, sawReduction bool
+	for _, e := range res.Edges {
+		if e.Kind == deps.RAW && !e.Carried {
+			sawIndependentRAW = true
+		}
+		if e.Kind == deps.RAW && e.Carried {
+			sawCarriedRAW = true
+			if e.Reduction {
+				sawReduction = true
+			}
+		}
+	}
+	if !sawIndependentRAW {
+		t.Fatal("no loop-independent RAW edge recorded (producer->consumer across loops)")
+	}
+	if !sawCarriedRAW || !sawReduction {
+		t.Fatalf("carried/reduction RAW edges missing (carried=%v red=%v)", sawCarriedRAW, sawReduction)
+	}
+	// Edges must be sorted and unique.
+	for i := 1; i < len(res.Edges); i++ {
+		a, b := res.Edges[i-1], res.Edges[i]
+		if a == b {
+			t.Fatal("duplicate edge")
+		}
+	}
+}
+
+func TestNeverExecutedLoopDefaultsParallelizable(t *testing.T) {
+	res, prog := analyze(t, `
+float a[4];
+int n;
+void main() {
+    for (int i = 0; i < n; i++) { a[i] = a[i - 1]; }
+}
+`)
+	// n == 0: body never runs, so no dependence evidence exists.
+	v := res.Verdicts[prog.LoopIDs()[0]]
+	if !v.Parallelizable {
+		t.Fatalf("unexecuted loop should default to parallelizable (no evidence): %+v", v)
+	}
+}
+
+func TestIterationStatsExposed(t *testing.T) {
+	res, prog := analyze(t, `
+float a[6];
+void main() {
+    for (int r = 0; r < 3; r++) {
+        for (int i = 0; i < 6; i++) { a[i] = i; }
+    }
+}
+`)
+	ids := prog.LoopIDs()
+	if res.Iterations[ids[0]] != 3 || res.Iterations[ids[1]] != 18 {
+		t.Fatalf("iterations = %v", res.Iterations)
+	}
+	if res.Instances[ids[0]] != 1 || res.Instances[ids[1]] != 3 {
+		t.Fatalf("instances = %v", res.Instances)
+	}
+}
+
+func TestTriangularLoopParallelizable(t *testing.T) {
+	res, prog := analyze(t, `
+float A[8][8];
+void main() {
+    for (int i = 0; i < 8; i++) {
+        for (int j = 0; j <= i; j++) {
+            A[i][j] = i + j;
+        }
+    }
+}
+`)
+	for _, id := range prog.LoopIDs() {
+		if !res.Verdicts[id].Parallelizable {
+			t.Fatalf("triangular independent writes must be parallelizable: %+v", res.Verdicts[id])
+		}
+	}
+}
+
+func TestWavefrontBlocked(t *testing.T) {
+	res, prog := analyze(t, `
+float A[8][8];
+void main() {
+    for (int i = 1; i < 8; i++) {
+        for (int j = 1; j < 8; j++) {
+            A[i][j] = A[i - 1][j] + A[i][j - 1];
+        }
+    }
+}
+`)
+	ids := prog.LoopIDs()
+	if res.Verdicts[ids[0]].Parallelizable {
+		t.Fatal("outer wavefront loop must block (row dependence)")
+	}
+	if res.Verdicts[ids[1]].Parallelizable {
+		t.Fatal("inner wavefront loop must block (column dependence)")
+	}
+}
+
+func TestCarriedDistances(t *testing.T) {
+	res, _ := analyze(t, `
+float a[16];
+void main() {
+    a[0] = 1.0; a[1] = 1.0; a[2] = 1.0;
+    for (int i = 3; i < 16; i++) { a[i] = a[i - 3] + 1.0; }
+}
+`)
+	foundDist3 := false
+	for _, e := range res.Edges {
+		if e.Kind == deps.RAW && e.Carried && e.Distance == 3 {
+			foundDist3 = true
+		}
+		if e.Carried && e.Distance == 0 {
+			t.Fatalf("carried edge with zero distance: %+v", e)
+		}
+		if !e.Carried && e.Distance != 0 {
+			t.Fatalf("independent edge with distance: %+v", e)
+		}
+	}
+	if !foundDist3 {
+		t.Fatal("stride-3 recurrence must produce a carried RAW at distance 3")
+	}
+}
+
+func TestAdjacentDistanceIsOne(t *testing.T) {
+	res, _ := analyze(t, `
+float a[16];
+void main() {
+    a[0] = 1.0;
+    for (int i = 1; i < 16; i++) { a[i] = a[i - 1] + 1.0; }
+}
+`)
+	for _, e := range res.Edges {
+		if e.Kind == deps.RAW && e.Carried && !e.Reduction && e.Distance != 1 {
+			t.Fatalf("first-order recurrence distance = %d, want 1 (%+v)", e.Distance, e)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package features_test
+
+import (
+	"testing"
+
+	"mvpar/internal/cu"
+	"mvpar/internal/deps"
+	"mvpar/internal/features"
+	"mvpar/internal/interp"
+	"mvpar/internal/ir"
+	"mvpar/internal/minic"
+)
+
+func setup(t *testing.T, src string) (*ir.Program, *cu.Set, *deps.Result) {
+	t.Helper()
+	prog := ir.MustLower(minic.MustParse("t", src))
+	res, _, err := deps.Analyze(prog, "main", interp.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, cu.Build(prog), res
+}
+
+func TestVectorShapeAndNames(t *testing.T) {
+	var d features.Dynamic
+	if len(d.Vector()) != features.NumDynamic || len(features.Names) != features.NumDynamic {
+		t.Fatal("dynamic vector dimension mismatch")
+	}
+	var s features.Static
+	if len(s.Vector()) != features.NumStatic {
+		t.Fatal("static vector dimension mismatch")
+	}
+}
+
+func TestExecTimesAndNInst(t *testing.T) {
+	prog, cus, res := setup(t, `
+float a[10];
+void main() {
+    for (int i = 0; i < 10; i++) { a[i] = i * 2.0; }
+}
+`)
+	loop := prog.LoopIDs()[0]
+	d := features.Extract(prog, cus, res, loop)
+	if d.ExecTimes != 10 {
+		t.Fatalf("ExecTimes = %v, want 10", d.ExecTimes)
+	}
+	if d.NInst <= 0 {
+		t.Fatalf("NInst = %v", d.NInst)
+	}
+	if d.InternalDep <= 0 {
+		t.Fatalf("InternalDep = %v (i++ at least)", d.InternalDep)
+	}
+}
+
+func TestIncomingOutgoingDeps(t *testing.T) {
+	prog, cus, res := setup(t, `
+float a[8];
+float b[8];
+void main() {
+    for (int i = 0; i < 8; i++) { a[i] = i; }
+    for (int i = 0; i < 8; i++) { b[i] = a[i]; }
+    float last = b[7];
+    b[0] = last;
+}
+`)
+	ids := prog.LoopIDs()
+	first := features.Extract(prog, cus, res, ids[0])
+	second := features.Extract(prog, cus, res, ids[1])
+	if first.OutgoingDep == 0 {
+		t.Fatalf("first loop outgoing = %v, want > 0 (a flows out)", first.OutgoingDep)
+	}
+	if second.IncomingDep == 0 {
+		t.Fatalf("second loop incoming = %v, want > 0 (a flows in)", second.IncomingDep)
+	}
+	if second.OutgoingDep == 0 {
+		t.Fatalf("second loop outgoing = %v, want > 0 (b read after)", second.OutgoingDep)
+	}
+}
+
+func TestCFLDistinguishesRecurrenceFromDoAll(t *testing.T) {
+	_, cusA, resA := setup(t, `
+float a[32];
+void main() {
+    for (int i = 1; i < 32; i++) { a[i] = a[i - 1] * 0.5 + 1.0; }
+}
+`)
+	progA, _, _ := setup(t, `
+float a[32];
+void main() {
+    for (int i = 1; i < 32; i++) { a[i] = a[i - 1] * 0.5 + 1.0; }
+}
+`)
+	_, cusB, resB := setup(t, `
+float a[32];
+float b[32];
+void main() {
+    for (int i = 1; i < 32; i++) { a[i] = b[i] * 0.5 + 1.0; }
+}
+`)
+	progB, _, _ := setup(t, `
+float a[32];
+float b[32];
+void main() {
+    for (int i = 1; i < 32; i++) { a[i] = b[i] * 0.5 + 1.0; }
+}
+`)
+	rec := features.Extract(progA, cusA, resA, progA.LoopIDs()[0])
+	par := features.Extract(progB, cusB, resB, progB.LoopIDs()[0])
+	if rec.CFL <= par.CFL {
+		t.Fatalf("recurrence CFL (%v) must exceed DoALL CFL (%v)", rec.CFL, par.CFL)
+	}
+	if rec.ESP >= par.ESP {
+		t.Fatalf("recurrence ESP (%v) must be below DoALL ESP (%v)", rec.ESP, par.ESP)
+	}
+}
+
+func TestESPBounds(t *testing.T) {
+	prog, cus, res := setup(t, `
+float a[64];
+float b[64];
+void main() {
+    for (int i = 0; i < 64; i++) { a[i] = b[i] + 1.0; }
+}
+`)
+	d := features.Extract(prog, cus, res, prog.LoopIDs()[0])
+	if d.ESP < 1 || d.ESP > features.MaxThreads {
+		t.Fatalf("ESP = %v out of [1, %d]", d.ESP, features.MaxThreads)
+	}
+}
+
+func TestStaticFeatureCounts(t *testing.T) {
+	prog, cus, res := setup(t, `
+float A[4][4];
+float s;
+float f(float x) { return x + 1.0; }
+void main() {
+    for (int i = 0; i < 4; i++) {
+        for (int j = 0; j < 4; j++) {
+            s += A[i][j];
+            A[i][j] = f(A[i][j]);
+        }
+    }
+}
+`)
+	ids := prog.LoopIDs()
+	outer := features.ExtractStatic(prog, cus, res, ids[0])
+	inner := features.ExtractStatic(prog, cus, res, ids[1])
+	if outer.Depth != 0 || inner.Depth != 1 {
+		t.Fatalf("depths: %v %v", outer.Depth, inner.Depth)
+	}
+	if outer.NumInnerLoops != 1 || inner.NumInnerLoops != 0 {
+		t.Fatalf("inner loop counts: %v %v", outer.NumInnerLoops, inner.NumInnerLoops)
+	}
+	if outer.HasCall != 1 {
+		t.Fatal("call not detected")
+	}
+	if outer.NumReductions == 0 {
+		t.Fatal("reduction CU not counted")
+	}
+	if outer.NumArrayReads == 0 || outer.NumArrayWrite == 0 {
+		t.Fatalf("array access counts: r=%v w=%v", outer.NumArrayReads, outer.NumArrayWrite)
+	}
+	if outer.NumCUs <= inner.NumCUs {
+		t.Fatalf("outer CUs (%v) must exceed inner CUs (%v)", outer.NumCUs, inner.NumCUs)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := features.Normalize([]float64{0, 1, -1, 100})
+	if out[0] != 0 {
+		t.Fatal("log1p(0) != 0")
+	}
+	if out[1] <= 0 || out[2] >= 0 {
+		t.Fatalf("sign preservation failed: %v", out)
+	}
+	if out[3] <= out[1] {
+		t.Fatal("monotonicity failed")
+	}
+}

@@ -1,0 +1,286 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+
+	"mvpar/internal/nn"
+	"mvpar/internal/tensor"
+)
+
+// Config sizes a DGCNN. The paper's reference configuration uses four
+// graph convolutions with a single sorting channel last, SortPooling with
+// k = 135 on benchmark-scale graphs, two 1-D convolutions and a dense
+// layer; the defaults here keep that architecture at the scale of our
+// sub-PEGs.
+type Config struct {
+	// Prefix namespaces parameter names so two DGCNNs (the two views)
+	// can be serialized side by side.
+	Prefix       string
+	InputDim     int
+	ConvChannels []int // channel widths of the graph conv stack; last is the sort channel
+	SortK        int   // SortPooling k
+	Conv1Filters int
+	Conv2Filters int
+	DenseDim     int // penultimate (fusion-facing) dimension
+	NumClasses   int
+	Seed         int64
+}
+
+// DefaultConfig returns the standard configuration for the given input
+// feature dimension, scaled to this corpus's sub-PEG sizes (tens of
+// nodes) so the full experiment suite runs in minutes on one CPU.
+func DefaultConfig(inputDim int) Config {
+	return Config{
+		InputDim:     inputDim,
+		ConvChannels: []int{16, 16, 16, 1},
+		SortK:        16,
+		Conv1Filters: 16,
+		Conv2Filters: 32,
+		DenseDim:     48,
+		NumClasses:   2,
+		Seed:         1,
+	}
+}
+
+// PaperConfig returns the configuration at the paper's reported sizes
+// (§IV-B): 200 node feature dimensions and SortPooling k = 135, which
+// match benchmark-scale PEGs with hundreds of nodes. It trains the same
+// architecture roughly 50x slower than DefaultConfig; use it when
+// mirroring the paper's exact hyperparameters matters more than wall
+// clock.
+func PaperConfig(inputDim int) Config {
+	return Config{
+		InputDim:     inputDim,
+		ConvChannels: []int{200, 200, 200, 1},
+		SortK:        135,
+		Conv1Filters: 16,
+		Conv2Filters: 32,
+		DenseDim:     128,
+		NumClasses:   2,
+		Seed:         1,
+	}
+}
+
+// graphConv is one graph convolution layer with manual backprop.
+type graphConv struct {
+	w *nn.Param
+
+	lastM *tensor.Matrix // Â·H input aggregate
+	lastZ *tensor.Matrix // tanh output
+	g     *EncodedGraph
+}
+
+func newGraphConv(name string, in, out int, rng *rand.Rand) *graphConv {
+	return &graphConv{w: nn.NewParam(name, tensor.XavierInit(in, out, rng))}
+}
+
+// forward computes Z = tanh(Â H W).
+func (l *graphConv) forward(g *EncodedGraph, h *tensor.Matrix) *tensor.Matrix {
+	l.g = g
+	l.lastM = g.propagate(h)
+	l.lastZ = tensor.Apply(tensor.MatMul(l.lastM, l.w.Value), math.Tanh)
+	return l.lastZ
+}
+
+// backward receives dZ, accumulates dW, and returns dH.
+func (l *graphConv) backward(dz *tensor.Matrix) *tensor.Matrix {
+	dpre := tensor.New(dz.Rows, dz.Cols)
+	for i := range dz.Data {
+		z := l.lastZ.Data[i]
+		dpre.Data[i] = dz.Data[i] * (1 - z*z)
+	}
+	l.w.Grad.AddInPlace(tensor.MatMul(tensor.Transpose(l.lastM), dpre))
+	dm := tensor.MatMul(dpre, tensor.Transpose(l.w.Value))
+	return l.g.propagateT(dm)
+}
+
+// sortPool implements SortPooling: orders nodes by the last (sort) channel
+// descending and keeps the top k rows, zero-padding small graphs, so the
+// downstream 1-D convolution sees a fixed-size input.
+type sortPool struct {
+	k int
+
+	perm []int // kept row -> source row (-1 for padding)
+	nIn  int
+	cols int
+}
+
+func (s *sortPool) forward(z *tensor.Matrix) *tensor.Matrix {
+	s.nIn = z.Rows
+	s.cols = z.Cols
+	keys := make([]float64, z.Rows)
+	for i := 0; i < z.Rows; i++ {
+		// Negate so Argsort's ascending order yields descending keys.
+		keys[i] = -z.At(i, z.Cols-1)
+	}
+	order := tensor.Argsort(keys)
+	out := tensor.New(s.k, z.Cols)
+	s.perm = make([]int, s.k)
+	for i := 0; i < s.k; i++ {
+		if i < len(order) {
+			s.perm[i] = order[i]
+			copy(out.Row(i), z.Row(order[i]))
+		} else {
+			s.perm[i] = -1
+		}
+	}
+	return out
+}
+
+func (s *sortPool) backward(grad *tensor.Matrix) *tensor.Matrix {
+	dz := tensor.New(s.nIn, s.cols)
+	for i := 0; i < s.k; i++ {
+		if src := s.perm[i]; src >= 0 {
+			copy(dz.Row(src), grad.Row(i))
+		}
+	}
+	return dz
+}
+
+// DGCNN is the end-to-end graph classifier of figure 6: graph conv stack
+// with concatenated channels, SortPooling, Conv1D/MaxPool/Conv1D, a dense
+// penultimate layer, and a classification head. PenultForward exposes the
+// fusion-facing vector the multi-view model consumes.
+type DGCNN struct {
+	Cfg Config
+
+	convs []*graphConv
+	pool  *sortPool
+	conv1 *nn.Conv1D
+	pool1 *nn.MaxPool1D
+	conv2 *nn.Conv1D
+	dense *nn.Dense
+	act   *nn.Tanh
+	head  *nn.Dense
+
+	flat1 *nn.Flatten
+	flat2 *nn.Flatten
+
+	// caches for backward
+	convOuts []*tensor.Matrix
+	totalCh  int
+}
+
+// NewDGCNN builds a DGCNN from cfg.
+func NewDGCNN(cfg Config, rng *rand.Rand) *DGCNN {
+	d := &DGCNN{Cfg: cfg, pool: &sortPool{k: cfg.SortK}}
+	in := cfg.InputDim
+	total := 0
+	for i, ch := range cfg.ConvChannels {
+		d.convs = append(d.convs, newGraphConv(name(cfg.Prefix+"gc", i), in, ch, rng))
+		in = ch
+		total += ch
+	}
+	d.totalCh = total
+	d.conv1 = nn.NewConv1D(cfg.Prefix+"conv1", 1, cfg.Conv1Filters, total, total, rng)
+	d.pool1 = nn.NewMaxPool1D(2, 2)
+	kernel2 := 5
+	if cfg.SortK/2 < kernel2 {
+		kernel2 = cfg.SortK / 2
+		if kernel2 < 1 {
+			kernel2 = 1
+		}
+	}
+	d.conv2 = nn.NewConv1D(cfg.Prefix+"conv2", cfg.Conv1Filters, cfg.Conv2Filters, kernel2, 1, rng)
+	conv2Out := (cfg.SortK/2-kernel2)/1 + 1
+	d.dense = nn.NewDense(cfg.Prefix+"dense", cfg.Conv2Filters*conv2Out, cfg.DenseDim, rng)
+	// Tanh keeps the penultimate vector bounded so the multi-view fusion
+	// tanh (eq. 5) cannot saturate on large activations.
+	d.act = &nn.Tanh{}
+	d.head = nn.NewDense(cfg.Prefix+"head", cfg.DenseDim, cfg.NumClasses, rng)
+	d.flat1 = &nn.Flatten{}
+	d.flat2 = &nn.Flatten{}
+	return d
+}
+
+func name(prefix string, i int) string {
+	return prefix + string(rune('0'+i))
+}
+
+// Params returns every trainable parameter.
+func (d *DGCNN) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, c := range d.convs {
+		ps = append(ps, c.w)
+	}
+	ps = append(ps, d.conv1.Params()...)
+	ps = append(ps, d.conv2.Params()...)
+	ps = append(ps, d.dense.Params()...)
+	ps = append(ps, d.head.Params()...)
+	return ps
+}
+
+// forwardConvs runs the graph convolution stack and returns the
+// channel-concatenated node representations (N x totalCh).
+func (d *DGCNN) forwardConvs(g *EncodedGraph) *tensor.Matrix {
+	h := g.X
+	d.convOuts = d.convOuts[:0]
+	for _, c := range d.convs {
+		h = c.forward(g, h)
+		d.convOuts = append(d.convOuts, h)
+	}
+	cat := d.convOuts[0]
+	for _, z := range d.convOuts[1:] {
+		cat = tensor.Concat(cat, z)
+	}
+	return cat
+}
+
+// backwardConvs backpropagates a gradient on the concatenated conv
+// outputs through the graph convolution stack, threading the skip
+// gradients between layers.
+func (d *DGCNN) backwardConvs(g *tensor.Matrix) {
+	offsets := make([]int, len(d.convs)+1)
+	for i, c := range d.convs {
+		offsets[i+1] = offsets[i] + c.w.Value.Cols
+	}
+	var dH *tensor.Matrix
+	for i := len(d.convs) - 1; i >= 0; i-- {
+		lo, hi := offsets[i], offsets[i+1]
+		dz := tensor.New(g.Rows, hi-lo)
+		for r := 0; r < g.Rows; r++ {
+			copy(dz.Row(r), g.Row(r)[lo:hi])
+		}
+		if dH != nil {
+			dz.AddInPlace(dH)
+		}
+		dH = d.convs[i].backward(dz)
+	}
+}
+
+// PenultForward runs the network up to the penultimate dense layer and
+// returns the 1 x DenseDim fusion vector.
+func (d *DGCNN) PenultForward(g *EncodedGraph) *tensor.Matrix {
+	cat := d.forwardConvs(g)
+	pooled := d.pool.forward(cat)               // k x C
+	row := d.flat1.Forward(pooled)              // 1 x k*C
+	c1 := d.conv1.Forward(row)                  // F1 x k
+	p1 := d.pool1.Forward(c1)                   // F1 x k/2
+	c2 := d.conv2.Forward(p1)                   // F2 x L2
+	flat := d.flat2.Forward(c2)                 // 1 x F2*L2
+	return d.act.Forward(d.dense.Forward(flat)) // 1 x DenseDim
+}
+
+// Forward returns classification logits for the graph.
+func (d *DGCNN) Forward(g *EncodedGraph) *tensor.Matrix {
+	return d.head.Forward(d.PenultForward(g))
+}
+
+// BackwardFromPenult backpropagates a gradient on the penultimate vector
+// through the whole graph stack, accumulating parameter gradients.
+func (d *DGCNN) BackwardFromPenult(dPenult *tensor.Matrix) {
+	g := d.dense.Backward(d.act.Backward(dPenult))
+	g = d.flat2.Backward(g)
+	g = d.conv2.Backward(g)
+	g = d.pool1.Backward(g)
+	g = d.conv1.Backward(g)
+	g = d.flat1.Backward(g)
+	g = d.pool.backward(g)
+	d.backwardConvs(g)
+}
+
+// Backward backpropagates a gradient on the logits.
+func (d *DGCNN) Backward(dLogits *tensor.Matrix) {
+	d.BackwardFromPenult(d.head.Backward(dLogits))
+}

@@ -1,0 +1,111 @@
+// Package gnn implements the paper's models: the Deep Graph Convolutional
+// Neural Network (DGCNN, Zhang et al. 2018) used by each view — graph
+// convolution stack, SortPooling, 1-D convolutions, dense head — and the
+// multi-view fusion model (eq. 5) that combines the node-feature view and
+// the structural-pattern view for parallelism classification.
+package gnn
+
+import (
+	"fmt"
+
+	"mvpar/internal/graph"
+	"mvpar/internal/tensor"
+)
+
+// weightedEdge is one entry of a normalized sparse adjacency row.
+type weightedEdge struct {
+	to int
+	w  float64
+}
+
+// EncodedGraph is a graph prepared for message passing: the random-walk
+// normalized adjacency Â = D⁻¹(A + I) over the undirected structure, with
+// its transpose for backpropagation, plus the node feature matrix.
+type EncodedGraph struct {
+	N    int
+	X    *tensor.Matrix // N x F node features
+	adj  [][]weightedEdge
+	adjT [][]weightedEdge
+}
+
+// WithFeatures returns a shallow copy of the encoded graph that shares
+// the adjacency but carries different node features (used to derive the
+// static-only node view without re-encoding the topology).
+func (g *EncodedGraph) WithFeatures(x *tensor.Matrix) *EncodedGraph {
+	if x.Rows != g.N {
+		panic(fmt.Sprintf("gnn: WithFeatures rows %d != nodes %d", x.Rows, g.N))
+	}
+	return &EncodedGraph{N: g.N, X: x, adj: g.adj, adjT: g.adjT}
+}
+
+// Encode builds an EncodedGraph from a directed graph and node features.
+// Edges are symmetrized (message passing ignores dependence direction,
+// matching the DGCNN's treatment of arbitrary graphs) and self-loops are
+// added before normalization.
+func Encode(g *graph.Directed, x *tensor.Matrix) *EncodedGraph {
+	n := g.NumNodes()
+	if x.Rows != n {
+		panic(fmt.Sprintf("gnn: Encode features rows %d != nodes %d", x.Rows, n))
+	}
+	neighbors := make([]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		neighbors[v] = map[int]bool{v: true} // self loop
+	}
+	for _, e := range g.Edges() {
+		neighbors[e.From][e.To] = true
+		neighbors[e.To][e.From] = true
+	}
+	eg := &EncodedGraph{N: n, X: x, adj: make([][]weightedEdge, n), adjT: make([][]weightedEdge, n)}
+	for v := 0; v < n; v++ {
+		deg := len(neighbors[v])
+		w := 1.0 / float64(deg)
+		row := make([]weightedEdge, 0, deg)
+		// Deterministic order for reproducibility.
+		for u := 0; u < n; u++ {
+			if neighbors[v][u] {
+				row = append(row, weightedEdge{to: u, w: w})
+			}
+		}
+		eg.adj[v] = row
+	}
+	for v := 0; v < n; v++ {
+		for _, e := range eg.adj[v] {
+			eg.adjT[e.to] = append(eg.adjT[e.to], weightedEdge{to: v, w: e.w})
+		}
+	}
+	return eg
+}
+
+// AdjacencyEntries returns the number of normalized adjacency entries
+// (symmetrized edges plus self-loops) — a size statistic for exports.
+func (g *EncodedGraph) AdjacencyEntries() int {
+	n := 0
+	for _, row := range g.adj {
+		n += len(row)
+	}
+	return n
+}
+
+// propagate computes Â·H (rows of H aggregated over normalized neighbors).
+func (g *EncodedGraph) propagate(h *tensor.Matrix) *tensor.Matrix {
+	return spmm(g.adj, h)
+}
+
+// propagateT computes Âᵀ·H, needed by the backward pass.
+func (g *EncodedGraph) propagateT(h *tensor.Matrix) *tensor.Matrix {
+	return spmm(g.adjT, h)
+}
+
+func spmm(rows [][]weightedEdge, h *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(len(rows), h.Cols)
+	for v, row := range rows {
+		dst := out.Row(v)
+		for _, e := range row {
+			src := h.Row(e.to)
+			for j, s := range src {
+				dst[j] += e.w * s
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package gnn
+
+import (
+	"math/rand"
+
+	"mvpar/internal/nn"
+	"mvpar/internal/tensor"
+)
+
+// Sample is one classification instance: the same sub-PEG encoded twice —
+// once with node features (inst2vec + dynamic features) and once with
+// structural features (anonymous-walk distributions) — plus its label.
+type Sample struct {
+	Node   *EncodedGraph
+	Struct *EncodedGraph
+	Label  int
+	// Meta carries provenance for evaluation (program name, loop ID, suite).
+	Meta SampleMeta
+}
+
+// SampleMeta identifies where a sample came from.
+type SampleMeta struct {
+	Program string
+	Suite   string
+	App     string
+	LoopID  int
+	Variant int
+}
+
+// MVGNN is the multi-view model: one DGCNN per view, fused per eq. 5 as
+// h = W·tanh([h_n ⊕ h_s]) + b over the views' outputs, followed by a
+// softmax classification loss. Following figure 3 ("takes the
+// distribution output of the two GCNs"), the fusion consumes each view's
+// class-logit output, which keeps the fused head stable while the views
+// are still moving.
+type MVGNN struct {
+	NodeView   *DGCNN
+	StructView *DGCNN
+	fuse       *nn.Tanh
+	out        *nn.Dense
+
+	// predictMode selects the inference head after staged training:
+	// 0 = fused (default), 1 = node head, 2 = struct head. Train picks
+	// the head with the best training accuracy (fused wins ties), so the
+	// multi-view model never regresses below its own views.
+	predictMode int
+}
+
+// NewMVGNN builds the binary multi-view model. nodeDim and structDim are
+// the per-view input feature dimensions.
+func NewMVGNN(nodeDim, structDim int, seed int64) *MVGNN {
+	return NewMVGNNClasses(nodeDim, structDim, 2, seed)
+}
+
+// NewMVGNNClasses builds a multi-view model with an arbitrary number of
+// classes — the parallel-pattern extension classifies
+// sequential/DoALL/reduction with three.
+func NewMVGNNClasses(nodeDim, structDim, classes int, seed int64) *MVGNN {
+	nodeCfg := DefaultConfig(nodeDim)
+	nodeCfg.Prefix = "node."
+	nodeCfg.NumClasses = classes
+	structCfg := DefaultConfig(structDim)
+	structCfg.Prefix = "struct."
+	structCfg.NumClasses = classes
+	// Each view gets its own RNG stream: the node view's initialization is
+	// then bit-identical to a standalone SingleView with the same seed,
+	// which makes "multi-view never loses to single view" checkable.
+	m := &MVGNN{
+		NodeView:   NewDGCNN(nodeCfg, rand.New(rand.NewSource(seed))),
+		StructView: NewDGCNN(structCfg, rand.New(rand.NewSource(seed^0x5DEECE66D))),
+		fuse:       &nn.Tanh{},
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x9E3779B9))
+	m.out = nn.NewDense("mv.out", 2*classes, classes, rng)
+	// Prior: the fused head starts as an exact copy of the node view
+	// (tanh is monotone, so argmax is preserved). Fusion training then
+	// only departs from the stronger view where the structural view adds
+	// consistent evidence.
+	for i := range m.out.W.Value.Data {
+		m.out.W.Value.Data[i] = 0
+	}
+	for c := 0; c < classes; c++ {
+		m.out.W.Value.Set(c, c, 1)
+	}
+	return m
+}
+
+// Params returns all trainable parameters of both views and the fusion.
+func (m *MVGNN) Params() []*nn.Param {
+	ps := append(m.NodeView.Params(), m.StructView.Params()...)
+	return append(ps, m.out.Params()...)
+}
+
+// ForwardAll returns the fused logits plus each view's own head logits
+// (used for deep supervision during training and the figure-8 probes).
+// The internal caches remain valid for BackwardAll.
+func (m *MVGNN) ForwardAll(s Sample) (fused, nodeLogits, structLogits *tensor.Matrix) {
+	hn := m.NodeView.PenultForward(s.Node)
+	hs := m.StructView.PenultForward(s.Struct)
+	nodeLogits = m.NodeView.head.Forward(hn)
+	structLogits = m.StructView.head.Forward(hs)
+	fused = m.out.Forward(m.fuse.Forward(tensor.Concat(nodeLogits, structLogits)))
+	return
+}
+
+// Forward returns the fused logits for one sample.
+func (m *MVGNN) Forward(s Sample) *tensor.Matrix {
+	fused, _, _ := m.ForwardAll(s)
+	return fused
+}
+
+// BackwardAll backpropagates the fused gradient and the two auxiliary
+// per-view gradients after a ForwardAll.
+func (m *MVGNN) BackwardAll(dFused, dNode, dStruct *tensor.Matrix) {
+	g := m.fuse.Backward(m.out.Backward(dFused))
+	gn, gs := tensor.SplitCols(g, m.NodeView.Cfg.NumClasses)
+	gn.AddInPlace(dNode)
+	gs.AddInPlace(dStruct)
+	m.NodeView.BackwardFromPenult(m.NodeView.head.Backward(gn))
+	m.StructView.BackwardFromPenult(m.StructView.head.Backward(gs))
+}
+
+// Backward backpropagates a fused-logits gradient through the fusion and
+// both views, accumulating parameter gradients.
+func (m *MVGNN) Backward(dLogits *tensor.Matrix) {
+	zn := tensor.New(1, m.NodeView.Cfg.NumClasses)
+	zs := tensor.New(1, m.StructView.Cfg.NumClasses)
+	m.BackwardAll(dLogits, zn, zs)
+}
+
+// PredictNodeView classifies using only the node view's own head (the
+// figure-8 node probe of the jointly trained model).
+func (m *MVGNN) PredictNodeView(s Sample) int {
+	return nn.Predict(m.NodeView.Forward(s.Node))[0]
+}
+
+// PredictStructView classifies using only the structural view's own head.
+func (m *MVGNN) PredictStructView(s Sample) int {
+	return nn.Predict(m.StructView.Forward(s.Struct))[0]
+}
+
+// Predict returns the predicted class for one sample using the head
+// selected during training.
+func (m *MVGNN) Predict(s Sample) int {
+	switch m.predictMode {
+	case 1:
+		return m.PredictNodeView(s)
+	case 2:
+		return m.PredictStructView(s)
+	}
+	return nn.Predict(m.Forward(s))[0]
+}
+
+// PredictProba returns P(class=1) for one sample from the selected head.
+func (m *MVGNN) PredictProba(s Sample) float64 {
+	switch m.predictMode {
+	case 1:
+		return nn.Probabilities(m.NodeView.Forward(s.Node)).At(0, 1)
+	case 2:
+		return nn.Probabilities(m.StructView.Forward(s.Struct)).At(0, 1)
+	}
+	return nn.Probabilities(m.Forward(s)).At(0, 1)
+}

@@ -1,0 +1,115 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+
+	"mvpar/internal/nn"
+	"mvpar/internal/tensor"
+)
+
+// This file implements the unsupervised GraphSAGE objective the paper
+// adopts (§III-E, citing Hamilton et al.): node representations from the
+// graph convolution stack are trained so that connected nodes embed
+// close together and random node pairs embed apart,
+//
+//	L = -log σ(z_u · z_v) - Σ_negatives log σ(-z_u · z_n),
+//
+// used here as an optional pretraining phase for each view's conv stack
+// before supervised classification (TrainConfig.PretrainEpochs).
+
+// PretrainStep runs one unsupervised step on a single graph: it samples
+// up to maxPairs edges as positives, one random negative per positive,
+// computes the GraphSAGE loss over the conv-stack node embeddings, and
+// accumulates gradients on the conv weights. It returns the mean loss
+// (zero for graphs with no edges).
+func (d *DGCNN) PretrainStep(g *EncodedGraph, maxPairs int, rng *rand.Rand) float64 {
+	if g.N < 2 {
+		return 0
+	}
+	z := d.forwardConvs(g)
+	dz := tensor.New(z.Rows, z.Cols)
+
+	type pair struct{ u, v int }
+	var pos []pair
+	for u := 0; u < g.N; u++ {
+		for _, e := range g.adj[u] {
+			if e.to != u {
+				pos = append(pos, pair{u, e.to})
+			}
+		}
+	}
+	if len(pos) == 0 {
+		return 0
+	}
+	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	if len(pos) > maxPairs {
+		pos = pos[:maxPairs]
+	}
+
+	total := 0.0
+	count := 0
+	accumulate := func(u, v int, label float64) {
+		zu, zv := z.Row(u), z.Row(v)
+		dot := 0.0
+		for i := range zu {
+			dot += zu[i] * zv[i]
+		}
+		p := 1 / (1 + math.Exp(-dot))
+		if label == 1 {
+			total += -math.Log(math.Max(p, 1e-12))
+		} else {
+			total += -math.Log(math.Max(1-p, 1e-12))
+		}
+		count++
+		gs := p - label // dL/d(dot)
+		du, dv := dz.Row(u), dz.Row(v)
+		for i := range zu {
+			du[i] += gs * zv[i]
+			dv[i] += gs * zu[i]
+		}
+	}
+	for _, pr := range pos {
+		accumulate(pr.u, pr.v, 1)
+		// One uniform negative per positive; resample once on collision.
+		n := rng.Intn(g.N)
+		if n == pr.u || n == pr.v {
+			n = (n + 1) % g.N
+		}
+		accumulate(pr.u, n, 0)
+	}
+	inv := 1 / float64(count)
+	dz.ScaleInPlace(inv)
+	d.backwardConvs(dz)
+	return total * inv
+}
+
+// convParams returns the conv-stack weights only (what pretraining tunes).
+func (d *DGCNN) convParams() []*nn.Param {
+	var ps []*nn.Param
+	for _, c := range d.convs {
+		ps = append(ps, c.w)
+	}
+	return ps
+}
+
+// Pretrain runs the unsupervised objective for the given number of epochs
+// over the sample graphs and returns the per-epoch mean loss.
+func (d *DGCNN) Pretrain(graphs []*EncodedGraph, epochs int, lr float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	opt := nn.NewAdam(lr)
+	params := d.convParams()
+	var losses []float64
+	order := rng.Perm(len(graphs))
+	for epoch := 0; epoch < epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		total := 0.0
+		for _, i := range order {
+			total += d.PretrainStep(graphs[i], 32, rng)
+			nn.ClipGrads(params, 5)
+			opt.Step(params)
+		}
+		losses = append(losses, total/float64(max(1, len(graphs))))
+	}
+	return losses
+}

@@ -1,0 +1,274 @@
+package gnn
+
+import (
+	"math/rand"
+
+	"mvpar/internal/nn"
+)
+
+// TrainConfig controls supervised training of the graph models.
+type TrainConfig struct {
+	Epochs      int
+	LR          float64
+	Temperature float64 // softmax temperature (the paper trains at 0.5)
+	ClipNorm    float64
+	BatchSize   int     // gradient-accumulation batch (paper uses 32); 0 = 1
+	AuxWeight   float64 // deep-supervision weight on each view's own head (MV-GNN only)
+	// PretrainEpochs, when positive, runs the unsupervised GraphSAGE
+	// objective (§III-E) on each view's conv stack before supervised
+	// training.
+	PretrainEpochs int
+	Seed           int64
+}
+
+// DefaultTrainConfig is sized so the built-in experiments train in
+// seconds while preserving the paper's loss (softmax at temperature 0.5).
+var DefaultTrainConfig = TrainConfig{
+	Epochs:      30,
+	LR:          0.003,
+	Temperature: 0.5,
+	ClipNorm:    5,
+	BatchSize:   8,
+	AuxWeight:   0.5,
+	Seed:        1,
+}
+
+// EpochStats records one epoch of training for figure-7 style curves.
+type EpochStats struct {
+	Epoch int
+	Loss  float64
+	Acc   float64
+}
+
+// classifier abstracts MVGNN and single-view DGCNN training. trainStep
+// runs forward, loss and backward for one sample and returns the loss and
+// the fused prediction.
+type classifier interface {
+	trainStep(s Sample, loss *nn.SoftmaxCrossEntropy, aux float64) (float64, int)
+	params() []*nn.Param
+	// clip applies gradient clipping at batch boundaries; groups that
+	// train independently (the two views) clip independently so neither
+	// starves the other of its gradient budget.
+	clip(norm float64)
+}
+
+// SingleView wraps one DGCNN over either the node or the structural
+// encoding of each sample — the "Static GNN" baseline and the per-view
+// probes of figure 8.
+type SingleView struct {
+	Net       *DGCNN
+	UseStruct bool
+}
+
+// NewSingleView builds a single-view classifier.
+func NewSingleView(inputDim int, useStruct bool, seed int64) *SingleView {
+	rng := rand.New(rand.NewSource(seed))
+	return &SingleView{Net: NewDGCNN(DefaultConfig(inputDim), rng), UseStruct: useStruct}
+}
+
+func (v *SingleView) pick(s Sample) *EncodedGraph {
+	if v.UseStruct {
+		return s.Struct
+	}
+	return s.Node
+}
+
+func (v *SingleView) trainStep(s Sample, loss *nn.SoftmaxCrossEntropy, aux float64) (float64, int) {
+	logits := v.Net.Forward(v.pick(s))
+	l, grad := loss.Loss(logits, []int{s.Label})
+	v.Net.Backward(grad)
+	return l, nn.Predict(logits)[0]
+}
+
+func (v *SingleView) params() []*nn.Param { return v.Net.Params() }
+
+func (v *SingleView) clip(norm float64) { nn.ClipGrads(v.Net.Params(), norm) }
+
+// Predict returns the predicted class for one sample.
+func (v *SingleView) Predict(s Sample) int {
+	return nn.Predict(v.Net.Forward(v.pick(s)))[0]
+}
+
+// Train runs supervised training of the multi-view model and returns the
+// per-epoch curve (figure 7). hook, if non-nil, observes each epoch.
+//
+// Training is staged, the standard schedule for late-fusion multi-view
+// models: first both views learn with their own classification heads
+// (deep supervision), then the view bodies are frozen and the fusion head
+// is fitted on their outputs — so the fused model starts from the best
+// single view and can only add structural evidence on top.
+func (m *MVGNN) Train(samples []Sample, cfg TrainConfig, hook func(EpochStats)) []EpochStats {
+	if cfg.Epochs <= 0 {
+		cfg = DefaultTrainConfig
+	}
+	// Carve out an internal validation slice (~15%) the optimizer never
+	// sees; it decides which head (fused / node / struct) the model uses
+	// at inference, so the multi-view model cannot silently regress below
+	// its own views on unseen data.
+	fit, sel := samples, samples
+	if len(samples) >= 40 {
+		rng := rand.New(rand.NewSource(cfg.Seed ^ 0x51ED))
+		idx := rng.Perm(len(samples))
+		cut := len(samples) - len(samples)*15/100
+		fit = make([]Sample, 0, cut)
+		sel = make([]Sample, 0, len(samples)-cut)
+		for _, i := range idx[:cut] {
+			fit = append(fit, samples[i])
+		}
+		for _, i := range idx[cut:] {
+			sel = append(sel, samples[i])
+		}
+	}
+	samples = fit
+	if cfg.PretrainEpochs > 0 {
+		nodeGraphs := make([]*EncodedGraph, len(samples))
+		structGraphs := make([]*EncodedGraph, len(samples))
+		for i, s := range samples {
+			nodeGraphs[i] = s.Node
+			structGraphs[i] = s.Struct
+		}
+		m.NodeView.Pretrain(nodeGraphs, cfg.PretrainEpochs, cfg.LR, cfg.Seed)
+		m.StructView.Pretrain(structGraphs, cfg.PretrainEpochs, cfg.LR, cfg.Seed+1)
+	}
+	viewCfg := cfg
+	curve := trainLoop(&viewPhase{m: m}, samples, viewCfg, hook)
+
+	fuseCfg := cfg
+	fuseCfg.Epochs = cfg.Epochs/4 + 1
+	curve = append(curve, trainLoop(&fusePhase{m: m}, samples, fuseCfg, hook)...)
+
+	m.predictMode = 0
+	fusedAcc := Evaluate(func(s Sample) int { f, _, _ := m.ForwardAll(s); return nn.Predict(f)[0] }, sel)
+	nodeAcc := Evaluate(m.PredictNodeView, sel)
+	structAcc := Evaluate(m.PredictStructView, sel)
+	if nodeAcc > fusedAcc && nodeAcc >= structAcc {
+		m.predictMode = 1
+	} else if structAcc > fusedAcc && structAcc > nodeAcc {
+		m.predictMode = 2
+	}
+	return curve
+}
+
+// viewPhase trains both view bodies through their own heads.
+type viewPhase struct{ m *MVGNN }
+
+func (p *viewPhase) trainStep(s Sample, loss *nn.SoftmaxCrossEntropy, aux float64) (float64, int) {
+	m := p.m
+	hn := m.NodeView.PenultForward(s.Node)
+	hs := m.StructView.PenultForward(s.Struct)
+	ln := m.NodeView.head.Forward(hn)
+	ls := m.StructView.head.Forward(hs)
+	label := []int{s.Label}
+	l1, gn := loss.Loss(ln, label)
+	_, gs := loss.Loss(ls, label)
+	m.NodeView.BackwardFromPenult(m.NodeView.head.Backward(gn))
+	m.StructView.BackwardFromPenult(m.StructView.head.Backward(gs))
+	return l1, nn.Predict(ln)[0]
+}
+
+func (p *viewPhase) params() []*nn.Param {
+	return append(p.m.NodeView.Params(), p.m.StructView.Params()...)
+}
+
+func (p *viewPhase) clip(norm float64) {
+	nn.ClipGrads(p.m.NodeView.Params(), norm)
+	nn.ClipGrads(p.m.StructView.Params(), norm)
+}
+
+// fusePhase trains only the fusion head over frozen view outputs.
+type fusePhase struct{ m *MVGNN }
+
+func (p *fusePhase) trainStep(s Sample, loss *nn.SoftmaxCrossEntropy, aux float64) (float64, int) {
+	m := p.m
+	fused, _, _ := m.ForwardAll(s)
+	l, gf := loss.Loss(fused, []int{s.Label})
+	// Backprop stops at the fusion input: view bodies stay frozen.
+	m.fuse.Backward(m.out.Backward(gf))
+	return l, nn.Predict(fused)[0]
+}
+
+func (p *fusePhase) params() []*nn.Param { return p.m.out.Params() }
+
+func (p *fusePhase) clip(norm float64) { nn.ClipGrads(p.m.out.Params(), norm) }
+
+// Train runs supervised training of a single-view model.
+func (v *SingleView) Train(samples []Sample, cfg TrainConfig, hook func(EpochStats)) []EpochStats {
+	return trainLoop(v, samples, cfg, hook)
+}
+
+func trainLoop(c classifier, samples []Sample, cfg TrainConfig, hook func(EpochStats)) []EpochStats {
+	if cfg.Epochs <= 0 {
+		cfg = DefaultTrainConfig
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	loss := &nn.SoftmaxCrossEntropy{Temperature: cfg.Temperature}
+	opt := nn.NewAdam(cfg.LR)
+	params := c.params()
+	order := rng.Perm(len(samples))
+	batch := cfg.BatchSize
+	if batch < 1 {
+		batch = 1
+	}
+
+	var curve []EpochStats
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		totalLoss := 0.0
+		correct := 0
+		pending := 0
+		step := func() {
+			if pending == 0 {
+				return
+			}
+			if cfg.ClipNorm > 0 {
+				c.clip(cfg.ClipNorm)
+			}
+			opt.Step(params)
+			pending = 0
+		}
+		for _, idx := range order {
+			s := samples[idx]
+			l, pred := c.trainStep(s, loss, cfg.AuxWeight)
+			totalLoss += l
+			if pred == s.Label {
+				correct++
+			}
+			pending++
+			if pending >= batch {
+				step()
+			}
+		}
+		step()
+		st := EpochStats{
+			Epoch: epoch,
+			Loss:  totalLoss / float64(max(1, len(samples))),
+			Acc:   float64(correct) / float64(max(1, len(samples))),
+		}
+		curve = append(curve, st)
+		if hook != nil {
+			hook(st)
+		}
+	}
+	return curve
+}
+
+// Evaluate returns accuracy of predict over samples.
+func Evaluate(predict func(Sample) int, samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range samples {
+		if predict(s) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

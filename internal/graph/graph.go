@@ -1,0 +1,344 @@
+// Package graph provides a small directed-multigraph library used by the
+// rest of the system: the program execution graph (PEG), computational-unit
+// graphs, and the random-walk engine behind anonymous-walk embeddings are
+// all built on it.
+//
+// Nodes are dense integer IDs handed out by AddNode; edges carry an integer
+// Kind so a single graph can mix dependence types (RAW/WAR/WAW) with
+// hierarchy edges. The representation favours fast out-neighbour iteration,
+// which dominates both message passing and random-walk sampling.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Edge is a directed edge From -> To with an application-defined Kind.
+type Edge struct {
+	From int
+	To   int
+	Kind int
+}
+
+// Directed is a directed multigraph over dense node IDs 0..N-1.
+// The zero value is an empty graph ready to use.
+type Directed struct {
+	out   [][]Edge
+	in    [][]Edge
+	edges int
+}
+
+// New returns an empty directed graph with n pre-allocated nodes.
+func New(n int) *Directed {
+	g := &Directed{}
+	for i := 0; i < n; i++ {
+		g.AddNode()
+	}
+	return g
+}
+
+// AddNode adds a node and returns its ID.
+func (g *Directed) AddNode() int {
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return len(g.out) - 1
+}
+
+// NumNodes returns the number of nodes.
+func (g *Directed) NumNodes() int { return len(g.out) }
+
+// NumEdges returns the number of edges.
+func (g *Directed) NumEdges() int { return g.edges }
+
+// AddEdge adds a directed edge from -> to with the given kind.
+// It panics if either endpoint is out of range: edges into nonexistent
+// nodes indicate a construction bug upstream, never a recoverable state.
+func (g *Directed) AddEdge(from, to, kind int) {
+	if from < 0 || from >= len(g.out) || to < 0 || to >= len(g.out) {
+		panic(fmt.Sprintf("graph: AddEdge(%d, %d) on graph with %d nodes", from, to, len(g.out)))
+	}
+	e := Edge{From: from, To: to, Kind: kind}
+	g.out[from] = append(g.out[from], e)
+	g.in[to] = append(g.in[to], e)
+	g.edges++
+}
+
+// HasEdge reports whether at least one from -> to edge of any kind exists.
+func (g *Directed) HasEdge(from, to int) bool {
+	for _, e := range g.out[from] {
+		if e.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+// HasEdgeKind reports whether a from -> to edge with the given kind exists.
+func (g *Directed) HasEdgeKind(from, to, kind int) bool {
+	for _, e := range g.out[from] {
+		if e.To == to && e.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Out returns the out-edges of node v. The returned slice is owned by the
+// graph and must not be modified.
+func (g *Directed) Out(v int) []Edge { return g.out[v] }
+
+// In returns the in-edges of node v. The returned slice is owned by the
+// graph and must not be modified.
+func (g *Directed) In(v int) []Edge { return g.in[v] }
+
+// OutDegree returns the number of out-edges of v.
+func (g *Directed) OutDegree(v int) int { return len(g.out[v]) }
+
+// InDegree returns the number of in-edges of v.
+func (g *Directed) InDegree(v int) int { return len(g.in[v]) }
+
+// Successors returns the distinct successor node IDs of v in ascending order.
+func (g *Directed) Successors(v int) []int {
+	return distinctEndpoints(g.out[v], func(e Edge) int { return e.To })
+}
+
+// Predecessors returns the distinct predecessor node IDs of v in ascending order.
+func (g *Directed) Predecessors(v int) []int {
+	return distinctEndpoints(g.in[v], func(e Edge) int { return e.From })
+}
+
+// Neighbors returns the distinct nodes adjacent to v in either direction,
+// in ascending order. Walk sampling treats the graph as undirected so that
+// structural patterns are visible regardless of dependence direction.
+func (g *Directed) Neighbors(v int) []int {
+	seen := map[int]bool{}
+	for _, e := range g.out[v] {
+		seen[e.To] = true
+	}
+	for _, e := range g.in[v] {
+		seen[e.From] = true
+	}
+	res := make([]int, 0, len(seen))
+	for n := range seen {
+		res = append(res, n)
+	}
+	sort.Ints(res)
+	return res
+}
+
+func distinctEndpoints(edges []Edge, pick func(Edge) int) []int {
+	seen := map[int]bool{}
+	for _, e := range edges {
+		seen[pick(e)] = true
+	}
+	res := make([]int, 0, len(seen))
+	for n := range seen {
+		res = append(res, n)
+	}
+	sort.Ints(res)
+	return res
+}
+
+// Edges returns a copy of all edges in insertion order per source node.
+func (g *Directed) Edges() []Edge {
+	res := make([]Edge, 0, g.edges)
+	for _, es := range g.out {
+		res = append(res, es...)
+	}
+	return res
+}
+
+// Subgraph returns the induced subgraph over the given nodes together with
+// the mapping from new IDs to original IDs. Edges with either endpoint
+// outside the node set are dropped.
+func (g *Directed) Subgraph(nodes []int) (*Directed, []int) {
+	oldToNew := make(map[int]int, len(nodes))
+	newToOld := make([]int, 0, len(nodes))
+	for _, v := range nodes {
+		if _, dup := oldToNew[v]; dup {
+			continue
+		}
+		oldToNew[v] = len(newToOld)
+		newToOld = append(newToOld, v)
+	}
+	sub := New(len(newToOld))
+	for _, v := range newToOld {
+		for _, e := range g.out[v] {
+			if to, ok := oldToNew[e.To]; ok {
+				sub.AddEdge(oldToNew[v], to, e.Kind)
+			}
+		}
+	}
+	return sub, newToOld
+}
+
+// BFS runs a breadth-first traversal from start following out-edges and
+// returns the visited nodes in visit order.
+func (g *Directed) BFS(start int) []int {
+	visited := make([]bool, g.NumNodes())
+	queue := []int{start}
+	visited[start] = true
+	var order []int
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, e := range g.out[v] {
+			if !visited[e.To] {
+				visited[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return order
+}
+
+// TopoSort returns a topological order of the graph, or ok=false if the
+// graph contains a cycle (dependence graphs of loops routinely do).
+func (g *Directed) TopoSort() (order []int, ok bool) {
+	n := g.NumNodes()
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		for _, e := range g.out[v] {
+			indeg[e.To]++
+		}
+	}
+	var queue []int
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, e := range g.out[v] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return order, len(order) == n
+}
+
+// LongestPath returns the number of edges on the longest simple path in a
+// DAG, or ok=false if the graph has a cycle. It is used for critical-path
+// length when the dependence subgraph is acyclic.
+func (g *Directed) LongestPath() (length int, ok bool) {
+	order, ok := g.TopoSort()
+	if !ok {
+		return 0, false
+	}
+	dist := make([]int, g.NumNodes())
+	best := 0
+	for _, v := range order {
+		for _, e := range g.out[v] {
+			if dist[v]+1 > dist[e.To] {
+				dist[e.To] = dist[v] + 1
+			}
+			if dist[e.To] > best {
+				best = dist[e.To]
+			}
+		}
+	}
+	return best, true
+}
+
+// SCC computes strongly connected components with Tarjan's algorithm and
+// returns, for each node, its component index; components are numbered in
+// reverse topological order of the condensation.
+func (g *Directed) SCC() (comp []int, ncomp int) {
+	n := g.NumNodes()
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	counter := 0
+
+	// Iterative Tarjan: frames carry (node, next out-edge position).
+	type frame struct{ v, ei int }
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		frames := []frame{{root, 0}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(g.out[f.v]) {
+				w := g.out[f.v][f.ei].To
+				f.ei++
+				if index[w] == -1 {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == v {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+	return comp, ncomp
+}
+
+// DOT renders the graph in Graphviz dot format. label(v) and edgeLabel(e)
+// may be nil, in which case node IDs and edge kinds are used.
+func (g *Directed) DOT(name string, label func(int) string, edgeLabel func(Edge) string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	for v := 0; v < g.NumNodes(); v++ {
+		l := fmt.Sprintf("%d", v)
+		if label != nil {
+			l = label(v)
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", v, l)
+	}
+	for _, e := range g.Edges() {
+		l := fmt.Sprintf("%d", e.Kind)
+		if edgeLabel != nil {
+			l = edgeLabel(e)
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", e.From, e.To, l)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,34 @@
+package graph
+
+import "math/rand"
+
+// RandomWalk samples a walk of exactly length steps (length+1 nodes)
+// starting at start, moving to a uniformly random neighbour at each step.
+// The graph is treated as undirected so that structural patterns are seen
+// irrespective of dependence direction, matching the anonymous-walk
+// literature. If a node has no neighbours the walk stays in place, so the
+// returned slice always has length+1 entries.
+func (g *Directed) RandomWalk(start, length int, rng *rand.Rand) []int {
+	walk := make([]int, 0, length+1)
+	walk = append(walk, start)
+	cur := start
+	for i := 0; i < length; i++ {
+		nbrs := g.Neighbors(cur)
+		if len(nbrs) == 0 {
+			walk = append(walk, cur)
+			continue
+		}
+		cur = nbrs[rng.Intn(len(nbrs))]
+		walk = append(walk, cur)
+	}
+	return walk
+}
+
+// RandomWalks samples count walks of the given length from start.
+func (g *Directed) RandomWalks(start, length, count int, rng *rand.Rand) [][]int {
+	walks := make([][]int, count)
+	for i := range walks {
+		walks[i] = g.RandomWalk(start, length, rng)
+	}
+	return walks
+}

@@ -1,0 +1,64 @@
+package ir
+
+import "math"
+
+// EvalArith evaluates a pure arithmetic/comparison/logic opcode on float64
+// operands. Integer semantics (truncating division, modulo) apply when the
+// instruction's Float flag is false. The interpreter and the constant
+// folder share this single definition so transforms cannot drift from
+// runtime behaviour.
+func EvalArith(op Op, isFloat bool, a, b float64) float64 {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpDiv:
+		if !isFloat {
+			if b == 0 {
+				return 0
+			}
+			return math.Trunc(a / b)
+		}
+		return a / b
+	case OpMod:
+		ib := int64(b)
+		if ib == 0 {
+			return 0
+		}
+		return float64(int64(a) % ib)
+	case OpNeg:
+		return -a
+	case OpNot:
+		if a == 0 {
+			return 1
+		}
+		return 0
+	case OpCmpLT:
+		return b2f(a < b)
+	case OpCmpLE:
+		return b2f(a <= b)
+	case OpCmpGT:
+		return b2f(a > b)
+	case OpCmpGE:
+		return b2f(a >= b)
+	case OpCmpEQ:
+		return b2f(a == b)
+	case OpCmpNE:
+		return b2f(a != b)
+	case OpAnd:
+		return b2f(a != 0 && b != 0)
+	case OpOr:
+		return b2f(a != 0 || b != 0)
+	}
+	return 0
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,73 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// InstrString renders one instruction in an LLVM-flavoured textual form.
+// The inst2vec canonicalizer builds its statement tokens from this.
+func InstrString(in Instr) string {
+	ty := "i64"
+	if in.Float {
+		ty = "double"
+	}
+	switch in.Op {
+	case OpConst:
+		if in.Float {
+			return fmt.Sprintf("r%d = const %s %s", in.Dst, ty, strconv.FormatFloat(in.KF, 'g', -1, 64))
+		}
+		return fmt.Sprintf("r%d = const %s %d", in.Dst, ty, in.KI)
+	case OpLoad:
+		if in.Idx >= 0 {
+			return fmt.Sprintf("r%d = load %s %s[r%d]", in.Dst, ty, in.Var, in.Idx)
+		}
+		return fmt.Sprintf("r%d = load %s %s", in.Dst, ty, in.Var)
+	case OpStore:
+		if in.Idx >= 0 {
+			return fmt.Sprintf("store %s %s[r%d], r%d", ty, in.Var, in.Idx, in.A)
+		}
+		return fmt.Sprintf("store %s %s, r%d", ty, in.Var, in.A)
+	case OpBr:
+		return fmt.Sprintf("br %d", in.Target)
+	case OpCBr:
+		return fmt.Sprintf("cbr r%d, %d, %d", in.A, in.Target, in.Else)
+	case OpCall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			if a < 0 {
+				args[i] = "&" + in.ArgVars[i]
+			} else {
+				args[i] = fmt.Sprintf("r%d", a)
+			}
+		}
+		return fmt.Sprintf("r%d = call %s(%s)", in.Dst, in.Callee, strings.Join(args, ", "))
+	case OpRet:
+		if in.A >= 0 {
+			return fmt.Sprintf("ret r%d", in.A)
+		}
+		return "ret"
+	case OpLoopBegin, OpLoopNext, OpLoopEnd:
+		return fmt.Sprintf("%s %d", in.Op, in.LoopID)
+	case OpNeg, OpNot:
+		return fmt.Sprintf("r%d = %s %s r%d", in.Dst, in.Op, ty, in.A)
+	default:
+		return fmt.Sprintf("r%d = %s %s r%d, r%d", in.Dst, in.Op, ty, in.A, in.B)
+	}
+}
+
+// Dump renders a whole program for debugging.
+func Dump(p *Program) string {
+	var b strings.Builder
+	for _, g := range p.Globals {
+		fmt.Fprintf(&b, "global %s %s %v\n", g.Type, g.Name, g.Dims)
+	}
+	for _, f := range p.Funcs {
+		fmt.Fprintf(&b, "\nfunc %s(%d params, %d regs):\n", f.Name, len(f.Params), f.NumRegs)
+		for i, in := range f.Code {
+			fmt.Fprintf(&b, "%4d: %s\n", i, InstrString(in))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,265 @@
+package minic
+
+import "fmt"
+
+// Check type-checks a program: every referenced variable must be declared,
+// index counts must match array ranks, array indices and % operands must be
+// int, call arity must match, and non-void functions must be called with
+// declared names. It returns the first error found, or nil.
+func Check(p *Program) error {
+	c := &checker{prog: p, funcs: map[string]*FuncDecl{}}
+	for _, g := range p.Globals {
+		if err := c.declare(&c.globals, g); err != nil {
+			return err
+		}
+	}
+	for _, f := range p.Funcs {
+		if _, dup := c.funcs[f.Name]; dup {
+			return fmt.Errorf("minic: line %d: duplicate function %q", f.Line, f.Name)
+		}
+		c.funcs[f.Name] = f
+	}
+	for _, f := range p.Funcs {
+		if err := c.checkFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type scope struct {
+	vars   map[string]*VarDecl
+	parent *scope
+}
+
+func (s *scope) lookup(name string) *VarDecl {
+	for cur := s; cur != nil; cur = cur.parent {
+		if v, ok := cur.vars[name]; ok {
+			return v
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	prog    *Program
+	globals scope
+	funcs   map[string]*FuncDecl
+	curFn   *FuncDecl
+}
+
+func (c *checker) declare(s *scope, v *VarDecl) error {
+	if s.vars == nil {
+		s.vars = map[string]*VarDecl{}
+	}
+	if _, dup := s.vars[v.Name]; dup {
+		return fmt.Errorf("minic: line %d: duplicate declaration of %q", v.Line, v.Name)
+	}
+	if v.Type == TypeVoid {
+		return fmt.Errorf("minic: line %d: variable %q cannot be void", v.Line, v.Name)
+	}
+	s.vars[v.Name] = v
+	return nil
+}
+
+func (c *checker) checkFunc(f *FuncDecl) error {
+	c.curFn = f
+	sc := &scope{parent: &c.globals}
+	for _, p := range f.Params {
+		if err := c.declare(sc, p); err != nil {
+			return err
+		}
+	}
+	return c.checkBlock(f.Body, sc)
+}
+
+func (c *checker) checkBlock(b *BlockStmt, parent *scope) error {
+	sc := &scope{parent: parent}
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s, sc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt, sc *scope) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return c.checkBlock(st, sc)
+	case *DeclStmt:
+		if st.Decl.Init != nil {
+			if _, err := c.checkExpr(st.Decl.Init, sc); err != nil {
+				return err
+			}
+		}
+		return c.declare(sc, st.Decl)
+	case *AssignStmt:
+		lt, err := c.checkLValue(st.Target, sc)
+		if err != nil {
+			return err
+		}
+		rt, err := c.checkExpr(st.Value, sc)
+		if err != nil {
+			return err
+		}
+		if st.Op == "%=" && (lt != TypeInt || rt != TypeInt) {
+			return fmt.Errorf("minic: line %d: %%= requires int operands", st.Line)
+		}
+		return nil
+	case *ForStmt:
+		inner := &scope{parent: sc}
+		if st.Init != nil {
+			if err := c.checkStmt(st.Init, inner); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if _, err := c.checkExpr(st.Cond, inner); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := c.checkStmt(st.Post, inner); err != nil {
+				return err
+			}
+		}
+		return c.checkBlock(st.Body, inner)
+	case *WhileStmt:
+		if _, err := c.checkExpr(st.Cond, sc); err != nil {
+			return err
+		}
+		return c.checkBlock(st.Body, sc)
+	case *IfStmt:
+		if _, err := c.checkExpr(st.Cond, sc); err != nil {
+			return err
+		}
+		if err := c.checkBlock(st.Then, sc); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkBlock(st.Else, sc)
+		}
+		return nil
+	case *ReturnStmt:
+		if st.Value == nil {
+			if c.curFn.Ret != TypeVoid {
+				return fmt.Errorf("minic: line %d: missing return value in %q", st.Line, c.curFn.Name)
+			}
+			return nil
+		}
+		if c.curFn.Ret == TypeVoid {
+			return fmt.Errorf("minic: line %d: void function %q returns a value", st.Line, c.curFn.Name)
+		}
+		_, err := c.checkExpr(st.Value, sc)
+		return err
+	case *ExprStmt:
+		_, err := c.checkExpr(st.X, sc)
+		return err
+	}
+	return fmt.Errorf("minic: unknown statement %T", s)
+}
+
+func (c *checker) checkLValue(lv *LValue, sc *scope) (Type, error) {
+	decl := sc.lookup(lv.Name)
+	if decl == nil {
+		return TypeVoid, fmt.Errorf("minic: line %d: undeclared variable %q", lv.Line, lv.Name)
+	}
+	if len(lv.Indices) != len(decl.Dims) {
+		return TypeVoid, fmt.Errorf("minic: line %d: %q has rank %d, indexed with %d subscripts",
+			lv.Line, lv.Name, len(decl.Dims), len(lv.Indices))
+	}
+	for _, idx := range lv.Indices {
+		it, err := c.checkExpr(idx, sc)
+		if err != nil {
+			return TypeVoid, err
+		}
+		if it != TypeInt {
+			return TypeVoid, fmt.Errorf("minic: line %d: array index must be int", lv.Line)
+		}
+	}
+	return decl.Type, nil
+}
+
+func (c *checker) checkExpr(e Expr, sc *scope) (Type, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return TypeInt, nil
+	case *FloatLit:
+		return TypeFloat, nil
+	case *VarRef:
+		lv := &LValue{Name: x.Name, Indices: x.Indices, Line: x.Line}
+		return c.checkLValue(lv, sc)
+	case *UnaryExpr:
+		t, err := c.checkExpr(x.X, sc)
+		if err != nil {
+			return TypeVoid, err
+		}
+		if x.Op == "!" {
+			return TypeInt, nil
+		}
+		return t, nil
+	case *BinaryExpr:
+		xt, err := c.checkExpr(x.X, sc)
+		if err != nil {
+			return TypeVoid, err
+		}
+		yt, err := c.checkExpr(x.Y, sc)
+		if err != nil {
+			return TypeVoid, err
+		}
+		switch x.Op {
+		case "%":
+			if xt != TypeInt || yt != TypeInt {
+				return TypeVoid, fmt.Errorf("minic: line %d: %% requires int operands", x.Line)
+			}
+			return TypeInt, nil
+		case "<", "<=", ">", ">=", "==", "!=", "&&", "||":
+			return TypeInt, nil
+		default:
+			if xt == TypeFloat || yt == TypeFloat {
+				return TypeFloat, nil
+			}
+			return TypeInt, nil
+		}
+	case *CallExpr:
+		fn, ok := c.funcs[x.Name]
+		if !ok {
+			return TypeVoid, fmt.Errorf("minic: line %d: call to undefined function %q", x.Line, x.Name)
+		}
+		if len(x.Args) != len(fn.Params) {
+			return TypeVoid, fmt.Errorf("minic: line %d: %q takes %d args, got %d",
+				x.Line, x.Name, len(fn.Params), len(x.Args))
+		}
+		for i, a := range x.Args {
+			param := fn.Params[i]
+			if param.IsArray() {
+				// Arrays are passed by name (by reference); the bare name
+				// is not an expression of its own, so check it directly.
+				ref, ok := a.(*VarRef)
+				if !ok || len(ref.Indices) != 0 {
+					return TypeVoid, fmt.Errorf("minic: line %d: argument %d of %q must be an array name",
+						x.Line, i, x.Name)
+				}
+				arr := sc.lookup(ref.Name)
+				if arr == nil {
+					return TypeVoid, fmt.Errorf("minic: line %d: undeclared array %q", x.Line, ref.Name)
+				}
+				if len(arr.Dims) != len(param.Dims) {
+					return TypeVoid, fmt.Errorf("minic: line %d: argument %d of %q: array rank mismatch",
+						x.Line, i, x.Name)
+				}
+				continue
+			}
+			at, err := c.checkExpr(a, sc)
+			if err != nil {
+				return TypeVoid, err
+			}
+			if at == TypeVoid {
+				return TypeVoid, fmt.Errorf("minic: line %d: void argument to %q", x.Line, x.Name)
+			}
+		}
+		return fn.Ret, nil
+	}
+	return TypeVoid, fmt.Errorf("minic: unknown expression %T", e)
+}

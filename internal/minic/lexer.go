@@ -1,0 +1,133 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer tokenizes MiniC source.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src, line: 1} }
+
+// Lex returns all tokens including a trailing EOF, or an error for an
+// illegal character.
+func Lex(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+// twoCharPuncts are the multi-character operators, longest match first.
+var twoCharPuncts = []string{
+	"<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "++", "--",
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Line: l.line}, nil
+	}
+	c := l.src[l.pos]
+	start := l.pos
+	switch {
+	case isLetter(c):
+		for l.pos < len(l.src) && (isLetter(l.src[l.pos]) || isDigit(l.src[l.pos])) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		kind := TokIdent
+		if isKeyword(text) {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Line: l.line}, nil
+	case isDigit(c):
+		isFloat := false
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+		if l.pos < len(l.src) && l.src[l.pos] == '.' {
+			isFloat = true
+			l.pos++
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+		}
+		if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+			isFloat = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+		}
+		kind := TokIntLit
+		if isFloat {
+			kind = TokFloatLit
+		}
+		return Token{Kind: kind, Text: l.src[start:l.pos], Line: l.line}, nil
+	default:
+		for _, p := range twoCharPuncts {
+			if strings.HasPrefix(l.src[l.pos:], p) {
+				l.pos += 2
+				return Token{Kind: TokPunct, Text: p, Line: l.line}, nil
+			}
+		}
+		if strings.ContainsRune("+-*/%<>=!(){}[];,&|", rune(c)) {
+			l.pos++
+			return Token{Kind: TokPunct, Text: string(c), Line: l.line}, nil
+		}
+		return Token{}, fmt.Errorf("minic: line %d: illegal character %q", l.line, c)
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			l.pos += 2
+		default:
+			return
+		}
+	}
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

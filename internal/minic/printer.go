@@ -1,0 +1,165 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders a program back to MiniC source. Parsing the output yields
+// an AST equivalent to the input (modulo line numbers), a property the
+// tests verify; the dataset-augmentation code relies on it to materialize
+// transformed programs.
+func Print(p *Program) string {
+	var b strings.Builder
+	for _, g := range p.Globals {
+		printVarDecl(&b, g, "")
+		b.WriteString(";\n")
+	}
+	if len(p.Globals) > 0 {
+		b.WriteString("\n")
+	}
+	for i, f := range p.Funcs {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		printFunc(&b, f)
+	}
+	return b.String()
+}
+
+func printVarDecl(b *strings.Builder, v *VarDecl, indent string) {
+	fmt.Fprintf(b, "%s%s %s", indent, v.Type, v.Name)
+	for _, d := range v.Dims {
+		fmt.Fprintf(b, "[%d]", d)
+	}
+	if v.Init != nil {
+		b.WriteString(" = ")
+		b.WriteString(ExprString(v.Init))
+	}
+}
+
+func printFunc(b *strings.Builder, f *FuncDecl) {
+	fmt.Fprintf(b, "%s %s(", f.Ret, f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s %s", p.Type, p.Name)
+		for _, d := range p.Dims {
+			fmt.Fprintf(b, "[%d]", d)
+		}
+	}
+	b.WriteString(") ")
+	printBlock(b, f.Body, "")
+	b.WriteString("\n")
+}
+
+func printBlock(b *strings.Builder, blk *BlockStmt, indent string) {
+	b.WriteString("{\n")
+	inner := indent + "    "
+	for _, s := range blk.Stmts {
+		printStmt(b, s, inner)
+	}
+	b.WriteString(indent + "}")
+}
+
+func printStmt(b *strings.Builder, s Stmt, indent string) {
+	switch st := s.(type) {
+	case *BlockStmt:
+		b.WriteString(indent)
+		printBlock(b, st, indent)
+		b.WriteString("\n")
+	case *DeclStmt:
+		printVarDecl(b, st.Decl, indent)
+		b.WriteString(";\n")
+	case *AssignStmt:
+		b.WriteString(indent)
+		printSimple(b, st)
+		b.WriteString(";\n")
+	case *ForStmt:
+		fmt.Fprintf(b, "%sfor (", indent)
+		switch init := st.Init.(type) {
+		case *DeclStmt:
+			fmt.Fprintf(b, "%s %s = %s", init.Decl.Type, init.Decl.Name, ExprString(init.Decl.Init))
+		case *AssignStmt:
+			printSimple(b, init)
+		}
+		b.WriteString("; ")
+		if st.Cond != nil {
+			b.WriteString(ExprString(st.Cond))
+		}
+		b.WriteString("; ")
+		if post, ok := st.Post.(*AssignStmt); ok {
+			printSimple(b, post)
+		}
+		b.WriteString(") ")
+		printBlock(b, st.Body, indent)
+		b.WriteString("\n")
+	case *WhileStmt:
+		fmt.Fprintf(b, "%swhile (%s) ", indent, ExprString(st.Cond))
+		printBlock(b, st.Body, indent)
+		b.WriteString("\n")
+	case *IfStmt:
+		fmt.Fprintf(b, "%sif (%s) ", indent, ExprString(st.Cond))
+		printBlock(b, st.Then, indent)
+		if st.Else != nil {
+			b.WriteString(" else ")
+			printBlock(b, st.Else, indent)
+		}
+		b.WriteString("\n")
+	case *ReturnStmt:
+		b.WriteString(indent + "return")
+		if st.Value != nil {
+			b.WriteString(" " + ExprString(st.Value))
+		}
+		b.WriteString(";\n")
+	case *ExprStmt:
+		b.WriteString(indent + ExprString(st.X) + ";\n")
+	}
+}
+
+func printSimple(b *strings.Builder, a *AssignStmt) {
+	b.WriteString(lvalueString(a.Target))
+	fmt.Fprintf(b, " %s %s", a.Op, ExprString(a.Value))
+}
+
+func lvalueString(lv *LValue) string {
+	s := lv.Name
+	for _, idx := range lv.Indices {
+		s += "[" + ExprString(idx) + "]"
+	}
+	return s
+}
+
+// ExprString renders an expression with full parenthesization of nested
+// binary operations, so the output re-parses to the same tree.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *IntLit:
+		return strconv.FormatInt(x.Value, 10)
+	case *FloatLit:
+		s := strconv.FormatFloat(x.Value, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case *VarRef:
+		s := x.Name
+		for _, idx := range x.Indices {
+			s += "[" + ExprString(idx) + "]"
+		}
+		return s
+	case *BinaryExpr:
+		return "(" + ExprString(x.X) + " " + x.Op + " " + ExprString(x.Y) + ")"
+	case *UnaryExpr:
+		return "(" + x.Op + ExprString(x.X) + ")"
+	case *CallExpr:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ExprString(a)
+		}
+		return x.Name + "(" + strings.Join(args, ", ") + ")"
+	}
+	return "?"
+}

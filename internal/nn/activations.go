@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"math"
+
+	"mvpar/internal/tensor"
+)
+
+// Tanh is the elementwise hyperbolic-tangent activation; it is the
+// nonlinearity the paper uses both inside the DGCNN graph convolutions and
+// in the multi-view fusion layer (eq. 5).
+type Tanh struct {
+	lastY *tensor.Matrix
+}
+
+// Forward applies tanh elementwise.
+func (t *Tanh) Forward(x *tensor.Matrix) *tensor.Matrix {
+	t.lastY = tensor.Apply(x, math.Tanh)
+	return t.lastY
+}
+
+// Backward multiplies the incoming gradient by 1 - tanh².
+func (t *Tanh) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(grad.Rows, grad.Cols)
+	for i := range grad.Data {
+		y := t.lastY.Data[i]
+		out.Data[i] = grad.Data[i] * (1 - y*y)
+	}
+	return out
+}
+
+// Params returns nil: Tanh has no trainable state.
+func (t *Tanh) Params() []*Param { return nil }
+
+// ReLU is the elementwise rectified linear activation (used by the NCC
+// baseline's dense layers).
+type ReLU struct {
+	lastX *tensor.Matrix
+}
+
+// Forward applies max(0, x) elementwise.
+func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
+	r.lastX = x
+	return tensor.Apply(x, func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	})
+}
+
+// Backward zeroes the gradient where the input was non-positive.
+func (r *ReLU) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(grad.Rows, grad.Cols)
+	for i := range grad.Data {
+		if r.lastX.Data[i] > 0 {
+			out.Data[i] = grad.Data[i]
+		}
+	}
+	return out
+}
+
+// Params returns nil: ReLU has no trainable state.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Sigmoid is the elementwise logistic activation (used inside LSTM gates
+// and available as a generic layer).
+type Sigmoid struct {
+	lastY *tensor.Matrix
+}
+
+// Forward applies 1/(1+e^-x) elementwise.
+func (s *Sigmoid) Forward(x *tensor.Matrix) *tensor.Matrix {
+	s.lastY = tensor.Apply(x, sigmoid)
+	return s.lastY
+}
+
+// Backward multiplies the incoming gradient by y(1-y).
+func (s *Sigmoid) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(grad.Rows, grad.Cols)
+	for i := range grad.Data {
+		y := s.lastY.Data[i]
+		out.Data[i] = grad.Data[i] * y * (1 - y)
+	}
+	return out
+}
+
+// Params returns nil: Sigmoid has no trainable state.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }

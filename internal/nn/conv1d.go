@@ -1,0 +1,246 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mvpar/internal/tensor"
+)
+
+// Conv1D is a one-dimensional convolution over a channels x length input,
+// producing outChannels x outLength. In the DGCNN, the first Conv1D has
+// kernel size and stride equal to the per-node channel count, so each
+// output position summarizes one of the k sort-pooled nodes.
+type Conv1D struct {
+	InChannels  int
+	OutChannels int
+	KernelSize  int
+	Stride      int
+
+	// W has shape outChannels x (inChannels*kernelSize); B is 1 x outChannels.
+	W, B *Param
+
+	lastX *tensor.Matrix
+}
+
+// NewConv1D creates a Conv1D layer with Xavier-initialized kernels.
+func NewConv1D(name string, inCh, outCh, kernel, stride int, rng *rand.Rand) *Conv1D {
+	if stride <= 0 || kernel <= 0 {
+		panic(fmt.Sprintf("nn: NewConv1D kernel=%d stride=%d", kernel, stride))
+	}
+	return &Conv1D{
+		InChannels:  inCh,
+		OutChannels: outCh,
+		KernelSize:  kernel,
+		Stride:      stride,
+		W:           NewParam(name+".W", tensor.XavierInit(outCh, inCh*kernel, rng)),
+		B:           NewParam(name+".b", tensor.New(1, outCh)),
+	}
+}
+
+// OutLen returns the output length for an input of length l.
+func (c *Conv1D) OutLen(l int) int {
+	if l < c.KernelSize {
+		return 0
+	}
+	return (l-c.KernelSize)/c.Stride + 1
+}
+
+// Forward computes the convolution of an InChannels x L input.
+func (c *Conv1D) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Rows != c.InChannels {
+		panic(fmt.Sprintf("nn: Conv1D expects %d input channels, got %d", c.InChannels, x.Rows))
+	}
+	c.lastX = x
+	outLen := c.OutLen(x.Cols)
+	out := tensor.New(c.OutChannels, outLen)
+	for f := 0; f < c.OutChannels; f++ {
+		w := c.W.Value.Row(f)
+		bias := c.B.Value.Data[f]
+		for t := 0; t < outLen; t++ {
+			start := t * c.Stride
+			sum := bias
+			for ch := 0; ch < c.InChannels; ch++ {
+				xr := x.Row(ch)
+				wOff := ch * c.KernelSize
+				for k := 0; k < c.KernelSize; k++ {
+					sum += w[wOff+k] * xr[start+k]
+				}
+			}
+			out.Set(f, t, sum)
+		}
+	}
+	return out
+}
+
+// Backward accumulates kernel/bias gradients and returns the input gradient.
+func (c *Conv1D) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	x := c.lastX
+	dx := tensor.New(x.Rows, x.Cols)
+	outLen := grad.Cols
+	for f := 0; f < c.OutChannels; f++ {
+		w := c.W.Value.Row(f)
+		dw := c.W.Grad.Row(f)
+		gRow := grad.Row(f)
+		for t := 0; t < outLen; t++ {
+			g := gRow[t]
+			if g == 0 {
+				continue
+			}
+			start := t * c.Stride
+			c.B.Grad.Data[f] += g
+			for ch := 0; ch < c.InChannels; ch++ {
+				xr := x.Row(ch)
+				dxr := dx.Row(ch)
+				wOff := ch * c.KernelSize
+				for k := 0; k < c.KernelSize; k++ {
+					dw[wOff+k] += g * xr[start+k]
+					dxr[start+k] += g * w[wOff+k]
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns the kernel and bias.
+func (c *Conv1D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// MaxPool1D pools a channels x length input down to channels x outLength,
+// taking the max over each window.
+type MaxPool1D struct {
+	KernelSize int
+	Stride     int
+
+	lastX  *tensor.Matrix
+	argmax []int // flattened (channel, outPos) -> input column index
+	outLen int
+}
+
+// NewMaxPool1D creates a max-pooling layer.
+func NewMaxPool1D(kernel, stride int) *MaxPool1D {
+	if stride <= 0 || kernel <= 0 {
+		panic(fmt.Sprintf("nn: NewMaxPool1D kernel=%d stride=%d", kernel, stride))
+	}
+	return &MaxPool1D{KernelSize: kernel, Stride: stride}
+}
+
+// OutLen returns the output length for an input of length l.
+func (p *MaxPool1D) OutLen(l int) int {
+	if l < p.KernelSize {
+		return 0
+	}
+	return (l-p.KernelSize)/p.Stride + 1
+}
+
+// Forward computes window-wise maxima and records argmax positions.
+func (p *MaxPool1D) Forward(x *tensor.Matrix) *tensor.Matrix {
+	p.lastX = x
+	p.outLen = p.OutLen(x.Cols)
+	out := tensor.New(x.Rows, p.outLen)
+	p.argmax = make([]int, x.Rows*p.outLen)
+	for ch := 0; ch < x.Rows; ch++ {
+		xr := x.Row(ch)
+		for t := 0; t < p.outLen; t++ {
+			start := t * p.Stride
+			best := start
+			bv := math.Inf(-1)
+			for k := 0; k < p.KernelSize; k++ {
+				if xr[start+k] > bv {
+					bv = xr[start+k]
+					best = start + k
+				}
+			}
+			out.Set(ch, t, bv)
+			p.argmax[ch*p.outLen+t] = best
+		}
+	}
+	return out
+}
+
+// Backward scatters gradients back to the argmax positions.
+func (p *MaxPool1D) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	dx := tensor.New(p.lastX.Rows, p.lastX.Cols)
+	for ch := 0; ch < grad.Rows; ch++ {
+		for t := 0; t < grad.Cols; t++ {
+			dx.Row(ch)[p.argmax[ch*p.outLen+t]] += grad.At(ch, t)
+		}
+	}
+	return dx
+}
+
+// Params returns nil: pooling has no trainable state.
+func (p *MaxPool1D) Params() []*Param { return nil }
+
+// Flatten reshapes any matrix to a single row (1 x Rows*Cols) so a dense
+// head can follow a convolutional stack.
+type Flatten struct {
+	lastRows, lastCols int
+}
+
+// Forward flattens x to one row.
+func (f *Flatten) Forward(x *tensor.Matrix) *tensor.Matrix {
+	f.lastRows, f.lastCols = x.Rows, x.Cols
+	return tensor.FromSlice(1, x.Rows*x.Cols, x.Data)
+}
+
+// Backward restores the original shape.
+func (f *Flatten) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	return tensor.FromSlice(f.lastRows, f.lastCols, grad.Data)
+}
+
+// Params returns nil: Flatten has no trainable state.
+func (f *Flatten) Params() []*Param { return nil }
+
+// LastRow selects the final row of its input (e.g. the last hidden state of
+// an LSTM sequence) and backpropagates only into that row.
+type LastRow struct {
+	lastRows, lastCols int
+}
+
+// Forward returns the last row as a 1 x Cols matrix.
+func (l *LastRow) Forward(x *tensor.Matrix) *tensor.Matrix {
+	l.lastRows, l.lastCols = x.Rows, x.Cols
+	out := tensor.New(1, x.Cols)
+	copy(out.Data, x.Row(x.Rows-1))
+	return out
+}
+
+// Backward scatters the gradient into the final row.
+func (l *LastRow) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	dx := tensor.New(l.lastRows, l.lastCols)
+	copy(dx.Row(l.lastRows-1), grad.Data)
+	return dx
+}
+
+// Params returns nil: LastRow has no trainable state.
+func (l *LastRow) Params() []*Param { return nil }
+
+// MeanRows averages all rows into a 1 x Cols matrix; used to reduce a
+// variable-length sequence or node set to a fixed-size embedding.
+type MeanRows struct {
+	lastRows, lastCols int
+}
+
+// Forward returns the row mean.
+func (m *MeanRows) Forward(x *tensor.Matrix) *tensor.Matrix {
+	m.lastRows, m.lastCols = x.Rows, x.Cols
+	return tensor.MeanRow(x)
+}
+
+// Backward spreads the gradient uniformly across rows.
+func (m *MeanRows) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	dx := tensor.New(m.lastRows, m.lastCols)
+	inv := 1.0 / float64(m.lastRows)
+	for i := 0; i < m.lastRows; i++ {
+		row := dx.Row(i)
+		for j := range row {
+			row[j] = grad.Data[j] * inv
+		}
+	}
+	return dx
+}
+
+// Params returns nil: MeanRows has no trainable state.
+func (m *MeanRows) Params() []*Param { return nil }

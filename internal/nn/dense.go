@@ -1,0 +1,40 @@
+package nn
+
+import (
+	"math/rand"
+
+	"mvpar/internal/tensor"
+)
+
+// Dense is a fully connected layer: Y = X·W + b, with X of shape
+// batch x in, W of shape in x out, and b broadcast across the batch.
+type Dense struct {
+	W, B *Param
+
+	lastX *tensor.Matrix
+}
+
+// NewDense creates a Dense layer with Xavier-initialized weights.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	return &Dense{
+		W: NewParam(name+".W", tensor.XavierInit(in, out, rng)),
+		B: NewParam(name+".b", tensor.New(1, out)),
+	}
+}
+
+// Forward computes X·W + b.
+func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
+	d.lastX = x
+	return tensor.AddRowVec(tensor.MatMul(x, d.W.Value), d.B.Value)
+}
+
+// Backward accumulates dW = Xᵀ·grad and db = Σrows(grad), and returns
+// dX = grad·Wᵀ.
+func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	d.W.Grad.AddInPlace(tensor.MatMul(tensor.Transpose(d.lastX), grad))
+	d.B.Grad.AddInPlace(tensor.SumRows(grad))
+	return tensor.MatMul(grad, tensor.Transpose(d.W.Value))
+}
+
+// Params returns W and b.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }

@@ -1,0 +1,52 @@
+package nn
+
+import (
+	"math/rand"
+
+	"mvpar/internal/tensor"
+)
+
+// Dropout zeroes each activation with probability P during training and
+// rescales the survivors by 1/(1-P) (inverted dropout), so inference needs
+// no correction. Set Train to false (or P to 0) to make it a pass-through.
+type Dropout struct {
+	P     float64
+	Train bool
+	rng   *rand.Rand
+
+	mask *tensor.Matrix
+}
+
+// NewDropout creates a dropout layer in training mode.
+func NewDropout(p float64, rng *rand.Rand) *Dropout {
+	return &Dropout{P: p, Train: true, rng: rng}
+}
+
+// Forward applies the dropout mask (training) or passes through (eval).
+func (d *Dropout) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if !d.Train || d.P <= 0 {
+		d.mask = nil
+		return x
+	}
+	keep := 1 - d.P
+	d.mask = tensor.New(x.Rows, x.Cols)
+	out := tensor.New(x.Rows, x.Cols)
+	for i := range x.Data {
+		if d.rng.Float64() < keep {
+			d.mask.Data[i] = 1 / keep
+			out.Data[i] = x.Data[i] / keep
+		}
+	}
+	return out
+}
+
+// Backward routes gradients through the same mask used in Forward.
+func (d *Dropout) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if d.mask == nil {
+		return grad
+	}
+	return tensor.Hadamard(grad, d.mask)
+}
+
+// Params returns nil: Dropout has no trainable state.
+func (d *Dropout) Params() []*Param { return nil }

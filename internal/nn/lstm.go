@@ -1,0 +1,139 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"mvpar/internal/tensor"
+)
+
+// LSTM is a single-layer long short-term memory network over a sequence.
+// Forward takes a T x inputDim matrix (one row per time step) and returns
+// the T x hidden matrix of hidden states; Backward performs full
+// backpropagation through time. The NCC baseline stacks two of these.
+//
+// Gate layout in the fused weight matrices is [i | f | g | o].
+type LSTM struct {
+	InputDim int
+	Hidden   int
+
+	Wx *Param // inputDim x 4*hidden
+	Wh *Param // hidden x 4*hidden
+	B  *Param // 1 x 4*hidden
+
+	// Per-step caches for BPTT.
+	xs              *tensor.Matrix
+	hs, cs          []*tensor.Matrix // length T+1, index 0 is the zero state
+	is, fs, gs, os_ []*tensor.Matrix
+}
+
+// NewLSTM creates an LSTM with Xavier-initialized weights and the forget
+// gate bias set to 1, the standard trick for stable early training.
+func NewLSTM(name string, inputDim, hidden int, rng *rand.Rand) *LSTM {
+	l := &LSTM{
+		InputDim: inputDim,
+		Hidden:   hidden,
+		Wx:       NewParam(name+".Wx", tensor.XavierInit(inputDim, 4*hidden, rng)),
+		Wh:       NewParam(name+".Wh", tensor.XavierInit(hidden, 4*hidden, rng)),
+		B:        NewParam(name+".b", tensor.New(1, 4*hidden)),
+	}
+	for j := hidden; j < 2*hidden; j++ {
+		l.B.Value.Data[j] = 1
+	}
+	return l
+}
+
+// Forward runs the sequence and returns all hidden states (T x hidden).
+func (l *LSTM) Forward(xs *tensor.Matrix) *tensor.Matrix {
+	T := xs.Rows
+	h := l.Hidden
+	l.xs = xs
+	l.hs = make([]*tensor.Matrix, T+1)
+	l.cs = make([]*tensor.Matrix, T+1)
+	l.is = make([]*tensor.Matrix, T)
+	l.fs = make([]*tensor.Matrix, T)
+	l.gs = make([]*tensor.Matrix, T)
+	l.os_ = make([]*tensor.Matrix, T)
+	l.hs[0] = tensor.New(1, h)
+	l.cs[0] = tensor.New(1, h)
+
+	out := tensor.New(T, h)
+	for t := 0; t < T; t++ {
+		x := tensor.FromSlice(1, xs.Cols, xs.Row(t))
+		z := tensor.AddRowVec(
+			tensor.Add(tensor.MatMul(x, l.Wx.Value), tensor.MatMul(l.hs[t], l.Wh.Value)),
+			l.B.Value)
+		i := tensor.New(1, h)
+		f := tensor.New(1, h)
+		g := tensor.New(1, h)
+		o := tensor.New(1, h)
+		c := tensor.New(1, h)
+		hn := tensor.New(1, h)
+		for j := 0; j < h; j++ {
+			i.Data[j] = sigmoid(z.Data[j])
+			f.Data[j] = sigmoid(z.Data[h+j])
+			g.Data[j] = math.Tanh(z.Data[2*h+j])
+			o.Data[j] = sigmoid(z.Data[3*h+j])
+			c.Data[j] = f.Data[j]*l.cs[t].Data[j] + i.Data[j]*g.Data[j]
+			hn.Data[j] = o.Data[j] * math.Tanh(c.Data[j])
+		}
+		l.is[t], l.fs[t], l.gs[t], l.os_[t] = i, f, g, o
+		l.cs[t+1], l.hs[t+1] = c, hn
+		copy(out.Row(t), hn.Data)
+	}
+	return out
+}
+
+// Backward receives dLoss/dH for every time step (T x hidden), accumulates
+// weight gradients via BPTT, and returns dLoss/dX (T x inputDim).
+func (l *LSTM) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	T := grad.Rows
+	h := l.Hidden
+	dxs := tensor.New(T, l.InputDim)
+	dhNext := tensor.New(1, h)
+	dcNext := tensor.New(1, h)
+	whT := tensor.Transpose(l.Wh.Value)
+	wxT := tensor.Transpose(l.Wx.Value)
+
+	for t := T - 1; t >= 0; t-- {
+		dh := tensor.New(1, h)
+		copy(dh.Data, grad.Row(t))
+		dh.AddInPlace(dhNext)
+
+		i, f, g, o := l.is[t], l.fs[t], l.gs[t], l.os_[t]
+		c := l.cs[t+1]
+		cPrev := l.cs[t]
+
+		dz := tensor.New(1, 4*h)
+		dc := tensor.New(1, h)
+		for j := 0; j < h; j++ {
+			tc := math.Tanh(c.Data[j])
+			// dL/dc through h = o*tanh(c), plus the carry from t+1.
+			dcj := dh.Data[j]*o.Data[j]*(1-tc*tc) + dcNext.Data[j]
+			dc.Data[j] = dcj
+			doj := dh.Data[j] * tc
+			dij := dcj * g.Data[j]
+			dfj := dcj * cPrev.Data[j]
+			dgj := dcj * i.Data[j]
+			dz.Data[j] = dij * i.Data[j] * (1 - i.Data[j])
+			dz.Data[h+j] = dfj * f.Data[j] * (1 - f.Data[j])
+			dz.Data[2*h+j] = dgj * (1 - g.Data[j]*g.Data[j])
+			dz.Data[3*h+j] = doj * o.Data[j] * (1 - o.Data[j])
+		}
+
+		x := tensor.FromSlice(1, l.InputDim, l.xs.Row(t))
+		l.Wx.Grad.AddInPlace(tensor.MatMul(tensor.Transpose(x), dz))
+		l.Wh.Grad.AddInPlace(tensor.MatMul(tensor.Transpose(l.hs[t]), dz))
+		l.B.Grad.AddInPlace(dz)
+
+		copy(dxs.Row(t), tensor.MatMul(dz, wxT).Data)
+		dhNext = tensor.MatMul(dz, whT)
+		for j := 0; j < h; j++ {
+			dcNext.Data[j] = dc.Data[j] * f.Data[j]
+		}
+	}
+	return dxs
+}
+
+// Params returns the fused weights and bias.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }

@@ -1,0 +1,110 @@
+// Package nn implements the neural-network building blocks used by the
+// DGCNN/MV-GNN models and the NCC baseline: dense layers, activations,
+// dropout, 1-D convolution, max pooling, an LSTM, softmax cross-entropy,
+// and SGD/Adam optimizers. Every layer performs manual backpropagation:
+// Forward caches what Backward needs, Backward accumulates parameter
+// gradients and returns the gradient with respect to the layer input.
+//
+// Layers are deliberately stateful per training step (one Forward followed
+// by one Backward); models that process one graph at a time, as the paper's
+// DGCNN does, fit this protocol directly.
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"mvpar/internal/tensor"
+)
+
+// Param is a trainable tensor with its accumulated gradient.
+type Param struct {
+	Name  string
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix
+}
+
+// NewParam allocates a parameter with a zero gradient buffer.
+func NewParam(name string, value *tensor.Matrix) *Param {
+	return &Param{Name: name, Value: value, Grad: tensor.New(value.Rows, value.Cols)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad.Data {
+		p.Grad.Data[i] = 0
+	}
+}
+
+// Layer is a differentiable transformation of a matrix.
+type Layer interface {
+	// Forward computes the layer output for x, caching activations
+	// needed by Backward.
+	Forward(x *tensor.Matrix) *tensor.Matrix
+	// Backward receives dLoss/dOutput and returns dLoss/dInput, adding
+	// this step's parameter gradients into Params' Grad buffers.
+	Backward(grad *tensor.Matrix) *tensor.Matrix
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+}
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a Sequential from the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward runs every layer in order.
+func (s *Sequential) Forward(x *tensor.Matrix) *tensor.Matrix {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward runs every layer's backward pass in reverse order.
+func (s *Sequential) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns the concatenated parameters of all layers.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrads clears gradients of all params in the slice.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// ClipGrads scales all gradients down so the global L2 norm is at most
+// maxNorm; exploding LSTM gradients are the usual customer.
+func ClipGrads(params []*Param, maxNorm float64) {
+	total := 0.0
+	for _, p := range params {
+		n := p.Grad.Norm2()
+		total += n * n
+	}
+	if total <= maxNorm*maxNorm {
+		return
+	}
+	scale := maxNorm / (1e-12 + math.Sqrt(total))
+	for _, p := range params {
+		p.Grad.ScaleInPlace(scale)
+	}
+}
+
+// NewRNG returns a deterministic RNG for the given seed; every stochastic
+// component in the repo takes one of these so runs are reproducible.
+func NewRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,57 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mvpar/internal/tensor"
+)
+
+// paramBlob is the on-wire form of one parameter.
+type paramBlob struct {
+	Name string
+	Rows int
+	Cols int
+	Data []float64
+}
+
+// SaveParams writes the parameter values (not gradients) to w in a
+// self-describing gob stream, keyed by parameter name.
+func SaveParams(w io.Writer, params []*Param) error {
+	blobs := make([]paramBlob, len(params))
+	for i, p := range params {
+		blobs[i] = paramBlob{
+			Name: p.Name,
+			Rows: p.Value.Rows,
+			Cols: p.Value.Cols,
+			Data: p.Value.Data,
+		}
+	}
+	return gob.NewEncoder(w).Encode(blobs)
+}
+
+// LoadParams reads a stream produced by SaveParams into params, matching
+// by name and verifying shapes.
+func LoadParams(r io.Reader, params []*Param) error {
+	var blobs []paramBlob
+	if err := gob.NewDecoder(r).Decode(&blobs); err != nil {
+		return fmt.Errorf("nn: decode params: %w", err)
+	}
+	byName := map[string]paramBlob{}
+	for _, b := range blobs {
+		byName[b.Name] = b
+	}
+	for _, p := range params {
+		b, ok := byName[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: missing parameter %q in stream", p.Name)
+		}
+		if b.Rows != p.Value.Rows || b.Cols != p.Value.Cols {
+			return fmt.Errorf("nn: parameter %q shape %dx%d, stream has %dx%d",
+				p.Name, p.Value.Rows, p.Value.Cols, b.Rows, b.Cols)
+		}
+		p.Value = tensor.FromSlice(b.Rows, b.Cols, append([]float64(nil), b.Data...))
+	}
+	return nil
+}

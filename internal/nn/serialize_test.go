@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"mvpar/internal/tensor"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := NewRNG(1)
+	d1 := NewDense("a", 3, 4, rng)
+	d2 := NewDense("b", 4, 2, rng)
+	params := append(d1.Params(), d2.Params()...)
+
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, params); err != nil {
+		t.Fatal(err)
+	}
+	saved := make([]*tensor.Matrix, len(params))
+	for i, p := range params {
+		saved[i] = p.Value.Clone()
+		p.Value.ScaleInPlace(0)
+	}
+	if err := LoadParams(&buf, params); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range params {
+		if !tensor.ApproxEqual(p.Value, saved[i], 0) {
+			t.Fatalf("param %s not restored", p.Name)
+		}
+	}
+}
+
+func TestLoadMissingParam(t *testing.T) {
+	rng := NewRNG(2)
+	src := NewDense("x", 2, 2, rng)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewDense("y", 2, 2, rng)
+	if err := LoadParams(&buf, dst.Params()); err == nil {
+		t.Fatal("expected error for missing parameter name")
+	}
+}
+
+func TestLoadShapeMismatch(t *testing.T) {
+	rng := NewRNG(3)
+	src := NewDense("x", 2, 2, rng)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewDense("x", 2, 3, rng)
+	if err := LoadParams(&buf, dst.Params()); err == nil {
+		t.Fatal("expected error for shape mismatch")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	rng := NewRNG(4)
+	d := NewDense("x", 2, 2, rng)
+	if err := LoadParams(bytes.NewBufferString("not a gob stream"), d.Params()); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

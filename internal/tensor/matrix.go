@@ -1,0 +1,434 @@
+// Package tensor provides the dense float64 linear algebra underneath the
+// neural-network stack: matrices, parallel matrix multiplication, and the
+// elementwise kernels used by layer forward/backward passes.
+//
+// All matrices are row-major. Operations allocate their result unless the
+// name ends in InPlace. Matrix multiplication parallelizes across row
+// blocks with goroutines once the work is large enough to amortize the
+// scheduling cost; everything is deterministic regardless of worker count.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a Rows x Cols zero matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: New(%d, %d) with negative dimension", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows x cols matrix.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice(%d, %d) with %d elements", rows, cols, len(data)))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// FromRows builds a matrix from row slices, which must all share a length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("tensor: FromRows ragged input: row %d has %d cols, want %d", i, len(r), cols))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Randn fills a new rows x cols matrix with N(0, std^2) samples from rng.
+func Randn(rows, cols int, std float64, rng *rand.Rand) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+	return m
+}
+
+// XavierInit returns a matrix initialized with Glorot-uniform scaling,
+// the initialization used for every dense and graph-conv weight.
+func XavierInit(rows, cols int, rng *rand.Rand) *Matrix {
+	limit := math.Sqrt(6.0 / float64(rows+cols))
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// String renders a small matrix for debugging.
+func (m *Matrix) String() string {
+	s := fmt.Sprintf("Matrix(%dx%d)[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows && i < 4; i++ {
+		s += fmt.Sprintf("%v", m.Row(i))
+	}
+	if m.Rows > 4 {
+		s += "..."
+	}
+	return s + "]"
+}
+
+func assertSameShape(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// Add returns a + b.
+func Add(a, b *Matrix) *Matrix {
+	assertSameShape("Add", a, b)
+	c := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		c.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return c
+}
+
+// Sub returns a - b.
+func Sub(a, b *Matrix) *Matrix {
+	assertSameShape("Sub", a, b)
+	c := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		c.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return c
+}
+
+// Hadamard returns the elementwise product a ⊙ b.
+func Hadamard(a, b *Matrix) *Matrix {
+	assertSameShape("Hadamard", a, b)
+	c := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		c.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return c
+}
+
+// Scale returns s * a.
+func Scale(a *Matrix, s float64) *Matrix {
+	c := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		c.Data[i] = a.Data[i] * s
+	}
+	return c
+}
+
+// AddInPlace accumulates b into a.
+func (m *Matrix) AddInPlace(b *Matrix) {
+	assertSameShape("AddInPlace", m, b)
+	for i := range m.Data {
+		m.Data[i] += b.Data[i]
+	}
+}
+
+// ScaleInPlace multiplies every element by s.
+func (m *Matrix) ScaleInPlace(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// Apply returns f applied elementwise.
+func Apply(a *Matrix, f func(float64) float64) *Matrix {
+	c := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		c.Data[i] = f(a.Data[i])
+	}
+	return c
+}
+
+// Transpose returns aᵀ.
+func Transpose(a *Matrix) *Matrix {
+	c := New(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j, v := range row {
+			c.Data[j*a.Rows+i] = v
+		}
+	}
+	return c
+}
+
+// AddRowVec adds the 1 x Cols row vector v to every row of a.
+func AddRowVec(a, v *Matrix) *Matrix {
+	if v.Rows != 1 || v.Cols != a.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVec vector shape %dx%d for matrix %dx%d", v.Rows, v.Cols, a.Rows, a.Cols))
+	}
+	c := New(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		ar, cr := a.Row(i), c.Row(i)
+		for j := range ar {
+			cr[j] = ar[j] + v.Data[j]
+		}
+	}
+	return c
+}
+
+// SumRows returns the 1 x Cols column-wise sum of a (used for bias grads).
+func SumRows(a *Matrix) *Matrix {
+	c := New(1, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j, v := range row {
+			c.Data[j] += v
+		}
+	}
+	return c
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element value (0 for empty matrices).
+func (m *Matrix) MaxAbs() float64 {
+	best := 0.0
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > best {
+			best = a
+		}
+	}
+	return best
+}
+
+// Norm2 returns the Frobenius norm.
+func (m *Matrix) Norm2() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// parallelThreshold is the number of multiply-adds below which MatMul runs
+// serially; goroutine fan-out only pays for itself on larger products.
+const parallelThreshold = 64 * 64 * 64
+
+// MatMul returns a x b, parallelizing across row blocks for large products.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := New(a.Rows, b.Cols)
+	work := a.Rows * a.Cols * b.Cols
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers == 1 || a.Rows == 1 {
+		matMulRange(a, b, c, 0, a.Rows)
+		return c
+	}
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRange(a, b, c, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return c
+}
+
+// matMulRange computes rows [lo, hi) of c = a x b with an ikj loop order
+// that streams b rows through cache.
+func matMulRange(a, b, c *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulSerial is the single-goroutine reference implementation, kept
+// exported so benchmarks can measure parallel speedup against it.
+func MatMulSerial(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulSerial inner dimension mismatch %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := New(a.Rows, b.Cols)
+	matMulRange(a, b, c, 0, a.Rows)
+	return c
+}
+
+// SoftmaxRows returns row-wise softmax with the usual max-shift for
+// numerical stability.
+func SoftmaxRows(a *Matrix) *Matrix {
+	c := New(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		out := c.Row(i)
+		maxv := math.Inf(-1)
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			out[j] = e
+			sum += e
+		}
+		inv := 1.0 / sum
+		for j := range out {
+			out[j] *= inv
+		}
+	}
+	return c
+}
+
+// MeanRow returns the 1 x Cols mean of all rows; zero matrix if Rows == 0.
+func MeanRow(a *Matrix) *Matrix {
+	c := SumRows(a)
+	if a.Rows > 0 {
+		c.ScaleInPlace(1.0 / float64(a.Rows))
+	}
+	return c
+}
+
+// Concat returns [a | b], the column-wise concatenation of equal-height
+// matrices (the ⊕ of the multi-view fusion, eq. 5 of the paper).
+func Concat(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: Concat row mismatch %d vs %d", a.Rows, b.Rows))
+	}
+	c := New(a.Rows, a.Cols+b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		copy(c.Row(i)[:a.Cols], a.Row(i))
+		copy(c.Row(i)[a.Cols:], b.Row(i))
+	}
+	return c
+}
+
+// SplitCols splits a into the first nLeft columns and the rest, undoing
+// Concat; used to route fusion gradients back to each view.
+func SplitCols(a *Matrix, nLeft int) (*Matrix, *Matrix) {
+	if nLeft < 0 || nLeft > a.Cols {
+		panic(fmt.Sprintf("tensor: SplitCols(%d) of %d columns", nLeft, a.Cols))
+	}
+	l := New(a.Rows, nLeft)
+	r := New(a.Rows, a.Cols-nLeft)
+	for i := 0; i < a.Rows; i++ {
+		copy(l.Row(i), a.Row(i)[:nLeft])
+		copy(r.Row(i), a.Row(i)[nLeft:])
+	}
+	return l, r
+}
+
+// ApproxEqual reports whether a and b agree elementwise within tol.
+func ApproxEqual(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Argsort returns the indices that would sort vals in ascending order,
+// breaking ties by original index for determinism (SortPooling relies on
+// a stable ordering).
+func Argsort(vals []float64) []int {
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion-friendly stable sort over indices.
+	sortStableByValue(idx, vals)
+	return idx
+}
+
+func sortStableByValue(idx []int, vals []float64) {
+	// Merge sort for stability without pulling in sort.SliceStable closures
+	// in a hot path.
+	if len(idx) < 2 {
+		return
+	}
+	mid := len(idx) / 2
+	left := append([]int(nil), idx[:mid]...)
+	right := append([]int(nil), idx[mid:]...)
+	sortStableByValue(left, vals)
+	sortStableByValue(right, vals)
+	i, j, k := 0, 0, 0
+	for i < len(left) && j < len(right) {
+		if vals[left[i]] <= vals[right[j]] {
+			idx[k] = left[i]
+			i++
+		} else {
+			idx[k] = right[j]
+			j++
+		}
+		k++
+	}
+	for i < len(left) {
+		idx[k] = left[i]
+		i++
+		k++
+	}
+	for j < len(right) {
+		idx[k] = right[j]
+		j++
+		k++
+	}
+}

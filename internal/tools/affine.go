@@ -1,0 +1,269 @@
+// Package tools emulates the auto-parallelization tools the paper
+// compares against, each with the decision procedure — and the blind
+// spots — of its archetype:
+//
+//   - Pluto: exact polyhedral dependence testing on affine loops (GCD and
+//     distance tests on linear subscripts), but any non-affine construct,
+//     function call, while loop or written scalar (including reductions)
+//     makes the loop unanalyzable/sequential. Strong on PolyBench,
+//     weak on reduction- and indirection-heavy NPB codes.
+//   - AutoPar: conservative source-level analysis that does recognize
+//     scalar reductions and privatizable locals, but uses a naive array
+//     test — an array both written and read through a different subscript
+//     form is rejected, as is any indirection or call.
+//   - DiscoPoP: a dynamic profile-based rule that flags only loop-carried
+//     non-reduction RAW dependences, ignoring WAR/WAW (assumed
+//     privatizable) and reduction poisoning — accurate, with the
+//     occasional false positive the paper also observes.
+package tools
+
+import (
+	"mvpar/internal/minic"
+)
+
+// linform is a linear form over named symbols plus a constant:
+// sum(coeff[v] * v) + c. affine reports whether the expression was
+// representable at all.
+type linform struct {
+	coeff map[string]int
+	c     int
+	ok    bool
+}
+
+func constForm(c int) linform { return linform{coeff: map[string]int{}, c: c, ok: true} }
+
+func varForm(name string) linform {
+	return linform{coeff: map[string]int{name: 1}, c: 0, ok: true}
+}
+
+func badForm() linform { return linform{ok: false} }
+
+func (f linform) add(g linform, sign int) linform {
+	if !f.ok || !g.ok {
+		return badForm()
+	}
+	out := linform{coeff: map[string]int{}, c: f.c + sign*g.c, ok: true}
+	for v, a := range f.coeff {
+		out.coeff[v] += a
+	}
+	for v, a := range g.coeff {
+		out.coeff[v] += sign * a
+	}
+	for v, a := range out.coeff {
+		if a == 0 {
+			delete(out.coeff, v)
+		}
+	}
+	return out
+}
+
+func (f linform) scale(k int) linform {
+	if !f.ok {
+		return f
+	}
+	out := linform{coeff: map[string]int{}, c: f.c * k, ok: true}
+	for v, a := range f.coeff {
+		if a*k != 0 {
+			out.coeff[v] = a * k
+		}
+	}
+	return out
+}
+
+// isConst reports whether the form has no symbolic part.
+func (f linform) isConst() bool { return f.ok && len(f.coeff) == 0 }
+
+// env provides constant values for global int variables with constant
+// initializers, so bounds like `i < n` stay affine.
+type env struct {
+	consts map[string]int
+}
+
+func buildEnv(p *minic.Program) *env {
+	e := &env{consts: map[string]int{}}
+	written := map[string]bool{}
+	for _, f := range p.Funcs {
+		markWrites(f.Body, written)
+	}
+	for _, g := range p.Globals {
+		if g.IsArray() || g.Type != minic.TypeInt || written[g.Name] {
+			continue
+		}
+		if g.Init != nil {
+			if v, ok := evalConstExpr(g.Init); ok {
+				e.consts[g.Name] = v
+			}
+		}
+	}
+	return e
+}
+
+func markWrites(s minic.Stmt, out map[string]bool) {
+	switch st := s.(type) {
+	case *minic.BlockStmt:
+		for _, c := range st.Stmts {
+			markWrites(c, out)
+		}
+	case *minic.AssignStmt:
+		out[st.Target.Name] = true
+	case *minic.ForStmt:
+		if st.Init != nil {
+			markWrites(st.Init, out)
+		}
+		if st.Post != nil {
+			markWrites(st.Post, out)
+		}
+		markWrites(st.Body, out)
+	case *minic.WhileStmt:
+		markWrites(st.Body, out)
+	case *minic.IfStmt:
+		markWrites(st.Then, out)
+		if st.Else != nil {
+			markWrites(st.Else, out)
+		}
+	case *minic.DeclStmt:
+		// Declarations introduce, they do not overwrite a global.
+	}
+}
+
+func evalConstExpr(e minic.Expr) (int, bool) {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		return int(x.Value), true
+	case *minic.UnaryExpr:
+		if x.Op == "-" {
+			v, ok := evalConstExpr(x.X)
+			return -v, ok
+		}
+	case *minic.BinaryExpr:
+		a, ok1 := evalConstExpr(x.X)
+		b, ok2 := evalConstExpr(x.Y)
+		if ok1 && ok2 {
+			switch x.Op {
+			case "+":
+				return a + b, true
+			case "-":
+				return a - b, true
+			case "*":
+				return a * b, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// linearize converts an index expression into a linear form. Every
+// unsubscripted variable is admitted as a symbol (constant globals are
+// folded); whether a symbol is loop-invariant is judged by the caller.
+func linearize(e minic.Expr, env *env) linform {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		return constForm(int(x.Value))
+	case *minic.VarRef:
+		if len(x.Indices) > 0 {
+			return badForm() // indirect subscript
+		}
+		if v, ok := env.consts[x.Name]; ok {
+			return constForm(v)
+		}
+		return varForm(x.Name)
+	case *minic.UnaryExpr:
+		if x.Op == "-" {
+			return linearize(x.X, env).scale(-1)
+		}
+		return badForm()
+	case *minic.BinaryExpr:
+		a := linearize(x.X, env)
+		b := linearize(x.Y, env)
+		switch x.Op {
+		case "+":
+			return a.add(b, 1)
+		case "-":
+			return a.add(b, -1)
+		case "*":
+			if a.isConst() {
+				return b.scale(a.c)
+			}
+			if b.isConst() {
+				return a.scale(b.c)
+			}
+			return badForm()
+		}
+		return badForm()
+	}
+	return badForm()
+}
+
+func gcd(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// dependsAcrossIterations tests whether a write with subscript forms w
+// and an access with forms r (per dimension) can touch the same element
+// in two different iterations of the loop variable v. invariant names the
+// symbols whose value is fixed for the whole execution of the analyzed
+// loop (enclosing loop counters, unwritten scalars); symbols outside it
+// (inner-loop counters) take many values per iteration and make a
+// dimension inconclusive. The test is conservative: any unanalyzable
+// situation reports a dependence.
+func dependsAcrossIterations(w, r []linform, v string, invariant map[string]bool) bool {
+	// Independence in any dimension kills the dependence.
+	for d := range w {
+		fw, fr := w[d], r[d]
+		if !fw.ok || !fr.ok {
+			continue // this dimension proves nothing
+		}
+		if hasVaryingSymbol(fw, v, invariant) || hasVaryingSymbol(fr, v, invariant) {
+			continue // inner-loop counter involved: inconclusive
+		}
+		aw := fw.coeff[v]
+		ar := fr.coeff[v]
+		diff := fw.add(fr, -1)
+		delete(diff.coeff, v)
+		if len(diff.coeff) != 0 {
+			continue // symbolic residue: dimension proves nothing
+		}
+		delta := diff.c // (fw - fr) without the v terms
+		switch {
+		case aw == 0 && ar == 0:
+			if delta != 0 {
+				return false // constant distinct elements in this dim
+			}
+			// Same element every iteration: dimension allows collision.
+		case aw == ar:
+			// aw*(i1-i2) = -delta; carried iff distance integer nonzero.
+			if delta%aw != 0 {
+				return false
+			}
+			if delta/aw == 0 {
+				return false // only the same-iteration solution
+			}
+		default:
+			// GCD test on aw*i1 - ar*i2 = -delta.
+			if g := gcd(aw, ar); g != 0 && (-delta)%g != 0 {
+				return false
+			}
+		}
+	}
+	return true // no dimension disproved the collision
+}
+
+// hasVaryingSymbol reports whether f references a symbol other than v
+// that is not loop-invariant for the analyzed loop.
+func hasVaryingSymbol(f linform, v string, invariant map[string]bool) bool {
+	for name := range f.coeff {
+		if name != v && !invariant[name] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,432 @@
+package tools
+
+import (
+	"mvpar/internal/deps"
+	"mvpar/internal/minic"
+)
+
+// Tool names as they appear in Table III.
+const (
+	NamePluto    = "Pluto"
+	NameAutoPar  = "AutoPar"
+	NameDiscoPoP = "DiscoPoP"
+)
+
+// Results holds the per-loop decisions of the static tools.
+type Results struct {
+	Pluto   map[int]bool
+	AutoPar map[int]bool
+}
+
+// arrayAccess is one subscripted access with linearized indices.
+type arrayAccess struct {
+	name  string
+	forms []linform
+	write bool
+}
+
+// scalarWrite is one unsubscripted assignment inside the loop.
+type scalarWrite struct {
+	name      string
+	reduction bool
+}
+
+// loopSummary is what the static analyzers know about one loop.
+type loopSummary struct {
+	id           int
+	ctrl         string
+	boundsAffine bool
+	hasCall      bool
+	hasWhile     bool
+	nonAffine    bool
+	accesses     []arrayAccess
+	scalarWrites []scalarWrite
+	declared     map[string]bool // scalars declared inside the body
+	innerCtrl    map[string]bool // control vars of nested loops
+	written      map[string]bool // every name written inside the body
+}
+
+// AnalyzeStatic runs the Pluto-like and AutoPar-like analyses over every
+// for-loop of the program.
+func AnalyzeStatic(p *minic.Program) Results {
+	env := buildEnv(p)
+	res := Results{Pluto: map[int]bool{}, AutoPar: map[int]bool{}}
+	for _, f := range p.Funcs {
+		walkLoops(f.Body, func(loop *minic.ForStmt) {
+			s := summarize(loop, env)
+			res.Pluto[loop.ID] = plutoDecision(s)
+			res.AutoPar[loop.ID] = autoParDecision(s)
+		}, func(w *minic.WhileStmt) {
+			// While loops: both static tools refuse.
+			res.Pluto[w.ID] = false
+			res.AutoPar[w.ID] = false
+		})
+	}
+	return res
+}
+
+// DiscoPoPRule is the dynamic tool's decision: only loop-carried
+// non-reduction flow dependences block; anti/output dependences are
+// assumed privatizable and reduction accumulators are trusted.
+func DiscoPoPRule(v deps.Verdict) bool { return !v.Detail.LCRawBad }
+
+func walkLoops(s minic.Stmt, onFor func(*minic.ForStmt), onWhile func(*minic.WhileStmt)) {
+	switch st := s.(type) {
+	case *minic.BlockStmt:
+		for _, c := range st.Stmts {
+			walkLoops(c, onFor, onWhile)
+		}
+	case *minic.ForStmt:
+		onFor(st)
+		walkLoops(st.Body, onFor, onWhile)
+	case *minic.WhileStmt:
+		onWhile(st)
+		walkLoops(st.Body, onFor, onWhile)
+	case *minic.IfStmt:
+		walkLoops(st.Then, onFor, onWhile)
+		if st.Else != nil {
+			walkLoops(st.Else, onFor, onWhile)
+		}
+	}
+}
+
+// ctrlVarOf extracts the loop control variable, or "".
+func ctrlVarOf(loop *minic.ForStmt) string {
+	switch init := loop.Init.(type) {
+	case *minic.DeclStmt:
+		return init.Decl.Name
+	case *minic.AssignStmt:
+		if len(init.Target.Indices) == 0 {
+			return init.Target.Name
+		}
+	}
+	if post, ok := loop.Post.(*minic.AssignStmt); ok && len(post.Target.Indices) == 0 {
+		return post.Target.Name
+	}
+	return ""
+}
+
+// isReductionAssign mirrors the IR lowering's reduction recognizer at the
+// AST level (x += e, x -= e, x *= e, x = x op e with x absent from e).
+func isReductionAssign(st *minic.AssignStmt) bool {
+	mentions := func(e minic.Expr) bool { return exprMentionsVar(e, st.Target.Name) }
+	switch st.Op {
+	case "+=", "-=", "*=":
+		return !mentions(st.Value)
+	case "=":
+		bin, ok := st.Value.(*minic.BinaryExpr)
+		if !ok {
+			return false
+		}
+		switch bin.Op {
+		case "+", "*":
+			if sameRef(st.Target, bin.X) && !exprMentionsVar(bin.Y, st.Target.Name) {
+				return true
+			}
+			if sameRef(st.Target, bin.Y) && !exprMentionsVar(bin.X, st.Target.Name) {
+				return true
+			}
+		case "-":
+			return sameRef(st.Target, bin.X) && !exprMentionsVar(bin.Y, st.Target.Name)
+		}
+	}
+	return false
+}
+
+func sameRef(lv *minic.LValue, e minic.Expr) bool {
+	ref, ok := e.(*minic.VarRef)
+	if !ok || ref.Name != lv.Name || len(ref.Indices) != len(lv.Indices) {
+		return false
+	}
+	for i := range ref.Indices {
+		if minic.ExprString(ref.Indices[i]) != minic.ExprString(lv.Indices[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func exprMentionsVar(e minic.Expr, name string) bool {
+	found := false
+	walkExpr(e, func(x minic.Expr) {
+		if ref, ok := x.(*minic.VarRef); ok && ref.Name == name {
+			found = true
+		}
+	})
+	return found
+}
+
+func walkExpr(e minic.Expr, visit func(minic.Expr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch x := e.(type) {
+	case *minic.VarRef:
+		for _, idx := range x.Indices {
+			walkExpr(idx, visit)
+		}
+	case *minic.BinaryExpr:
+		walkExpr(x.X, visit)
+		walkExpr(x.Y, visit)
+	case *minic.UnaryExpr:
+		walkExpr(x.X, visit)
+	case *minic.CallExpr:
+		for _, a := range x.Args {
+			walkExpr(a, visit)
+		}
+	}
+}
+
+// summarize scans one loop for the static analyzers.
+func summarize(loop *minic.ForStmt, env *env) *loopSummary {
+	s := &loopSummary{
+		id:        loop.ID,
+		ctrl:      ctrlVarOf(loop),
+		declared:  map[string]bool{},
+		innerCtrl: map[string]bool{},
+		written:   map[string]bool{},
+	}
+	s.boundsAffine = boundsAffine(loop, env)
+	markWrites(loop.Body, s.written)
+	if post, ok := loop.Post.(*minic.AssignStmt); ok {
+		s.written[post.Target.Name] = true
+	}
+	s.scan(loop.Body, env)
+	return s
+}
+
+func boundsAffine(loop *minic.ForStmt, env *env) bool {
+	v := ctrlVarOf(loop)
+	if v == "" {
+		return false
+	}
+	var initExpr minic.Expr
+	switch init := loop.Init.(type) {
+	case *minic.DeclStmt:
+		initExpr = init.Decl.Init
+	case *minic.AssignStmt:
+		if init.Op != "=" {
+			return false
+		}
+		initExpr = init.Value
+	default:
+		return false
+	}
+	if !linearize(initExpr, env).ok {
+		return false
+	}
+	cond, ok := loop.Cond.(*minic.BinaryExpr)
+	if !ok || (cond.Op != "<" && cond.Op != "<=" && cond.Op != ">" && cond.Op != ">=") {
+		return false
+	}
+	if !linearize(cond.X, env).ok || !linearize(cond.Y, env).ok {
+		return false
+	}
+	post, ok := loop.Post.(*minic.AssignStmt)
+	if !ok || post.Target.Name != v || len(post.Target.Indices) != 0 {
+		return false
+	}
+	if post.Op != "+=" && post.Op != "-=" {
+		return false
+	}
+	_, isConst := evalConstExpr(post.Value)
+	return isConst
+}
+
+func (s *loopSummary) scan(stmt minic.Stmt, env *env) {
+	switch st := stmt.(type) {
+	case *minic.BlockStmt:
+		for _, c := range st.Stmts {
+			s.scan(c, env)
+		}
+	case *minic.DeclStmt:
+		s.declared[st.Decl.Name] = true
+		if st.Decl.Init != nil {
+			s.scanExpr(st.Decl.Init, env)
+		}
+	case *minic.AssignStmt:
+		if len(st.Target.Indices) == 0 {
+			s.scalarWrites = append(s.scalarWrites, scalarWrite{
+				name:      st.Target.Name,
+				reduction: isReductionAssign(st),
+			})
+		} else {
+			s.addAccess(st.Target.Name, st.Target.Indices, true, env)
+			for _, idx := range st.Target.Indices {
+				s.scanExpr(idx, env)
+			}
+		}
+		s.scanExpr(st.Value, env)
+	case *minic.ForStmt:
+		if v := ctrlVarOf(st); v != "" {
+			s.innerCtrl[v] = true
+		}
+		if init, ok := st.Init.(*minic.DeclStmt); ok {
+			s.declared[init.Decl.Name] = true
+		}
+		if init, ok := st.Init.(*minic.AssignStmt); ok {
+			s.scan(init, env)
+		}
+		if st.Post != nil {
+			// The increment of an inner control var is not a scalar write
+			// the analyses should flag, but its value expr may read arrays.
+			if post, ok := st.Post.(*minic.AssignStmt); ok {
+				s.scanExpr(post.Value, env)
+			}
+		}
+		if st.Cond != nil {
+			s.scanExpr(st.Cond, env)
+		}
+		s.scan(st.Body, env)
+	case *minic.WhileStmt:
+		s.hasWhile = true
+		s.scanExpr(st.Cond, env)
+		s.scan(st.Body, env)
+	case *minic.IfStmt:
+		s.scanExpr(st.Cond, env)
+		s.scan(st.Then, env)
+		if st.Else != nil {
+			s.scan(st.Else, env)
+		}
+	case *minic.ReturnStmt:
+		if st.Value != nil {
+			s.scanExpr(st.Value, env)
+		}
+	case *minic.ExprStmt:
+		s.scanExpr(st.X, env)
+	}
+}
+
+func (s *loopSummary) scanExpr(e minic.Expr, env *env) {
+	walkExpr(e, func(x minic.Expr) {
+		switch ref := x.(type) {
+		case *minic.VarRef:
+			if len(ref.Indices) > 0 {
+				s.addAccess(ref.Name, ref.Indices, false, env)
+			}
+		case *minic.CallExpr:
+			s.hasCall = true
+		}
+	})
+}
+
+func (s *loopSummary) addAccess(name string, indices []minic.Expr, write bool, env *env) {
+	acc := arrayAccess{name: name, write: write}
+	for _, idx := range indices {
+		f := linearize(idx, env)
+		if !f.ok {
+			s.nonAffine = true
+		}
+		acc.forms = append(acc.forms, f)
+	}
+	s.accesses = append(s.accesses, acc)
+}
+
+// invariantSet returns the symbols fixed across the loop's execution.
+func (s *loopSummary) invariantSet() map[string]bool {
+	inv := map[string]bool{}
+	for _, acc := range s.accesses {
+		for _, f := range acc.forms {
+			for name := range f.coeff {
+				if name != s.ctrl && !s.written[name] {
+					inv[name] = true
+				}
+			}
+		}
+	}
+	return inv
+}
+
+// plutoDecision: exact affine dependence testing, no tolerance for
+// anything outside the polyhedral model — including reductions.
+func plutoDecision(s *loopSummary) bool {
+	if !s.boundsAffine || s.hasCall || s.hasWhile || s.nonAffine || s.ctrl == "" {
+		return false
+	}
+	for _, w := range s.scalarWrites {
+		if w.name == s.ctrl || s.declared[w.name] || s.innerCtrl[w.name] {
+			continue
+		}
+		return false // written shared scalar: outside the polyhedral model
+	}
+	inv := s.invariantSet()
+	for _, w := range s.accesses {
+		if !w.write {
+			continue
+		}
+		for _, a := range s.accesses {
+			if a.name != w.name {
+				continue
+			}
+			if !a.write && !w.write {
+				continue
+			}
+			if dependsAcrossIterations(w.forms, a.forms, s.ctrl, inv) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// autoParDecision: conservative source analysis with reduction and
+// privatization recognition but a naive array test.
+func autoParDecision(s *loopSummary) bool {
+	if !s.boundsAffine || s.hasCall || s.hasWhile || s.nonAffine || s.ctrl == "" {
+		return false
+	}
+	for _, w := range s.scalarWrites {
+		if w.name == s.ctrl || s.declared[w.name] || s.innerCtrl[w.name] || w.reduction {
+			continue
+		}
+		return false
+	}
+	// Collect written arrays with their (first) write forms.
+	writes := map[string][]linform{}
+	for _, acc := range s.accesses {
+		if !acc.write {
+			continue
+		}
+		if prev, ok := writes[acc.name]; ok {
+			if !formsEqual(prev, acc.forms) {
+				return false // two distinct write patterns: give up
+			}
+			continue
+		}
+		// Naive ownership rule: the loop must drive the leading subscript
+		// dimension of everything it writes. Inner loops of 2-D nests fail
+		// this test — the characteristic conservatism of source-level
+		// auto-parallelizers.
+		lead := acc.forms[0]
+		if !lead.ok || lead.coeff[s.ctrl] == 0 {
+			return false
+		}
+		writes[acc.name] = acc.forms
+	}
+	for _, acc := range s.accesses {
+		if acc.write {
+			continue
+		}
+		if wf, ok := writes[acc.name]; ok && !formsEqual(wf, acc.forms) {
+			return false // read of a written array through another pattern
+		}
+	}
+	return true
+}
+
+func formsEqual(a, b []linform) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].ok || !b[i].ok {
+			return false
+		}
+		d := a[i].add(b[i], -1)
+		if d.c != 0 || len(d.coeff) != 0 {
+			return false
+		}
+	}
+	return true
+}

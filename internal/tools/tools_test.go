@@ -1,0 +1,323 @@
+package tools_test
+
+import (
+	"testing"
+
+	"mvpar/internal/deps"
+	"mvpar/internal/interp"
+	"mvpar/internal/ir"
+	"mvpar/internal/minic"
+	"mvpar/internal/tools"
+)
+
+// analyze returns the static tool decisions and the oracle verdicts.
+func analyze(t *testing.T, src string) (tools.Results, map[int]deps.Verdict, []int) {
+	t.Helper()
+	ast := minic.MustParse("t", src)
+	prog := ir.MustLower(ast)
+	res, _, err := deps.Analyze(prog, "main", interp.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []int
+	for _, l := range ast.Loops() {
+		ids = append(ids, l.ID)
+	}
+	return tools.AnalyzeStatic(ast), res.Verdicts, ids
+}
+
+func TestAllToolsAcceptDoAll(t *testing.T) {
+	st, verdicts, ids := analyze(t, `
+float a[16]; float b[16];
+void main() {
+    for (int i = 0; i < 16; i++) { a[i] = b[i] + 1.0; }
+}
+`)
+	id := ids[0]
+	if !st.Pluto[id] || !st.AutoPar[id] || !tools.DiscoPoPRule(verdicts[id]) {
+		t.Fatalf("doall: pluto=%v autopar=%v discopop=%v",
+			st.Pluto[id], st.AutoPar[id], tools.DiscoPoPRule(verdicts[id]))
+	}
+}
+
+func TestReductionProfiles(t *testing.T) {
+	st, verdicts, ids := analyze(t, `
+float a[16]; float s;
+void main() {
+    for (int i = 0; i < 16; i++) { s += a[i]; }
+}
+`)
+	id := ids[0]
+	if st.Pluto[id] {
+		t.Fatal("Pluto must reject a scalar reduction (outside the polyhedral model)")
+	}
+	if !st.AutoPar[id] {
+		t.Fatal("AutoPar recognizes scalar reductions")
+	}
+	if !tools.DiscoPoPRule(verdicts[id]) {
+		t.Fatal("DiscoPoP trusts reductions")
+	}
+}
+
+func TestRecurrenceRejectedByAll(t *testing.T) {
+	st, verdicts, ids := analyze(t, `
+float a[16];
+void main() {
+    a[0] = 1.0;
+    for (int i = 1; i < 16; i++) { a[i] = a[i - 1] * 0.5; }
+}
+`)
+	id := ids[0]
+	if st.Pluto[id] || st.AutoPar[id] || tools.DiscoPoPRule(verdicts[id]) {
+		t.Fatalf("recurrence: pluto=%v autopar=%v discopop=%v",
+			st.Pluto[id], st.AutoPar[id], tools.DiscoPoPRule(verdicts[id]))
+	}
+}
+
+func TestOutOfPlaceStencil(t *testing.T) {
+	st, _, ids := analyze(t, `
+float a[16]; float b[16];
+void main() {
+    for (int i = 1; i < 15; i++) { b[i] = a[i - 1] + a[i] + a[i + 1]; }
+}
+`)
+	id := ids[0]
+	if !st.Pluto[id] {
+		t.Fatal("Pluto proves out-of-place stencils independent")
+	}
+	if !st.AutoPar[id] {
+		t.Fatal("AutoPar accepts stencils whose source array is read-only")
+	}
+}
+
+func TestInPlaceStencilRejectedStatically(t *testing.T) {
+	st, _, ids := analyze(t, `
+float a[16];
+void main() {
+    for (int i = 1; i < 15; i++) { a[i] = a[i - 1] + a[i + 1]; }
+}
+`)
+	id := ids[0]
+	if st.Pluto[id] || st.AutoPar[id] {
+		t.Fatalf("in-place stencil: pluto=%v autopar=%v", st.Pluto[id], st.AutoPar[id])
+	}
+}
+
+func TestButterflyGCD(t *testing.T) {
+	// Write a[2i], read a[2i+1]: the GCD test proves independence; the
+	// naive different-form rule rejects.
+	st, _, ids := analyze(t, `
+float a[16];
+void main() {
+    for (int i = 0; i < 8; i++) { a[2 * i] = a[2 * i + 1] + 1.0; }
+}
+`)
+	id := ids[0]
+	if !st.Pluto[id] {
+		t.Fatal("Pluto's GCD test must prove the butterfly independent")
+	}
+	if st.AutoPar[id] {
+		t.Fatal("AutoPar's naive form comparison must reject the butterfly")
+	}
+}
+
+func TestIndirectionBlindsStaticTools(t *testing.T) {
+	st, verdicts, ids := analyze(t, `
+float h[8]; int idx[8];
+void main() {
+    for (int i = 0; i < 8; i++) { idx[i] = (i * 3 + 1) % 8; }
+    for (int i = 0; i < 8; i++) { h[idx[i]] += 1.0; }
+}
+`)
+	hist := ids[1]
+	if st.Pluto[hist] || st.AutoPar[hist] {
+		t.Fatal("static tools cannot analyze indirect subscripts")
+	}
+	if !tools.DiscoPoPRule(verdicts[hist]) {
+		t.Fatal("DiscoPoP sees the dynamic reduction through the indirection")
+	}
+}
+
+func TestDiscoPoPFalsePositiveOnPoisonedReduction(t *testing.T) {
+	// Prefix-sum exposure: the oracle blocks, DiscoPoP's RAW-only rule
+	// does not — the kind of false positive the paper reports for IS.
+	_, verdicts, ids := analyze(t, `
+float a[16]; float b[16]; float s;
+void main() {
+    for (int i = 0; i < 16; i++) {
+        s += a[i];
+        b[i] = s;
+    }
+}
+`)
+	id := ids[0]
+	if verdicts[id].Parallelizable {
+		t.Fatal("oracle must block the prefix pattern")
+	}
+	if !tools.DiscoPoPRule(verdicts[id]) {
+		t.Fatal("DiscoPoP's RAW-only rule should (incorrectly) accept it")
+	}
+}
+
+func TestAutoParLeadingDimensionRule(t *testing.T) {
+	st, _, ids := analyze(t, `
+float M[8][8];
+void main() {
+    for (int i = 0; i < 8; i++) {
+        for (int j = 0; j < 8; j++) {
+            M[i][j] = i + j;
+        }
+    }
+}
+`)
+	outer, inner := ids[0], ids[1]
+	if !st.AutoPar[outer] {
+		t.Fatal("AutoPar must accept the outer loop of a 2-D sweep")
+	}
+	if st.AutoPar[inner] {
+		t.Fatal("AutoPar's leading-dimension rule must reject the inner loop")
+	}
+	if !st.Pluto[outer] || !st.Pluto[inner] {
+		t.Fatal("Pluto proves both levels of the sweep independent")
+	}
+}
+
+func TestTriangularBoundsAffine(t *testing.T) {
+	st, _, ids := analyze(t, `
+float M[8][8];
+void main() {
+    for (int i = 0; i < 8; i++) {
+        for (int j = 0; j <= i; j++) {
+            M[i][j] = i * 2 + j;
+        }
+    }
+}
+`)
+	if !st.Pluto[ids[0]] || !st.Pluto[ids[1]] {
+		t.Fatalf("triangular nest must be provably independent: %v %v", st.Pluto[ids[0]], st.Pluto[ids[1]])
+	}
+}
+
+func TestWavefrontRejected(t *testing.T) {
+	st, _, ids := analyze(t, `
+float M[8][8];
+void main() {
+    for (int i = 1; i < 8; i++) {
+        for (int j = 1; j < 8; j++) {
+            M[i][j] = M[i - 1][j] + M[i][j - 1];
+        }
+    }
+}
+`)
+	if st.Pluto[ids[0]] || st.Pluto[ids[1]] {
+		t.Fatalf("wavefront nest: pluto outer=%v inner=%v", st.Pluto[ids[0]], st.Pluto[ids[1]])
+	}
+}
+
+func TestCallsAndWhilesRejectedStatically(t *testing.T) {
+	st, _, ids := analyze(t, `
+float a[8];
+float f(float x) { return x + 1.0; }
+void main() {
+    for (int i = 0; i < 8; i++) { a[i] = f(a[i]); }
+    int k = 0;
+    while (k < 3) { k++; }
+}
+`)
+	if st.Pluto[ids[0]] || st.AutoPar[ids[0]] {
+		t.Fatal("loops with calls must be rejected by static tools")
+	}
+	if st.Pluto[ids[1]] || st.AutoPar[ids[1]] {
+		t.Fatal("while loops must be rejected by static tools")
+	}
+}
+
+func TestGlobalConstBoundStaysAffine(t *testing.T) {
+	st, _, ids := analyze(t, `
+int n = 8;
+float a[8]; float b[8];
+void main() {
+    for (int i = 0; i < n; i++) { a[i] = b[i]; }
+}
+`)
+	if !st.Pluto[ids[0]] {
+		t.Fatal("constant global bound must stay affine")
+	}
+}
+
+func TestConstantElementUpdateRejected(t *testing.T) {
+	// Every iteration writes a[0]: carried output dependence.
+	st, _, ids := analyze(t, `
+float a[8];
+void main() {
+    for (int i = 0; i < 8; i++) { a[0] = i; }
+}
+`)
+	if st.Pluto[ids[0]] || st.AutoPar[ids[0]] {
+		t.Fatalf("constant-element write: pluto=%v autopar=%v", st.Pluto[ids[0]], st.AutoPar[ids[0]])
+	}
+}
+
+func TestReductionFormsRecognized(t *testing.T) {
+	// Exercise every syntactic reduction shape AutoPar recognizes, plus
+	// near-misses it must not.
+	st, verdicts, ids := analyze(t, `
+float a[8]; float s1; float s2; float s3; float s4; float bad;
+void main() {
+    for (int i = 0; i < 8; i++) { s1 += a[i]; }
+    for (int i = 0; i < 8; i++) { s2 = s2 + a[i]; }
+    for (int i = 0; i < 8; i++) { s3 = a[i] + s3; }
+    for (int i = 0; i < 8; i++) { s4 = s4 - a[i]; }
+    for (int i = 0; i < 8; i++) { bad = a[i] - bad; }
+}
+`)
+	for i := 0; i < 4; i++ {
+		if !st.AutoPar[ids[i]] {
+			t.Fatalf("loop %d: reduction form not recognized by AutoPar", ids[i])
+		}
+		if !verdicts[ids[i]].Parallelizable {
+			t.Fatalf("loop %d: oracle should accept the reduction", ids[i])
+		}
+	}
+	if st.AutoPar[ids[4]] {
+		t.Fatal("bad = a[i] - bad must not be treated as a reduction")
+	}
+	if verdicts[ids[4]].Parallelizable {
+		t.Fatal("oracle must block the flipped accumulator")
+	}
+}
+
+func TestNonCanonicalLoopsRejected(t *testing.T) {
+	// Non-unit / non-constant steps and descending loops are outside the
+	// static analyzers' bounds model.
+	st, _, ids := analyze(t, `
+float a[16]; int n = 16;
+void main() {
+    for (int i = 0; i < 16; i += 2) { a[i] = 1.0; }
+    for (int i = 15; i >= 0; i--) { a[i] = 2.0; }
+    for (int i = 0; i < 16; i += n) { a[0] = 3.0; }
+}
+`)
+	if !st.Pluto[ids[0]] {
+		t.Fatal("constant stride-2 loop is still affine")
+	}
+	if !st.Pluto[ids[1]] {
+		t.Fatal("descending constant-step loop is still affine")
+	}
+	if st.Pluto[ids[2]] {
+		t.Fatal("variable-step loop must be unanalyzable (n is written? no — but step non-const form)")
+	}
+	_ = ids
+}
+
+func TestEvalConstExprForms(t *testing.T) {
+	st, _, ids := analyze(t, `
+float a[16];
+void main() {
+    for (int i = 2 * 3 - 4; i < 2 + 7; i++) { a[i] = 1.0; }
+}
+`)
+	if !st.Pluto[ids[0]] {
+		t.Fatal("constant-expression bounds must stay affine")
+	}
+}

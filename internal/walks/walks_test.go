@@ -1,0 +1,232 @@
+package walks_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mvpar/internal/graph"
+	"mvpar/internal/walks"
+)
+
+func TestAnonymizeBasic(t *testing.T) {
+	got := walks.Anonymize([]int{3, 9, 3, 7})
+	if !reflect.DeepEqual(got, []int{0, 1, 0, 2}) {
+		t.Fatalf("Anonymize = %v", got)
+	}
+	if got := walks.Anonymize(nil); got != nil {
+		t.Fatalf("Anonymize(nil) = %v", got)
+	}
+}
+
+func TestAnonymizeCompressesStutters(t *testing.T) {
+	got := walks.Anonymize([]int{5, 5, 5, 2, 2, 5})
+	if !reflect.DeepEqual(got, []int{0, 1, 0}) {
+		t.Fatalf("Anonymize stutter = %v", got)
+	}
+}
+
+// Property: anonymization is invariant under any relabeling of node IDs.
+func TestAnonymizeRelabelInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		walkLen := 1 + rng.Intn(12)
+		w := make([]int, walkLen)
+		for i := range w {
+			w[i] = rng.Intn(n)
+		}
+		// Random permutation relabeling.
+		perm := rng.Perm(n)
+		relabeled := make([]int, walkLen)
+		for i, v := range w {
+			relabeled[i] = perm[v]
+		}
+		return reflect.DeepEqual(walks.Anonymize(w), walks.Anonymize(relabeled))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the anonymized walk starts at 0 and each new ID is exactly
+// one greater than the running maximum.
+func TestAnonymizeCanonicalForm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := make([]int, 1+rng.Intn(15))
+		for i := range w {
+			w[i] = rng.Intn(6)
+		}
+		aw := walks.Anonymize(w)
+		if aw[0] != 0 {
+			return false
+		}
+		maxSeen := 0
+		for _, v := range aw {
+			if v > maxSeen+1 {
+				return false
+			}
+			if v > maxSeen {
+				maxSeen = v
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceEnumerationCounts(t *testing.T) {
+	// Exact-length counts are 1 (len 0), 1, 2, 5, 15, 52 — Bell numbers.
+	wantCumulative := map[int]int{1: 2, 2: 4, 3: 9, 4: 24, 5: 76}
+	for maxLen, want := range wantCumulative {
+		s := walks.NewSpace(maxLen)
+		if s.NumTypes() != want {
+			t.Fatalf("NewSpace(%d).NumTypes() = %d, want %d", maxLen, s.NumTypes(), want)
+		}
+	}
+}
+
+func TestSpaceIndexRoundTrip(t *testing.T) {
+	s := walks.NewSpace(4)
+	seen := map[int]bool{}
+	for i := 0; i < s.NumTypes(); i++ {
+		aw := s.Type(i)
+		idx, ok := s.IndexOf(aw)
+		if !ok || idx != i {
+			t.Fatalf("IndexOf(Type(%d)) = %d, %v", i, idx, ok)
+		}
+		if seen[idx] {
+			t.Fatalf("duplicate index %d", idx)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestIndexOfTruncatesLongWalks(t *testing.T) {
+	s := walks.NewSpace(2)
+	if _, ok := s.IndexOf([]int{0, 1, 2, 3, 4}); !ok {
+		t.Fatal("long walk should truncate and resolve")
+	}
+}
+
+func TestNodeDistributionsRowsSumToOne(t *testing.T) {
+	g := graph.New(5)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 2, 0)
+	g.AddEdge(2, 3, 0)
+	g.AddEdge(3, 4, 0)
+	s := walks.NewSpace(4)
+	rng := rand.New(rand.NewSource(1))
+	dist := s.NodeDistributions(g, walks.Params{Length: 4, Gamma: 50}, rng)
+	if dist.Rows != 5 || dist.Cols != s.NumTypes() {
+		t.Fatalf("dist shape %dx%d", dist.Rows, dist.Cols)
+	}
+	for i := 0; i < dist.Rows; i++ {
+		sum := 0.0
+		for _, v := range dist.Row(i) {
+			if v < 0 {
+				t.Fatal("negative probability")
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+	gd := s.GraphDistribution(dist)
+	total := 0.0
+	for _, v := range gd.Data {
+		total += v
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("graph distribution sums to %v", total)
+	}
+}
+
+func TestIsolatedNodeDistribution(t *testing.T) {
+	g := graph.New(1)
+	s := walks.NewSpace(3)
+	rng := rand.New(rand.NewSource(2))
+	dist := s.NodeDistributions(g, walks.Params{Length: 3, Gamma: 10}, rng)
+	// All mass on the trivial single-node walk type.
+	idx, ok := s.IndexOf([]int{0})
+	if !ok {
+		t.Fatal("trivial type missing")
+	}
+	if math.Abs(dist.At(0, idx)-1) > 1e-9 {
+		t.Fatalf("isolated node mass = %v", dist.At(0, idx))
+	}
+}
+
+// Structural separability: the walk signature of a chain (stencil-like)
+// differs markedly from a star (reduction-like), the figure-1 intuition.
+func TestChainVsStarSignatures(t *testing.T) {
+	chain := graph.New(7)
+	for i := 0; i+1 < 7; i++ {
+		chain.AddEdge(i, i+1, 0)
+	}
+	star := graph.New(7)
+	for i := 1; i < 7; i++ {
+		star.AddEdge(i, 0, 0)
+	}
+	s := walks.NewSpace(4)
+	p := walks.Params{Length: 4, Gamma: 200}
+	dc := s.GraphDistribution(s.NodeDistributions(chain, p, rand.New(rand.NewSource(3))))
+	ds := s.GraphDistribution(s.NodeDistributions(star, p, rand.New(rand.NewSource(4))))
+	// L1 distance between the two signatures should be substantial.
+	l1 := 0.0
+	for i := range dc.Data {
+		l1 += math.Abs(dc.Data[i] - ds.Data[i])
+	}
+	if l1 < 0.3 {
+		t.Fatalf("chain and star signatures too close: L1 = %v", l1)
+	}
+	// The hub pattern 0,1,2,1,3 (out, back through a shared center, out to
+	// a fresh node) dominates in stars but is impossible to sustain in a
+	// chain's interior.
+	hub, _ := s.IndexOf([]int{0, 1, 2, 1, 3})
+	if ds.Data[hub] <= dc.Data[hub] {
+		t.Fatalf("hub-pattern mass: star=%v chain=%v", ds.Data[hub], dc.Data[hub])
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 2, 0)
+	g.AddEdge(2, 3, 0)
+	s := walks.NewSpace(3)
+	p := walks.Params{Length: 3, Gamma: 20}
+	d1 := s.NodeDistributions(g, p, rand.New(rand.NewSource(7)))
+	d2 := s.NodeDistributions(g, p, rand.New(rand.NewSource(7)))
+	if !reflect.DeepEqual(d1.Data, d2.Data) {
+		t.Fatal("distributions differ across identical seeds")
+	}
+}
+
+func TestSampleBound(t *testing.T) {
+	s := walks.NewSpace(5) // 76 types
+	m := s.SampleBound(0.1, 0.05)
+	// (2/0.01) * (76*ln2 - ln 0.05) ~ 200 * (52.7 + 3.0) ~ 11100.
+	if m < 10000 || m > 12500 {
+		t.Fatalf("SampleBound = %d, expected ~11000", m)
+	}
+	// Tighter eps needs more samples; looser fewer.
+	if s.SampleBound(0.05, 0.05) <= m {
+		t.Fatal("smaller eps must need more samples")
+	}
+	if s.SampleBound(0.5, 0.05) >= m {
+		t.Fatal("larger eps must need fewer samples")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for eps <= 0")
+		}
+	}()
+	s.SampleBound(0, 0.05)
+}
