@@ -1,0 +1,27 @@
+# Build/verify entry points. `make test` is the tier-1 verify path:
+# vet + build + full test suite, plus the obs package under the race
+# detector (its logger/registry/span state is the only shared-mutable
+# state in the repo).
+GO ?= go
+
+.PHONY: all build lint test test-race bench verify
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+lint:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+	$(GO) test -race ./internal/obs/...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+verify: lint test

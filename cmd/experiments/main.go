@@ -13,6 +13,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"sort"
 	"time"
@@ -20,6 +22,7 @@ import (
 	"mvpar/internal/core"
 	"mvpar/internal/eval"
 	"mvpar/internal/features"
+	"mvpar/internal/obs"
 )
 
 func main() {
@@ -33,7 +36,26 @@ func main() {
 	epochs := flag.Int("epochs", -1, "training epochs (override)")
 	noise := flag.Float64("noise", -1, "annotation noise rate (override)")
 	seed := flag.Int64("seed", 1, "global seed")
+	logLevel := flag.String("log-level", "", "structured log level: debug|info|warn|error (default silent; also $MVPAR_LOG)")
+	metricsOut := flag.String("metrics-out", "", "write the metrics registry dump to this file on exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *logLevel != "" {
+		lvl, err := obs.ParseLevel(*logLevel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		obs.SetLevel(lvl)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: pprof:", err)
+			}
+		}()
+	}
 
 	cfg := core.PaperScale()
 	if *quick {
@@ -133,7 +155,32 @@ func main() {
 		}
 		fmt.Println(")")
 	}
+	// The per-stage timing table is opt-in (log level info or below), so
+	// the default output stays byte-identical to the uninstrumented run.
+	if obs.Enabled(obs.LevelInfo) {
+		fmt.Println("\nPer-stage wall time:")
+		obs.WriteTimingTable(os.Stdout)
+	}
+	if *metricsOut != "" {
+		if err := dumpMetrics(*metricsOut); err != nil {
+			fail(err)
+		}
+		fmt.Println("metrics written to", *metricsOut)
+	}
 	fmt.Printf("total elapsed: %s\n", time.Since(start).Round(time.Second))
+}
+
+// dumpMetrics writes the process-wide metrics registry to path.
+func dumpMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Dump(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printTable1 reproduces Table I: the dynamic feature definitions, with

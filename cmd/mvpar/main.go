@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"sort"
 	"strconv"
@@ -32,6 +34,7 @@ import (
 	"mvpar/internal/interp"
 	"mvpar/internal/ir"
 	"mvpar/internal/minic"
+	"mvpar/internal/obs"
 	"mvpar/internal/peg"
 	"mvpar/internal/sched"
 	"mvpar/internal/tools"
@@ -39,12 +42,32 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	logLevel := flag.String("log-level", "", "structured log level: debug|info|warn|error (default silent; also $MVPAR_LOG)")
+	metricsOut := flag.String("metrics-out", "", "write the metrics registry dump to this file on exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	flag.Usage = usage
+	flag.Parse()
+	if *logLevel != "" {
+		lvl, err := obs.ParseLevel(*logLevel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mvpar:", err)
+			os.Exit(2)
+		}
+		obs.SetLevel(lvl)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "mvpar: pprof:", err)
+			}
+		}()
+	}
+	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd := os.Args[1]
-	args := os.Args[2:]
+	cmd := flag.Arg(0)
+	args := flag.Args()[1:]
 	var err error
 	switch cmd {
 	case "oracle":
@@ -71,14 +94,37 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	if *metricsOut != "" {
+		if derr := dumpMetrics(*metricsOut); derr != nil {
+			fmt.Fprintln(os.Stderr, "mvpar: metrics:", derr)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mvpar:", err)
 		os.Exit(1)
 	}
 }
 
+// dumpMetrics writes the process-wide metrics registry to path.
+func dumpMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Dump(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: mvpar <command> [args]
+	fmt.Fprintln(os.Stderr, `usage: mvpar [global flags] <command> [args]
+
+global flags (before the command):
+  -log-level LEVEL   structured logging: debug|info|warn|error (default silent; also $MVPAR_LOG)
+  -metrics-out FILE  dump the metrics registry to FILE on exit
+  -pprof ADDR        serve net/http/pprof on ADDR (e.g. localhost:6060)
 
 commands:
   oracle   <file.mc>           profile a program, print per-loop verdicts

@@ -144,13 +144,13 @@ func RunTable3(cfg ExperimentConfig) (*Table3Result, error) {
 	trainSamples := dataset.Samples(train)
 
 	mv := gnn.NewMVGNN(d.NodeDim, d.StructDim, cfg.Seed)
-	mv.Train(trainSamples, cfg.trainConfig(), nil)
+	mv.Train(trainSamples, cfg.trainConfig(), EpochHook("table3.mvgnn"))
 
 	// The "Static GNN" baseline (Shen et al.) sees only static node
 	// information: same graph, dynamic features zeroed.
 	staticTrain := dataset.StaticNodeSamples(train)
 	static := gnn.NewSingleView(d.NodeDim, false, cfg.Seed)
-	static.Train(staticTrain, cfg.trainConfig(), nil)
+	static.Train(staticTrain, cfg.trainConfig(), EpochHook("table3.static"))
 	staticByRecord := map[*dataset.Record]gnn.Sample{}
 
 	classic := []baselines.Model{baselines.NewSVM(), baselines.NewTree(), baselines.NewAdaBoost()}
@@ -266,7 +266,7 @@ func RunTable4(cfg ExperimentConfig) ([]Table4Row, *gnn.MVGNN, error) {
 	train, _ := dataset.Split(d.Records, 0.75, cfg.Seed)
 	train = dataset.Balance(train, cfg.PerClass, cfg.Seed)
 	mv := gnn.NewMVGNN(d.NodeDim, d.StructDim, cfg.Seed)
-	mv.Train(dataset.Samples(train), cfg.trainConfig(), nil)
+	mv.Train(dataset.Samples(train), cfg.trainConfig(), EpochHook("table4"))
 
 	counts := map[string]*Table4Row{}
 	order := []string{"BT", "SP", "LU", "IS", "EP", "CG", "MG", "FT"}
@@ -328,7 +328,7 @@ func RunFigure7(cfg ExperimentConfig) (*Figure7Result, error) {
 	train, _ := dataset.Split(d.Records, 0.75, cfg.Seed)
 	train = dataset.Balance(train, cfg.PerClass, cfg.Seed)
 	mv := gnn.NewMVGNN(d.NodeDim, d.StructDim, cfg.Seed)
-	curve := mv.Train(dataset.Samples(train), cfg.trainConfig(), nil)
+	curve := mv.Train(dataset.Samples(train), cfg.trainConfig(), EpochHook("figure7"))
 	return &Figure7Result{Curve: curve}, nil
 }
 
@@ -368,7 +368,7 @@ func RunFigure8(cfg ExperimentConfig) (*Figure8Result, error) {
 	train = dataset.Balance(train, cfg.PerClass, cfg.Seed)
 
 	mv := gnn.NewMVGNN(d.NodeDim, d.StructDim, cfg.Seed)
-	mv.Train(dataset.Samples(train), cfg.trainConfig(), nil)
+	mv.Train(dataset.Samples(train), cfg.trainConfig(), EpochHook("figure8"))
 
 	res := &Figure8Result{}
 	bySuite := dataset.BySuite(d.Records)
@@ -509,7 +509,7 @@ func RunRobustness(cfg ExperimentConfig, k int) (*RobustnessResult, error) {
 	for i, fold := range dataset.KFold(d.Records, k, cfg.Seed) {
 		train := dataset.Balance(fold[0], cfg.PerClass, cfg.Seed)
 		mv := gnn.NewMVGNN(d.NodeDim, d.StructDim, cfg.Seed+int64(i))
-		mv.Train(dataset.Samples(train), cfg.trainConfig(), nil)
+		mv.Train(dataset.Samples(train), cfg.trainConfig(), EpochHook("robustness"))
 		acc := gnn.Evaluate(mv.Predict, dataset.Samples(fold[1]))
 		res.Folds = append(res.Folds, acc)
 	}

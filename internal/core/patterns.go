@@ -35,7 +35,7 @@ func RunPatternExperiment(cfg ExperimentConfig) (*PatternResult, error) {
 	train = dataset.BalanceByPattern(train, cfg.PerClass, cfg.Seed)
 
 	mv := gnn.NewMVGNNClasses(d.NodeDim, d.StructDim, dataset.NumPatterns, cfg.Seed)
-	mv.Train(dataset.PatternSamples(train), cfg.trainConfig(), nil)
+	mv.Train(dataset.PatternSamples(train), cfg.trainConfig(), EpochHook("patterns"))
 
 	res := &PatternResult{
 		PerClass:  make([]float64, dataset.NumPatterns),

@@ -13,6 +13,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"mvpar/internal/bench"
 	"mvpar/internal/dataset"
@@ -22,6 +23,7 @@ import (
 	"mvpar/internal/ir"
 	"mvpar/internal/minic"
 	"mvpar/internal/nn"
+	"mvpar/internal/obs"
 )
 
 // Options configures a Pipeline.
@@ -59,12 +61,29 @@ type TrainReport struct {
 	TrainAcc     float64
 	TestAcc      float64
 	Curve        []gnn.EpochStats
+	// StageTimings is the wall time each pipeline stage spent during this
+	// run (stage name -> cumulative duration), taken from the obs span
+	// registry.
+	StageTimings map[string]time.Duration
+}
+
+// EpochHook returns a gnn training hook that logs every epoch and streams
+// its loss/accuracy into the metrics registry; stage labels the training
+// run in the log line.
+func EpochHook(stage string) func(gnn.EpochStats) {
+	return func(e gnn.EpochStats) {
+		obs.GetGauge("mvpar_train_loss").Set(e.Loss)
+		obs.GetGauge("mvpar_train_acc").Set(e.Acc)
+		obs.Info("train.epoch", "stage", stage, "epoch", e.Epoch, "loss", e.Loss, "acc", e.Acc)
+	}
 }
 
 // TrainOn builds the dataset from apps, balances it, splits 75:25 and
 // trains the MV-GNN. The pipeline keeps the dataset (for its embedding
 // and walk space) and the trained model.
 func (p *Pipeline) TrainOn(apps []bench.App) (*TrainReport, error) {
+	before := obs.StageTimings()
+	defer obs.Start("core.train_on").End()
 	d, err := dataset.Build(apps, p.Opts.Data)
 	if err != nil {
 		return nil, err
@@ -75,14 +94,19 @@ func (p *Pipeline) TrainOn(apps []bench.App) (*TrainReport, error) {
 	train, test := dataset.Split(d.Records, 0.75, p.Opts.Seed)
 	train = dataset.Balance(train, 0, p.Opts.Seed)
 	p.Model = gnn.NewMVGNN(d.NodeDim, d.StructDim, p.Opts.Seed)
-	curve := p.Model.Train(dataset.Samples(train), p.Opts.Train, nil)
-	return &TrainReport{
+	curve := p.Model.Train(dataset.Samples(train), p.Opts.Train, EpochHook("pipeline"))
+	report := &TrainReport{
 		TrainRecords: len(train),
 		TestRecords:  len(test),
 		TrainAcc:     gnn.Evaluate(p.Model.Predict, dataset.Samples(train)),
 		TestAcc:      gnn.Evaluate(p.Model.Predict, dataset.Samples(test)),
 		Curve:        curve,
-	}, nil
+		StageTimings: obs.TimingsSince(before),
+	}
+	obs.Info("core.train_on", "train_records", report.TrainRecords,
+		"test_records", report.TestRecords, "train_acc", report.TrainAcc,
+		"test_acc", report.TestAcc)
+	return report, nil
 }
 
 // LoopPrediction is the classification of one loop of a user program.
@@ -125,15 +149,26 @@ func (p *Pipeline) ClassifySource(name, src string) ([]LoopPrediction, error) {
 	for _, rec := range d.Records {
 		sample := rec.Sample
 		pred := p.Model.Predict(sample)
-		preds = append(preds, LoopPrediction{
+		lp := LoopPrediction{
 			LoopID:   rec.Meta.LoopID,
-			Func:     loopInfo[rec.Meta.LoopID].Func,
-			Line:     loopInfo[rec.Meta.LoopID].Line,
 			Parallel: pred == 1,
 			Proba:    p.Model.PredictProba(sample),
 			Oracle:   rec.Verdict.Parallelizable,
 			Reasons:  rec.Verdict.Reasons,
-		})
+		}
+		// A record can carry a loop ID absent from the parsed source (e.g.
+		// if lowering and parsing ever disagree about loop identity); a
+		// silent zero-value lookup would fabricate empty provenance, so
+		// annotate the prediction and warn instead.
+		if info, ok := loopInfo[rec.Meta.LoopID]; ok {
+			lp.Func = info.Func
+			lp.Line = info.Line
+		} else {
+			lp.Func = "(unknown)"
+			lp.Reasons = append(lp.Reasons, fmt.Sprintf("no source loop info for loop %d", rec.Meta.LoopID))
+			obs.Warn("classify.missing_loop_info", "program", name, "loop", rec.Meta.LoopID)
+		}
+		preds = append(preds, lp)
 	}
 	return preds, nil
 }

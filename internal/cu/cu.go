@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"mvpar/internal/ir"
+	"mvpar/internal/obs"
 )
 
 // CU is one computational unit.
@@ -50,6 +51,7 @@ type Set struct {
 
 // Build partitions prog into CUs.
 func Build(prog *ir.Program) *Set {
+	defer obs.Start("cu.build").End()
 	s := &Set{
 		ByStmt:    map[int]*CU{},
 		LoopStmts: map[int][]int{},
@@ -119,6 +121,8 @@ func Build(prog *ir.Program) *Set {
 		}
 	}
 	sort.Slice(s.CUs, func(i, j int) bool { return s.CUs[i].StmtID < s.CUs[j].StmtID })
+	obs.GetCounter("mvpar_cu_builds_total").Inc()
+	obs.GetCounter("mvpar_cu_units_total").Add(int64(len(s.CUs)))
 	return s
 }
 

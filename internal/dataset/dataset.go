@@ -24,6 +24,7 @@ import (
 	"mvpar/internal/interp"
 	"mvpar/internal/ir"
 	"mvpar/internal/minic"
+	"mvpar/internal/obs"
 	"mvpar/internal/peg"
 	"mvpar/internal/tensor"
 	"mvpar/internal/tools"
@@ -117,12 +118,14 @@ func Build(apps []bench.App, cfg Config) (*Dataset, error) {
 		cfg.MaxSteps = DefaultConfig.MaxSteps
 	}
 
+	defer obs.Start("dataset.build").End()
 	type profiled struct {
 		app    bench.App
 		base   *ir.Program
 		res    *deps.Result
 		static tools.Results
 	}
+	profileSpan := obs.Start("dataset.profile")
 	var progs []profiled
 	var irProgs []*ir.Program
 	for _, app := range apps {
@@ -141,10 +144,13 @@ func Build(apps []bench.App, cfg Config) (*Dataset, error) {
 		progs = append(progs, profiled{app: app, base: base, res: res, static: tools.AnalyzeStatic(src)})
 		irProgs = append(irProgs, base)
 	}
+	profileSpan.End()
 
 	emb := cfg.Embedding
 	if emb == nil {
+		embedSpan := obs.Start("dataset.embed")
 		emb = inst2vec.Train(irProgs, cfg.EmbedCfg)
+		embedSpan.End()
 	}
 	space := walks.NewSpace(cfg.WalkLen)
 	d := &Dataset{
@@ -154,6 +160,7 @@ func Build(apps []bench.App, cfg Config) (*Dataset, error) {
 		StructDim: StructDimFor(space),
 	}
 
+	encodeSpan := obs.Start("dataset.encode")
 	for _, p := range progs {
 		for v := 0; v < cfg.Variants; v++ {
 			variant := ir.Variant(p.base, v)
@@ -208,8 +215,32 @@ func Build(apps []bench.App, cfg Config) (*Dataset, error) {
 			}
 		}
 	}
+	encodeSpan.End()
+	stdSpan := obs.Start("dataset.standardize")
 	standardizeNodeFeatures(d.Records)
+	stdSpan.End()
+	recordBuildStats(len(apps), d.Records)
 	return d, nil
+}
+
+// recordBuildStats publishes one Build's record count and class balance.
+func recordBuildStats(programs int, recs []*Record) {
+	pos := 0
+	for _, r := range recs {
+		if r.Label == 1 {
+			pos++
+		}
+	}
+	ratio := 0.0
+	if len(recs) > 0 {
+		ratio = float64(pos) / float64(len(recs))
+	}
+	obs.GetCounter("mvpar_dataset_builds_total").Inc()
+	obs.GetCounter("mvpar_dataset_programs_total").Add(int64(programs))
+	obs.GetCounter("mvpar_dataset_records_total").Add(int64(len(recs)))
+	obs.GetGauge("mvpar_dataset_balance_ratio").Set(ratio)
+	obs.Info("dataset.build", "programs", programs, "records", len(recs),
+		"positive", pos, "balance_ratio", ratio)
 }
 
 // standardizeNodeFeatures normalizes every node-view feature dimension to

@@ -21,6 +21,7 @@ import (
 
 	"mvpar/internal/interp"
 	"mvpar/internal/ir"
+	"mvpar/internal/obs"
 )
 
 // Kind is a dependence kind.
@@ -428,11 +429,53 @@ func (a *Analyzer) Finalize(prog *ir.Program) *Result {
 // Analyze profiles prog's entry function and returns the dependence result
 // together with the interpreter statistics.
 func Analyze(prog *ir.Program, entry string, limits interp.Limits) (*Result, interp.Stats, error) {
+	defer obs.Start("deps.analyze").End()
 	an := NewAnalyzer()
-	it := interp.New(prog, an, limits)
+	mt := &interp.MetricsTracer{}
+	it := interp.New(prog, interp.MultiTracer{an, mt}, limits)
 	stats, err := it.Run(entry)
+	mt.Flush()
 	if err != nil {
 		return nil, stats, err
 	}
-	return an.Finalize(prog), stats, nil
+	res := an.Finalize(prog)
+	recordResultStats(prog.Name, res)
+	return res, stats, nil
+}
+
+// recordResultStats publishes one analysis' dependence-edge and verdict
+// counts to the metrics registry.
+func recordResultStats(program string, res *Result) {
+	var raw, war, waw, carried int64
+	for _, e := range res.Edges {
+		switch e.Kind {
+		case RAW:
+			raw++
+		case WAR:
+			war++
+		default:
+			waw++
+		}
+		if e.Carried {
+			carried++
+		}
+	}
+	par, seq := 0, 0
+	for _, v := range res.Verdicts {
+		if v.Parallelizable {
+			par++
+		} else {
+			seq++
+		}
+	}
+	obs.GetCounter("mvpar_deps_analyses_total").Inc()
+	obs.GetCounter("mvpar_deps_raw_edges_total").Add(raw)
+	obs.GetCounter("mvpar_deps_war_edges_total").Add(war)
+	obs.GetCounter("mvpar_deps_waw_edges_total").Add(waw)
+	obs.GetCounter("mvpar_deps_carried_edges_total").Add(carried)
+	obs.GetCounter("mvpar_deps_parallel_loops_total").Add(int64(par))
+	obs.GetCounter("mvpar_deps_sequential_loops_total").Add(int64(seq))
+	obs.Debug("deps.analyze", "program", program,
+		"raw", raw, "war", war, "waw", waw, "carried", carried,
+		"parallel", par, "sequential", seq)
 }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"mvpar/internal/nn"
+	"mvpar/internal/obs"
 )
 
 // TrainConfig controls supervised training of the graph models.
@@ -98,6 +99,7 @@ func (v *SingleView) Predict(s Sample) int {
 // is fitted on their outputs — so the fused model starts from the best
 // single view and can only add structural evidence on top.
 func (m *MVGNN) Train(samples []Sample, cfg TrainConfig, hook func(EpochStats)) []EpochStats {
+	defer obs.Start("gnn.train").End()
 	if cfg.Epochs <= 0 {
 		cfg = DefaultTrainConfig
 	}
@@ -121,6 +123,7 @@ func (m *MVGNN) Train(samples []Sample, cfg TrainConfig, hook func(EpochStats)) 
 	}
 	samples = fit
 	if cfg.PretrainEpochs > 0 {
+		pretrainSpan := obs.Start("gnn.pretrain")
 		nodeGraphs := make([]*EncodedGraph, len(samples))
 		structGraphs := make([]*EncodedGraph, len(samples))
 		for i, s := range samples {
@@ -129,6 +132,7 @@ func (m *MVGNN) Train(samples []Sample, cfg TrainConfig, hook func(EpochStats)) 
 		}
 		m.NodeView.Pretrain(nodeGraphs, cfg.PretrainEpochs, cfg.LR, cfg.Seed)
 		m.StructView.Pretrain(structGraphs, cfg.PretrainEpochs, cfg.LR, cfg.Seed+1)
+		pretrainSpan.End()
 	}
 	viewCfg := cfg
 	curve := trainLoop(&viewPhase{m: m}, samples, viewCfg, hook)
@@ -212,6 +216,7 @@ func trainLoop(c classifier, samples []Sample, cfg TrainConfig, hook func(EpochS
 
 	var curve []EpochStats
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochSpan := obs.Start("gnn.epoch")
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		totalLoss := 0.0
 		correct := 0
@@ -245,6 +250,8 @@ func trainLoop(c classifier, samples []Sample, cfg TrainConfig, hook func(EpochS
 			Acc:   float64(correct) / float64(max(1, len(samples))),
 		}
 		curve = append(curve, st)
+		obs.GetCounter("mvpar_train_epochs_total").Inc()
+		epochSpan.End()
 		if hook != nil {
 			hook(st)
 		}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"mvpar/internal/ir"
+	"mvpar/internal/obs"
 )
 
 // LoopFrame is one entry of the dynamic loop stack: a loop, the serial
@@ -142,7 +143,13 @@ func (it *Interp) Run(entry string) (Stats, error) {
 			it.mem[base] = g.InitVal
 		}
 	}
+	sp := obs.Start("interp.run")
 	_, err := it.call(fn, nil, nil)
+	sp.End()
+	recordRunStats(it.stats)
+	if err != nil {
+		obs.GetCounter("mvpar_interp_errors_total").Inc()
+	}
 	return it.stats, err
 }
 

@@ -4,12 +4,14 @@ import (
 	"fmt"
 
 	"mvpar/internal/minic"
+	"mvpar/internal/obs"
 )
 
 // Lower translates a checked MiniC program to IR. Global initializers must
 // be constant expressions. The boolean operators evaluate both operands
 // (MiniC has no side effects in conditions, so eager evaluation is sound).
 func Lower(p *minic.Program) (*Program, error) {
+	defer obs.Start("ir.lower").End()
 	if err := minic.Check(p); err != nil {
 		return nil, err
 	}
@@ -34,6 +36,13 @@ func Lower(p *minic.Program) (*Program, error) {
 		}
 		prog.Funcs = append(prog.Funcs, fn)
 	}
+	instrs := 0
+	for _, fn := range prog.Funcs {
+		instrs += len(fn.Code)
+	}
+	obs.GetCounter("mvpar_ir_lower_total").Inc()
+	obs.GetCounter("mvpar_ir_instrs_total").Add(int64(instrs))
+	obs.Debug("ir.lower", "program", p.Name, "funcs", len(prog.Funcs), "instrs", instrs)
 	return prog, nil
 }
 

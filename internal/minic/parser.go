@@ -3,6 +3,8 @@ package minic
 import (
 	"fmt"
 	"strconv"
+
+	"mvpar/internal/obs"
 )
 
 // Parser is a recursive-descent parser for MiniC.
@@ -14,17 +16,23 @@ type Parser struct {
 
 // Parse lexes and parses src into a Program named name.
 func Parse(name, src string) (*Program, error) {
+	defer obs.Start("minic.parse").End()
 	toks, err := Lex(src)
 	if err != nil {
+		obs.GetCounter("mvpar_minic_parse_errors_total").Inc()
 		return nil, err
 	}
 	p := &Parser{toks: toks}
 	prog := &Program{Name: name}
 	for !p.at(TokEOF, "") {
 		if err := p.parseTopLevel(prog); err != nil {
+			obs.GetCounter("mvpar_minic_parse_errors_total").Inc()
 			return nil, err
 		}
 	}
+	obs.GetCounter("mvpar_minic_parse_total").Inc()
+	obs.GetCounter("mvpar_minic_loops_total").Add(int64(len(prog.Loops())))
+	obs.Debug("minic.parse", "program", name, "funcs", len(prog.Funcs), "loops", len(prog.Loops()))
 	return prog, nil
 }
 

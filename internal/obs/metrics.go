@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable float metric (last value wins).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v as the gauge's current value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// histBuckets are the upper bounds of the histogram's exponential
+// buckets, sized for durations in seconds and counts alike: 1e-6 .. ~65s
+// doubling, plus a +Inf overflow bucket.
+var histBuckets = func() []float64 {
+	var b []float64
+	for v := 1e-6; v < 100; v *= 2 {
+		b = append(b, v)
+	}
+	return b
+}()
+
+// Histogram aggregates observed float values: count, sum, min, max and
+// exponential buckets.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets []int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.buckets == nil {
+		h.buckets = make([]int64, len(histBuckets)+1)
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	i := sort.SearchFloat64s(histBuckets, v)
+	h.buckets[i]++
+}
+
+// Snapshot returns the histogram's aggregate statistics.
+func (h *Histogram) Snapshot() (count int64, sum, min, max float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count, h.sum, h.min, h.max
+}
+
+// Registry is a set of named metrics. The zero value is not usable; use
+// NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	spans    map[string]*spanStat
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		spans:    map[string]*spanStat{},
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry every package-level helper
+// operates on.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset drops every metric and span; tests use it for isolation.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = map[string]*Counter{}
+	r.gauges = map[string]*Gauge{}
+	r.hists = map[string]*Histogram{}
+	r.spans = map[string]*spanStat{}
+}
+
+// Dump writes every metric in a stable, sorted, expvar-style text form:
+// one "name value" line per counter and gauge, and count/sum/min/max
+// lines per histogram. Span aggregates appear as both histograms
+// (mvpar_span_<stage>_seconds_*) and the stage-timing lines emitted by
+// DumpTimings callers.
+func (r *Registry) Dump(w io.Writer) error {
+	r.mu.Lock()
+	var lines []string
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("%s %.6g", name, g.Value()))
+	}
+	for name, h := range r.hists {
+		count, sum, min, max := h.Snapshot()
+		lines = append(lines, fmt.Sprintf("%s_count %d", name, count))
+		lines = append(lines, fmt.Sprintf("%s_sum %.6g", name, sum))
+		if count > 0 {
+			lines = append(lines, fmt.Sprintf("%s_min %.6g", name, min))
+			lines = append(lines, fmt.Sprintf("%s_max %.6g", name, max))
+		}
+	}
+	r.mu.Unlock()
+	if len(lines) == 0 {
+		return nil
+	}
+	sort.Strings(lines)
+	_, err := io.WriteString(w, strings.Join(lines, "\n")+"\n")
+	return err
+}
+
+// DumpString returns Dump's output as a string.
+func (r *Registry) DumpString() string {
+	var b strings.Builder
+	r.Dump(&b)
+	return b.String()
+}
+
+// Package-level helpers on the default registry.
+
+// GetCounter returns the named counter of the default registry.
+func GetCounter(name string) *Counter { return defaultRegistry.Counter(name) }
+
+// GetGauge returns the named gauge of the default registry.
+func GetGauge(name string) *Gauge { return defaultRegistry.Gauge(name) }
+
+// GetHistogram returns the named histogram of the default registry.
+func GetHistogram(name string) *Histogram { return defaultRegistry.Histogram(name) }
+
+// Reset clears the default registry (tests only).
+func Reset() { defaultRegistry.Reset() }
+
+// Dump writes the default registry to w.
+func Dump(w io.Writer) error { return defaultRegistry.Dump(w) }

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// spanStat aggregates every End of one stage name.
+type spanStat struct {
+	count int64
+	total time.Duration
+}
+
+// Span is one in-flight timing measurement, created by Start. End records
+// its wall time into the owning registry under the stage name.
+type Span struct {
+	name  string
+	start time.Time
+	reg   *Registry
+}
+
+// Start begins a span on the default registry. Typical use:
+//
+//	defer obs.Start("dataset.build").End()
+func Start(name string) Span { return defaultRegistry.Start(name) }
+
+// Start begins a span on r.
+func (r *Registry) Start(name string) Span {
+	return Span{name: name, start: time.Now(), reg: r}
+}
+
+// End records the span's duration and returns it. Each stage aggregates
+// into a count/total pair (see StageTimings) and into the histogram
+// mvpar_span_<stage>_seconds.
+func (s Span) End() time.Duration {
+	if s.reg == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.reg.recordSpan(s.name, d)
+	Debug("span.end", "stage", s.name, "dur", d)
+	return d
+}
+
+func (r *Registry) recordSpan(name string, d time.Duration) {
+	r.mu.Lock()
+	st := r.spans[name]
+	if st == nil {
+		st = &spanStat{}
+		r.spans[name] = st
+	}
+	st.count++
+	st.total += d
+	r.mu.Unlock()
+	r.Histogram("mvpar_span_" + mangle(name) + "_seconds").Observe(d.Seconds())
+}
+
+// mangle turns a stage name into a metric-name segment.
+func mangle(name string) string {
+	return strings.Map(func(c rune) rune {
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			return c
+		}
+		return '_'
+	}, name)
+}
+
+// StageTimings returns the cumulative wall time per stage name recorded
+// so far on the default registry.
+func StageTimings() map[string]time.Duration { return defaultRegistry.StageTimings() }
+
+// StageTimings returns the cumulative wall time per stage name.
+func (r *Registry) StageTimings() map[string]time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]time.Duration, len(r.spans))
+	for name, st := range r.spans {
+		out[name] = st.total
+	}
+	return out
+}
+
+// StageTiming is one row of the per-stage timing summary.
+type StageTiming struct {
+	Name  string
+	Count int64
+	Total time.Duration
+}
+
+// Timings returns the per-stage summary of the default registry, sorted
+// by descending total wall time.
+func Timings() []StageTiming { return defaultRegistry.Timings() }
+
+// Timings returns the per-stage summary sorted by descending total.
+func (r *Registry) Timings() []StageTiming {
+	r.mu.Lock()
+	out := make([]StageTiming, 0, len(r.spans))
+	for name, st := range r.spans {
+		out = append(out, StageTiming{Name: name, Count: st.count, Total: st.total})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// TimingsSince subtracts a StageTimings snapshot taken earlier from the
+// default registry's current totals, yielding the wall time spent per
+// stage in between. Stages with no new time are omitted.
+func TimingsSince(before map[string]time.Duration) map[string]time.Duration {
+	now := StageTimings()
+	out := map[string]time.Duration{}
+	for name, total := range now {
+		if d := total - before[name]; d > 0 {
+			out[name] = d
+		}
+	}
+	return out
+}
+
+// WriteTimingTable renders the per-stage timing summary of the default
+// registry as an aligned text table.
+func WriteTimingTable(w io.Writer) {
+	rows := Timings()
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-28s %8s %14s %14s\n", "stage", "calls", "total", "mean")
+	for _, r := range rows {
+		mean := time.Duration(0)
+		if r.Count > 0 {
+			mean = r.Total / time.Duration(r.Count)
+		}
+		fmt.Fprintf(w, "%-28s %8d %14s %14s\n",
+			r.Name, r.Count, r.Total.Round(time.Microsecond), mean.Round(time.Microsecond))
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"mvpar/internal/deps"
 	"mvpar/internal/graph"
 	"mvpar/internal/ir"
+	"mvpar/internal/obs"
 )
 
 // NodeKind distinguishes PEG node types.
@@ -121,6 +122,7 @@ type PEG struct {
 // Build constructs the full-program PEG from the CU partition and the
 // measured dependences.
 func Build(prog *ir.Program, cus *cu.Set, result *deps.Result) *PEG {
+	defer obs.Start("peg.build").End()
 	p := &PEG{
 		G:      graph.New(0),
 		ByStmt: map[int]int{},
@@ -196,6 +198,9 @@ func Build(prog *ir.Program, cus *cu.Set, result *deps.Result) *PEG {
 			p.G.AddEdge(src, dst, kind)
 		}
 	}
+	obs.GetCounter("mvpar_peg_builds_total").Inc()
+	obs.GetCounter("mvpar_peg_nodes_total").Add(int64(p.G.NumNodes()))
+	obs.GetCounter("mvpar_peg_edges_total").Add(int64(p.G.NumEdges()))
 	return p
 }
 

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"mvpar/internal/graph"
+	"mvpar/internal/obs"
 	"mvpar/internal/tensor"
 )
 
@@ -131,11 +132,13 @@ var DefaultParams = Params{Length: 5, Gamma: 32}
 // every node of g and returns the N x NumTypes matrix of empirical
 // distributions p̂(ω|v) (eq. 3). Rows sum to 1 for non-empty graphs.
 func (s *Space) NodeDistributions(g *graph.Directed, p Params, rng *rand.Rand) *tensor.Matrix {
+	defer obs.Start("walks.sample").End()
 	n := g.NumNodes()
 	out := tensor.New(n, s.NumTypes())
 	if p.Gamma <= 0 {
 		return out
 	}
+	obs.GetCounter("mvpar_walks_sampled_total").Add(int64(n) * int64(p.Gamma))
 	inv := 1.0 / float64(p.Gamma)
 	for v := 0; v < n; v++ {
 		row := out.Row(v)
