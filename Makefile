@@ -4,7 +4,10 @@
 # state in the repo).
 GO ?= go
 
-.PHONY: all build lint test test-race bench verify
+.PHONY: all build lint test test-race bench fuzz verify
+
+# How long `make fuzz` mutates the MiniC parser (CI uses 10s).
+FUZZTIME ?= 30s
 
 all: verify
 
@@ -23,5 +26,8 @@ test-race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/minic/
 
 verify: lint test

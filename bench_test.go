@@ -48,7 +48,7 @@ func miniConfig() core.ExperimentConfig {
 // miniDataset builds the mini corpus dataset once per call.
 func miniDataset(b *testing.B, cfg core.ExperimentConfig) *dataset.Dataset {
 	b.Helper()
-	d, err := dataset.Build(cfg.AppsOverride, core.ExportDataConfig(cfg))
+	d, _, err := dataset.Build(cfg.AppsOverride, core.ExportDataConfig(cfg))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func BenchmarkAblationWalkParams(b *testing.B) {
 			dcfg := core.ExportDataConfig(cfg)
 			dcfg.WalkParams = p
 			dcfg.WalkLen = p.Length
-			d, err := dataset.Build(cfg.AppsOverride, dcfg)
+			d, _, err := dataset.Build(cfg.AppsOverride, dcfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -289,7 +289,7 @@ func BenchmarkDatasetEncode(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d, err := dataset.Build([]bench.App{app}, cfg)
+		d, _, err := dataset.Build([]bench.App{app}, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

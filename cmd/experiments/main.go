@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -39,6 +40,7 @@ func main() {
 	logLevel := flag.String("log-level", "", "structured log level: debug|info|warn|error (default silent; also $MVPAR_LOG)")
 	metricsOut := flag.String("metrics-out", "", "write the metrics registry dump to this file on exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (e.g. 10m; 0 = no limit)")
 	flag.Parse()
 
 	if *logLevel != "" {
@@ -74,6 +76,11 @@ func main() {
 		cfg.LabelNoise = *noise
 	}
 	cfg.Seed = *seed
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		cfg.Ctx = ctx
+	}
 
 	runAll := *table == 0 && *figure == 0 && !*patterns && !*robustness
 	start := time.Now()

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -45,6 +46,7 @@ func main() {
 	logLevel := flag.String("log-level", "", "structured log level: debug|info|warn|error (default silent; also $MVPAR_LOG)")
 	metricsOut := flag.String("metrics-out", "", "write the metrics registry dump to this file on exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	timeout := flag.Duration("timeout", 0, "abort the command after this duration (e.g. 30s; 0 = no limit)")
 	flag.Usage = usage
 	flag.Parse()
 	if *logLevel != "" {
@@ -68,28 +70,34 @@ func main() {
 	}
 	cmd := flag.Arg(0)
 	args := flag.Args()[1:]
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	var err error
 	switch cmd {
 	case "oracle":
-		err = cmdOracle(args)
+		err = cmdOracle(ctx, args)
 	case "peg":
-		err = cmdPEG(args)
+		err = cmdPEG(ctx, args)
 	case "subpeg":
-		err = cmdSubPEG(args)
+		err = cmdSubPEG(ctx, args)
 	case "tools":
-		err = cmdTools(args)
+		err = cmdTools(ctx, args)
 	case "train":
-		err = cmdTrain(args)
+		err = cmdTrain(ctx, args)
 	case "classify":
-		err = cmdClassify(args)
+		err = cmdClassify(ctx, args)
 	case "corpus":
 		err = cmdCorpus(args)
 	case "speedup":
-		err = cmdSpeedup(args)
+		err = cmdSpeedup(ctx, args)
 	case "dataset":
-		err = cmdDataset(args)
+		err = cmdDataset(ctx, args)
 	case "explain":
-		err = cmdExplain(args)
+		err = cmdExplain(ctx, args)
 	default:
 		usage()
 		os.Exit(2)
@@ -125,6 +133,7 @@ global flags (before the command):
   -log-level LEVEL   structured logging: debug|info|warn|error (default silent; also $MVPAR_LOG)
   -metrics-out FILE  dump the metrics registry to FILE on exit
   -pprof ADDR        serve net/http/pprof on ADDR (e.g. localhost:6060)
+  -timeout DUR       abort the command after DUR (e.g. 30s; 0 = no limit)
 
 commands:
   oracle   <file.mc>           profile a program, print per-loop verdicts
@@ -147,7 +156,7 @@ func loadSource(path string) (string, error) {
 	return string(data), nil
 }
 
-func cmdOracle(args []string) error {
+func cmdOracle(ctx context.Context, args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("oracle: expected one source file")
 	}
@@ -155,7 +164,7 @@ func cmdOracle(args []string) error {
 	if err != nil {
 		return err
 	}
-	prog, res, err := core.ProfileSource(args[0], src)
+	prog, res, err := core.ProfileSourceContext(ctx, args[0], src)
 	if err != nil {
 		return err
 	}
@@ -179,7 +188,7 @@ func cmdOracle(args []string) error {
 	return nil
 }
 
-func buildPEG(path string) (*peg.PEG, *ir.Program, error) {
+func buildPEG(ctx context.Context, path string) (*peg.PEG, *ir.Program, error) {
 	src, err := loadSource(path)
 	if err != nil {
 		return nil, nil, err
@@ -192,18 +201,18 @@ func buildPEG(path string) (*peg.PEG, *ir.Program, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	res, _, err := deps.Analyze(prog, "main", interp.Limits{})
+	res, _, err := deps.Analyze(prog, "main", interp.Limits{Ctx: ctx})
 	if err != nil {
 		return nil, nil, err
 	}
 	return peg.Build(prog, cu.Build(prog), res), prog, nil
 }
 
-func cmdPEG(args []string) error {
+func cmdPEG(ctx context.Context, args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("peg: expected one source file")
 	}
-	p, _, err := buildPEG(args[0])
+	p, _, err := buildPEG(ctx, args[0])
 	if err != nil {
 		return err
 	}
@@ -211,7 +220,7 @@ func cmdPEG(args []string) error {
 	return nil
 }
 
-func cmdSubPEG(args []string) error {
+func cmdSubPEG(ctx context.Context, args []string) error {
 	if len(args) != 2 {
 		return fmt.Errorf("subpeg: expected source file and loop ID")
 	}
@@ -219,7 +228,7 @@ func cmdSubPEG(args []string) error {
 	if err != nil {
 		return fmt.Errorf("subpeg: bad loop ID %q", args[1])
 	}
-	p, prog, err := buildPEG(args[0])
+	p, prog, err := buildPEG(ctx, args[0])
 	if err != nil {
 		return err
 	}
@@ -230,7 +239,7 @@ func cmdSubPEG(args []string) error {
 	return nil
 }
 
-func cmdTools(args []string) error {
+func cmdTools(ctx context.Context, args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("tools: expected one source file")
 	}
@@ -246,7 +255,7 @@ func cmdTools(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, _, err := deps.Analyze(prog, "main", interp.Limits{})
+	res, _, err := deps.Analyze(prog, "main", interp.Limits{Ctx: ctx})
 	if err != nil {
 		return err
 	}
@@ -283,7 +292,7 @@ func trainOptions(quick bool) core.Options {
 	return opts
 }
 
-func cmdTrain(args []string) error {
+func cmdTrain(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	modelPath := fs.String("model", "", "write trained model parameters to this file")
 	quick := fs.Bool("quick", false, "use the fast configuration")
@@ -291,12 +300,15 @@ func cmdTrain(args []string) error {
 		return err
 	}
 	pl := core.NewPipeline(trainOptions(*quick))
-	report, err := pl.TrainOn(bench.Corpus())
+	report, err := pl.TrainOnContext(ctx, bench.Corpus())
 	if err != nil {
 		return err
 	}
 	fmt.Printf("trained on %d records (test %d): train acc %.1f%%, test acc %.1f%%\n",
 		report.TrainRecords, report.TestRecords, 100*report.TrainAcc, 100*report.TestAcc)
+	if report.Build != nil && report.Build.Quarantine.Len() > 0 {
+		fmt.Fprintln(os.Stderr, report.Build.Quarantine)
+	}
 	if *modelPath != "" {
 		f, err := os.Create(*modelPath)
 		if err != nil {
@@ -311,7 +323,7 @@ func cmdTrain(args []string) error {
 	return nil
 }
 
-func cmdClassify(args []string) error {
+func cmdClassify(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("classify", flag.ExitOnError)
 	quick := fs.Bool("quick", true, "use the fast training configuration")
 	if err := fs.Parse(args); err != nil {
@@ -325,10 +337,10 @@ func cmdClassify(args []string) error {
 		return err
 	}
 	pl := core.NewPipeline(trainOptions(*quick))
-	if _, err := pl.TrainOn(bench.Corpus()); err != nil {
+	if _, err := pl.TrainOnContext(ctx, bench.Corpus()); err != nil {
 		return err
 	}
-	preds, err := pl.ClassifySource(fs.Arg(0), src)
+	preds, err := pl.ClassifySourceContext(ctx, fs.Arg(0), src)
 	if err != nil {
 		return err
 	}
@@ -340,7 +352,7 @@ func cmdClassify(args []string) error {
 	return nil
 }
 
-func cmdSpeedup(args []string) error {
+func cmdSpeedup(ctx context.Context, args []string) error {
 	if len(args) < 1 || len(args) > 2 {
 		return fmt.Errorf("speedup: expected source file and optional thread count")
 	}
@@ -367,7 +379,7 @@ func cmdSpeedup(args []string) error {
 	fmt.Printf("%-6s %-6s %-10s %-12s %-12s %-9s\n",
 		"loop", "line", "iters", "serial", "parallel", "speedup")
 	for _, id := range prog.LoopIDs() {
-		dag, err := sched.BuildDAG(prog, "main", id, interp.Limits{})
+		dag, err := sched.BuildDAG(prog, "main", id, interp.Limits{Ctx: ctx})
 		if err != nil {
 			fmt.Printf("%-6d %-6d %s\n", id, prog.Loops[id].Line, err)
 			continue
@@ -379,7 +391,7 @@ func cmdSpeedup(args []string) error {
 	return nil
 }
 
-func cmdDataset(args []string) error {
+func cmdDataset(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("dataset", flag.ExitOnError)
 	out := fs.String("out", "", "write JSON here (default stdout)")
 	variants := fs.Int("variants", 2, "IR variants per program")
@@ -388,7 +400,8 @@ func cmdDataset(args []string) error {
 	}
 	cfg := dataset.DefaultConfig
 	cfg.Variants = *variants
-	d, err := dataset.Build(bench.Corpus(), cfg)
+	cfg.Ctx = ctx
+	d, _, err := dataset.Build(bench.Corpus(), cfg)
 	if err != nil {
 		return err
 	}
@@ -458,7 +471,7 @@ func cmdCorpus(args []string) error {
 // cmdExplain dumps everything the pipeline knows about one loop: oracle
 // verdict and evidence, Table-I features, tool decisions, the sub-PEG's
 // size, and the dominant anonymous-walk types of its structural signature.
-func cmdExplain(args []string) error {
+func cmdExplain(ctx context.Context, args []string) error {
 	if len(args) != 2 {
 		return fmt.Errorf("explain: expected source file and loop ID")
 	}
@@ -482,7 +495,7 @@ func cmdExplain(args []string) error {
 	if !ok {
 		return fmt.Errorf("explain: no loop %d (have %v)", loopID, prog.LoopIDs())
 	}
-	res, _, err := deps.Analyze(prog, "main", interp.Limits{})
+	res, _, err := deps.Analyze(prog, "main", interp.Limits{Ctx: ctx})
 	if err != nil {
 		return err
 	}

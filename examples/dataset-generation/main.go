@@ -29,7 +29,7 @@ func main() {
 		EmbedCfg:   inst2vec.DefaultConfig,
 		Seed:       1,
 	}
-	d, err := dataset.Build(apps, cfg)
+	d, _, err := dataset.Build(apps, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -134,7 +134,7 @@ func tinyDataset(t *testing.T) *dataset.Dataset {
 		{Name: "mini-ep", Suite: "NPB", Source: bench.Corpus()[4].Source},        // EP
 		{Name: "mini-jac", Suite: "PolyBench", Source: bench.Corpus()[9].Source}, // jacobi-2d
 	}
-	d, err := dataset.Build(apps, dataset.Config{
+	d, _, err := dataset.Build(apps, dataset.Config{
 		Variants:   2,
 		WalkParams: walks.Params{Length: 4, Gamma: 8},
 		WalkLen:    4,

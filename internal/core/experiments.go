@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -30,6 +31,9 @@ type ExperimentConfig struct {
 	// AppsOverride, when non-empty, replaces the full corpus — used by
 	// tests to exercise the harness at miniature scale.
 	AppsOverride []bench.App
+	// Ctx, when non-nil, cancels the experiment's dataset builds and
+	// training runs (the experiments CLI sets it from --timeout).
+	Ctx context.Context
 }
 
 // PaperScale mirrors the paper's setup as closely as the corpus allows:
@@ -52,6 +56,7 @@ func (c ExperimentConfig) dataConfig() dataset.Config {
 	cfg.WalkParams = walks.Params{Length: 5, Gamma: 24}
 	cfg.EmbedCfg = inst2vec.DefaultConfig
 	cfg.LabelNoise = c.LabelNoise
+	cfg.Ctx = c.Ctx
 	return cfg
 }
 
@@ -72,6 +77,7 @@ func (c ExperimentConfig) trainConfig() gnn.TrainConfig {
 	if c.Epochs >= 20 {
 		cfg.PretrainEpochs = 2
 	}
+	cfg.Ctx = c.Ctx
 	return cfg
 }
 
@@ -134,7 +140,7 @@ var table3Models = []string{
 // every suite's loops for the per-suite rows and records aggregate
 // held-out accuracy, reproducing Table III.
 func RunTable3(cfg ExperimentConfig) (*Table3Result, error) {
-	d, err := dataset.Build(cfg.corpus(), cfg.dataConfig())
+	d, _, err := dataset.Build(cfg.corpus(), cfg.dataConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -259,7 +265,7 @@ type Table4Row struct {
 // RunTable4 reproduces the NPB case study: the trained MV-GNN applied to
 // every NPB loop, counting predicted-parallelizable loops per application.
 func RunTable4(cfg ExperimentConfig) ([]Table4Row, *gnn.MVGNN, error) {
-	d, err := dataset.Build(cfg.corpus(), cfg.dataConfig())
+	d, _, err := dataset.Build(cfg.corpus(), cfg.dataConfig())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -321,7 +327,7 @@ func RunFigure7(cfg ExperimentConfig) (*Figure7Result, error) {
 	if len(apps) == 0 {
 		apps = bench.TransformedCorpus(maxInt(1, cfg.TransformedCopies))
 	}
-	d, err := dataset.Build(apps, cfg.dataConfig())
+	d, _, err := dataset.Build(apps, cfg.dataConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -360,7 +366,7 @@ type Figure8Result struct {
 // node view dominant) without the saturation artifact. The per-view
 // probes are the jointly trained model's own view heads.
 func RunFigure8(cfg ExperimentConfig) (*Figure8Result, error) {
-	d, err := dataset.Build(cfg.corpus(), cfg.dataConfig())
+	d, _, err := dataset.Build(cfg.corpus(), cfg.dataConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -433,7 +439,7 @@ void main() {
 `
 	cfg := dataset.Config{Variants: 1, WalkParams: walks.Params{Length: 5, Gamma: 64},
 		WalkLen: 5, EmbedCfg: inst2vec.DefaultConfig, Seed: 1}
-	d, err := dataset.Build([]bench.App{
+	d, _, err := dataset.Build([]bench.App{
 		{Name: "stencil", Suite: "fig1", Source: stencilSrc},
 		{Name: "reduce", Suite: "fig1", Source: reduceSrc},
 	}, cfg)
@@ -501,7 +507,7 @@ type RobustnessResult struct {
 // RunRobustness cross-validates the MV-GNN with k folds at loop-object
 // granularity — the stability check behind the single-split numbers.
 func RunRobustness(cfg ExperimentConfig, k int) (*RobustnessResult, error) {
-	d, err := dataset.Build(cfg.corpus(), cfg.dataConfig())
+	d, _, err := dataset.Build(cfg.corpus(), cfg.dataConfig())
 	if err != nil {
 		return nil, err
 	}

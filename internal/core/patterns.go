@@ -27,7 +27,7 @@ type PatternResult struct {
 // RunPatternExperiment trains a three-class MV-GNN on the oracle's
 // pattern labels and evaluates on held-out loop objects.
 func RunPatternExperiment(cfg ExperimentConfig) (*PatternResult, error) {
-	d, err := dataset.Build(cfg.corpus(), cfg.dataConfig())
+	d, _, err := dataset.Build(cfg.corpus(), cfg.dataConfig())
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -65,6 +66,9 @@ type TrainReport struct {
 	// run (stage name -> cumulative duration), taken from the obs span
 	// registry.
 	StageTimings map[string]time.Duration
+	// Build reports the dataset construction outcome, including any
+	// quarantined programs when Options.Data.Strict is off.
+	Build *dataset.BuildReport
 }
 
 // EpochHook returns a gnn training hook that logs every epoch and streams
@@ -82,9 +86,21 @@ func EpochHook(stage string) func(gnn.EpochStats) {
 // trains the MV-GNN. The pipeline keeps the dataset (for its embedding
 // and walk space) and the trained model.
 func (p *Pipeline) TrainOn(apps []bench.App) (*TrainReport, error) {
+	return p.TrainOnContext(context.Background(), apps)
+}
+
+// TrainOnContext is TrainOn with cancellation: ctx flows into the
+// interpreter's stride check during profiling and the trainer's batch
+// boundaries, so a deadline aborts the run within milliseconds of expiry
+// instead of after the current program finishes.
+func (p *Pipeline) TrainOnContext(ctx context.Context, apps []bench.App) (*TrainReport, error) {
 	before := obs.StageTimings()
 	defer obs.Start("core.train_on").End()
-	d, err := dataset.Build(apps, p.Opts.Data)
+	dataCfg := p.Opts.Data
+	if dataCfg.Ctx == nil {
+		dataCfg.Ctx = ctx
+	}
+	d, buildReport, err := dataset.Build(apps, dataCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +110,14 @@ func (p *Pipeline) TrainOn(apps []bench.App) (*TrainReport, error) {
 	train, test := dataset.Split(d.Records, 0.75, p.Opts.Seed)
 	train = dataset.Balance(train, 0, p.Opts.Seed)
 	p.Model = gnn.NewMVGNN(d.NodeDim, d.StructDim, p.Opts.Seed)
-	curve := p.Model.Train(dataset.Samples(train), p.Opts.Train, EpochHook("pipeline"))
+	trainCfg := p.Opts.Train
+	if trainCfg.Ctx == nil {
+		trainCfg.Ctx = ctx
+	}
+	curve := p.Model.Train(dataset.Samples(train), trainCfg, EpochHook("pipeline"))
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: training cancelled: %w", err)
+	}
 	report := &TrainReport{
 		TrainRecords: len(train),
 		TestRecords:  len(test),
@@ -102,6 +125,7 @@ func (p *Pipeline) TrainOn(apps []bench.App) (*TrainReport, error) {
 		TestAcc:      gnn.Evaluate(p.Model.Predict, dataset.Samples(test)),
 		Curve:        curve,
 		StageTimings: obs.TimingsSince(before),
+		Build:        buildReport,
 	}
 	obs.Info("core.train_on", "train_records", report.TrainRecords,
 		"test_records", report.TestRecords, "train_acc", report.TrainAcc,
@@ -124,16 +148,31 @@ type LoopPrediction struct {
 // classifies every loop with the trained model. The pipeline must have
 // been trained first so the embedding and walk space exist.
 func (p *Pipeline) ClassifySource(name, src string) ([]LoopPrediction, error) {
+	return p.ClassifySourceContext(context.Background(), name, src)
+}
+
+// ClassifySourceContext is ClassifySource with cancellation. Loops whose
+// structural view could not be sampled (walk budget exceeded) are not
+// dropped: they get a node-view-only prediction — the paper's Static-GNN
+// geometry — with the degradation recorded in Reasons and counted by
+// mvpar_degraded_predictions_total.
+func (p *Pipeline) ClassifySourceContext(ctx context.Context, name, src string) ([]LoopPrediction, error) {
 	if p.Model == nil || p.Dataset == nil {
 		return nil, fmt.Errorf("core: pipeline is untrained")
 	}
 	app := bench.App{Name: name, Suite: "user", Source: src}
 	// Encode with the pipeline's settings, reusing the trained inst2vec
 	// space so the node features live in the model's input geometry.
+	// Always strict: errors in the user's one program must surface, not
+	// quarantine into an empty prediction list.
 	cfg := p.Opts.Data
 	cfg.Variants = 1
 	cfg.Embedding = p.Dataset.Embedding
-	d, err := dataset.Build([]bench.App{app}, cfg)
+	cfg.Strict = true
+	if cfg.Ctx == nil {
+		cfg.Ctx = ctx
+	}
+	d, _, err := dataset.Build([]bench.App{app}, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -148,13 +187,28 @@ func (p *Pipeline) ClassifySource(name, src string) ([]LoopPrediction, error) {
 	}
 	for _, rec := range d.Records {
 		sample := rec.Sample
-		pred := p.Model.Predict(sample)
+		var pred int
+		var proba float64
+		if len(rec.Degraded) > 0 {
+			pred = p.Model.PredictNodeView(sample)
+			proba = p.Model.PredictProbaNodeView(sample)
+			obs.GetCounter("mvpar_degraded_predictions_total").Inc()
+			obs.Warn("classify.degraded", "program", name, "loop", rec.Meta.LoopID,
+				"reasons", fmt.Sprint(rec.Degraded))
+		} else {
+			pred = p.Model.Predict(sample)
+			proba = p.Model.PredictProba(sample)
+		}
 		lp := LoopPrediction{
 			LoopID:   rec.Meta.LoopID,
 			Parallel: pred == 1,
-			Proba:    p.Model.PredictProba(sample),
+			Proba:    proba,
 			Oracle:   rec.Verdict.Parallelizable,
 			Reasons:  rec.Verdict.Reasons,
+		}
+		if len(rec.Degraded) > 0 {
+			lp.Reasons = append(append([]string(nil), lp.Reasons...), rec.Degraded...)
+			lp.Reasons = append(lp.Reasons, "prediction from node view only")
 		}
 		// A record can carry a loop ID absent from the parsed source (e.g.
 		// if lowering and parsing ever disagree about loop identity); a
@@ -197,6 +251,12 @@ func (p *Pipeline) LoadModel(r io.Reader) error {
 // the library's DiscoPoP-phase-1 entry point for users who want raw
 // dependences rather than model predictions.
 func ProfileSource(name, src string) (*ir.Program, *deps.Result, error) {
+	return ProfileSourceContext(context.Background(), name, src)
+}
+
+// ProfileSourceContext is ProfileSource with cancellation: a done ctx
+// aborts the instrumented execution at the interpreter's stride check.
+func ProfileSourceContext(ctx context.Context, name, src string) (*ir.Program, *deps.Result, error) {
 	ast, err := minic.Parse(name, src)
 	if err != nil {
 		return nil, nil, err
@@ -205,7 +265,7 @@ func ProfileSource(name, src string) (*ir.Program, *deps.Result, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	res, _, err := deps.Analyze(prog, "main", interp.Limits{})
+	res, _, err := deps.Analyze(prog, "main", interp.Limits{Ctx: ctx})
 	if err != nil {
 		return nil, nil, err
 	}

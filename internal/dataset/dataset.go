@@ -9,6 +9,8 @@
 package dataset
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -17,6 +19,7 @@ import (
 	"mvpar/internal/bench"
 	"mvpar/internal/cu"
 	"mvpar/internal/deps"
+	"mvpar/internal/faults"
 	"mvpar/internal/features"
 	"mvpar/internal/gnn"
 	"mvpar/internal/graph"
@@ -50,6 +53,12 @@ type Record struct {
 	// Tools holds the per-loop decisions of the emulated
 	// auto-parallelization tools (Pluto, AutoPar, DiscoPoP), as 0/1.
 	Tools map[string]int
+	// Degraded lists why parts of this record fell back to a reduced
+	// encoding (currently: structural-view walk sampling failed or went
+	// over budget, replaced by an all-zero structural view). Consumers
+	// such as core.ClassifySource use it to switch to a node-view-only
+	// prediction instead of dropping the loop.
+	Degraded []string
 }
 
 // Config controls dataset construction.
@@ -73,17 +82,30 @@ type Config struct {
 	// exact, so the annotation-noise channel is reintroduced explicitly.
 	// The six hand-written BOTS loops are hand-verified and exempt.
 	LabelNoise float64
+	// Strict makes Build fail fast on the first program whose
+	// parse/lower/profile/encode stage fails — the right behavior for
+	// tests and single-program callers, and the default via DefaultConfig.
+	// When false, each program runs inside a recovery boundary: failures
+	// (errors and panics alike) are quarantined into the BuildReport and
+	// the build continues with the healthy remainder.
+	Strict bool
+	// Ctx cancels the build: profiling aborts at the interpreter's stride
+	// check and the per-program loops stop between programs. Cancellation
+	// is never quarantined — it always surfaces as an error.
+	Ctx context.Context
 }
 
 // DefaultConfig builds all six variants with the standard walk space.
+// MaxSteps is left at zero so profiling inherits interp.DefaultMaxSteps —
+// the single pipeline-wide execution budget (see interp.Limits).
 var DefaultConfig = Config{
 	Variants:   ir.NumVariants,
 	WalkParams: walks.DefaultParams,
 	WalkLen:    5,
 	EmbedCfg:   inst2vec.DefaultConfig,
 	Seed:       1,
-	MaxSteps:   20_000_000,
 	MaxTokens:  128,
+	Strict:     true,
 }
 
 // Dataset is the assembled corpus.
@@ -103,8 +125,40 @@ const nodeExtraDims = 4
 // dimension.
 func NodeDimFor(embedDim int) int { return 3 + embedDim + nodeExtraDims + features.NumDynamic }
 
-// Build constructs the dataset from the given applications.
-func Build(apps []bench.App, cfg Config) (*Dataset, error) {
+// BuildReport is the fault-isolation outcome of one Build: how many
+// programs were attempted, how many contributed records, which failed in
+// which stage, and how many records fell back to a degraded encoding.
+type BuildReport struct {
+	Programs   int // applications attempted
+	Healthy    int // applications that contributed records
+	Quarantine *faults.Quarantine
+	// DegradedRecords counts records whose structural view was replaced
+	// by the all-zero fallback (see Record.Degraded).
+	DegradedRecords int
+}
+
+// EncodeFaultHook, when non-nil, is invoked at the start of every
+// program's encode stage. It is a fault-injection point for robustness
+// tests (a hook that panics simulates an encoder bug); production code
+// must leave it nil.
+var EncodeFaultHook func(program string)
+
+// cancelled reports whether err (or ctx itself) is a cancellation, which
+// must surface as a build error rather than a quarantined program.
+func cancelled(ctx context.Context, err error) bool {
+	if ctx != nil && ctx.Err() != nil {
+		return true
+	}
+	return errors.Is(err, interp.ErrCancelled) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Build constructs the dataset from the given applications and reports
+// which of them were quarantined. With cfg.Strict the first failing
+// program aborts the build; otherwise each program's
+// parse/lower/profile/encode runs inside a recovery boundary and failures
+// land in the report while the build continues (see docs/robustness.md).
+func Build(apps []bench.App, cfg Config) (*Dataset, *BuildReport, error) {
 	if cfg.Variants <= 0 || cfg.Variants > ir.NumVariants {
 		cfg.Variants = 1
 	}
@@ -114,11 +168,10 @@ func Build(apps []bench.App, cfg Config) (*Dataset, error) {
 	if cfg.MaxTokens <= 0 {
 		cfg.MaxTokens = DefaultConfig.MaxTokens
 	}
-	if cfg.MaxSteps <= 0 {
-		cfg.MaxSteps = DefaultConfig.MaxSteps
-	}
+	// cfg.MaxSteps = 0 flows into interp.Limits, which owns the default.
 
 	defer obs.Start("dataset.build").End()
+	report := &BuildReport{Programs: len(apps), Quarantine: &faults.Quarantine{}}
 	type profiled struct {
 		app    bench.App
 		base   *ir.Program
@@ -129,22 +182,47 @@ func Build(apps []bench.App, cfg Config) (*Dataset, error) {
 	var progs []profiled
 	var irProgs []*ir.Program
 	for _, app := range apps {
-		src, err := minic.Parse(app.Name, app.Source)
-		if err != nil {
-			return nil, fmt.Errorf("dataset: %s: %w", app.Name, err)
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			profileSpan.End()
+			return nil, report, fmt.Errorf("dataset: %w", cfg.Ctx.Err())
 		}
-		base, err := ir.Lower(src)
-		if err != nil {
-			return nil, fmt.Errorf("dataset: %s: %w", app.Name, err)
+		var (
+			src  *minic.Program
+			base *ir.Program
+			res  *deps.Result
+		)
+		err := faults.Stage(app.Name, faults.StageParse, func() (e error) {
+			src, e = minic.Parse(app.Name, app.Source)
+			return e
+		})
+		if err == nil {
+			err = faults.Stage(app.Name, faults.StageLower, func() (e error) {
+				base, e = ir.Lower(src)
+				return e
+			})
 		}
-		res, _, err := deps.Analyze(base, "main", interp.Limits{MaxSteps: cfg.MaxSteps})
+		if err == nil {
+			err = faults.Stage(app.Name, faults.StageProfile, func() (e error) {
+				res, _, e = deps.Analyze(base, "main", interp.Limits{MaxSteps: cfg.MaxSteps, Ctx: cfg.Ctx})
+				return e
+			})
+		}
 		if err != nil {
-			return nil, fmt.Errorf("dataset: %s: profile: %w", app.Name, err)
+			if cancelled(cfg.Ctx, err) || cfg.Strict {
+				profileSpan.End()
+				return nil, report, fmt.Errorf("dataset: %w", err)
+			}
+			report.Quarantine.Add(err.(*faults.StageError))
+			continue
 		}
 		progs = append(progs, profiled{app: app, base: base, res: res, static: tools.AnalyzeStatic(src)})
 		irProgs = append(irProgs, base)
 	}
 	profileSpan.End()
+	if len(apps) > 0 && len(progs) == 0 {
+		return nil, report, fmt.Errorf("dataset: all %d programs quarantined:\n%s",
+			len(apps), report.Quarantine)
+	}
 
 	emb := cfg.Embedding
 	if emb == nil {
@@ -162,65 +240,119 @@ func Build(apps []bench.App, cfg Config) (*Dataset, error) {
 
 	encodeSpan := obs.Start("dataset.encode")
 	for _, p := range progs {
-		for v := 0; v < cfg.Variants; v++ {
-			variant := ir.Variant(p.base, v)
-			cus := cu.Build(variant)
-			pg := peg.Build(variant, cus, p.res)
-			for _, loopID := range variant.LoopIDs() {
-				verdict := p.res.Verdicts[loopID]
-				label := 0
-				if verdict.Parallelizable {
-					label = 1
-				}
-				pattern := PatternSequential
-				if verdict.Parallelizable {
-					pattern = PatternDoAll
-					if verdict.HasReduction {
-						pattern = PatternReduction
-					}
-				}
-				if cfg.LabelNoise > 0 && p.app.Suite != "BOTS" &&
-					flipLabel(p.app.Name, loopID, cfg.Seed, cfg.LabelNoise) {
-					label = 1 - label
-				}
-				meta := gnn.SampleMeta{
-					Program: p.app.Name,
-					Suite:   p.app.Suite,
-					App:     p.app.Name,
-					LoopID:  loopID,
-					Variant: v,
-				}
-				sub := pg.Extract(loopID)
-				stat := features.ExtractStatic(variant, cus, p.res, loopID)
-				rec := &Record{
-					Meta:    meta,
-					Label:   label,
-					Pattern: pattern,
-					Verdict: verdict,
-					Static:  stat,
-					Tokens:  regionTokens(cus, loopID, cfg.MaxTokens),
-					Tools: map[string]int{
-						tools.NamePluto:    b2i(p.static.Pluto[loopID]),
-						tools.NameAutoPar:  b2i(p.static.AutoPar[loopID]),
-						tools.NameDiscoPoP: b2i(tools.DiscoPoPRule(verdict)),
-					},
-				}
-				rec.Sample = gnn.Sample{
-					Node:   encodeNodeView(sub, emb, stat),
-					Struct: encodeStructView(sub, space, cfg.WalkParams, sampleSeed(cfg.Seed, meta)),
-					Label:  label,
-					Meta:   meta,
-				}
-				d.Records = append(d.Records, rec)
-			}
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			encodeSpan.End()
+			return nil, report, fmt.Errorf("dataset: %w", cfg.Ctx.Err())
 		}
+		start := len(d.Records)
+		err := faults.Stage(p.app.Name, faults.StageEncode, func() error {
+			if EncodeFaultHook != nil {
+				EncodeFaultHook(p.app.Name)
+			}
+			return encodeApp(d, p.app, p.base, p.res, p.static, emb, space, cfg, report)
+		})
+		if err != nil {
+			// Drop any partial records of the failed program before
+			// quarantining it.
+			d.Records = d.Records[:start]
+			if cfg.Strict {
+				encodeSpan.End()
+				return nil, report, fmt.Errorf("dataset: %w", err)
+			}
+			report.Quarantine.Add(err.(*faults.StageError))
+			continue
+		}
+		report.Healthy++
 	}
 	encodeSpan.End()
+	if len(apps) > 0 && report.Healthy == 0 {
+		return nil, report, fmt.Errorf("dataset: all %d programs quarantined:\n%s",
+			len(apps), report.Quarantine)
+	}
 	stdSpan := obs.Start("dataset.standardize")
 	standardizeNodeFeatures(d.Records)
 	stdSpan.End()
 	recordBuildStats(len(apps), d.Records)
-	return d, nil
+	if report.Quarantine.Len() > 0 {
+		obs.Warn("dataset.quarantine", "programs", len(report.Quarantine.Programs()),
+			"failures", report.Quarantine.Len())
+	}
+	return d, report, nil
+}
+
+// encodeApp encodes every loop of every requested IR variant of one
+// profiled program, appending the records to d. It runs inside the
+// caller's recovery boundary: a panic anywhere in the graph/tensor/nn
+// encoding machinery quarantines only this program.
+func encodeApp(d *Dataset, app bench.App, base *ir.Program, res *deps.Result,
+	static tools.Results, emb *inst2vec.Embedding, space *walks.Space,
+	cfg Config, report *BuildReport) error {
+	for v := 0; v < cfg.Variants; v++ {
+		variant := ir.Variant(base, v)
+		cus := cu.Build(variant)
+		pg := peg.Build(variant, cus, res)
+		for _, loopID := range variant.LoopIDs() {
+			verdict := res.Verdicts[loopID]
+			label := 0
+			if verdict.Parallelizable {
+				label = 1
+			}
+			pattern := PatternSequential
+			if verdict.Parallelizable {
+				pattern = PatternDoAll
+				if verdict.HasReduction {
+					pattern = PatternReduction
+				}
+			}
+			if cfg.LabelNoise > 0 && app.Suite != "BOTS" &&
+				flipLabel(app.Name, loopID, cfg.Seed, cfg.LabelNoise) {
+				label = 1 - label
+			}
+			meta := gnn.SampleMeta{
+				Program: app.Name,
+				Suite:   app.Suite,
+				App:     app.Name,
+				LoopID:  loopID,
+				Variant: v,
+			}
+			sub := pg.Extract(loopID)
+			stat := features.ExtractStatic(variant, cus, res, loopID)
+			rec := &Record{
+				Meta:    meta,
+				Label:   label,
+				Pattern: pattern,
+				Verdict: verdict,
+				Static:  stat,
+				Tokens:  regionTokens(cus, loopID, cfg.MaxTokens),
+				Tools: map[string]int{
+					tools.NamePluto:    b2i(static.Pluto[loopID]),
+					tools.NameAutoPar:  b2i(static.AutoPar[loopID]),
+					tools.NameDiscoPoP: b2i(tools.DiscoPoPRule(verdict)),
+				},
+			}
+			sv, svErr := encodeStructView(sub, space, cfg.WalkParams, sampleSeed(cfg.Seed, meta))
+			if svErr != nil {
+				// Graceful degradation: keep the loop with an all-zero
+				// structural view (the node view still carries the full
+				// Static-GNN signal) instead of dropping it.
+				rec.Degraded = append(rec.Degraded,
+					fmt.Sprintf("structural view unavailable: %v", svErr))
+				sv = zeroStructView(sub, space)
+				report.DegradedRecords++
+				obs.GetCounter("mvpar_degraded_samples_total").Inc()
+				obs.Warn("dataset.degraded", "program", app.Name, "loop", loopID,
+					"variant", v, "err", svErr.Error())
+			}
+			rec.Sample = gnn.Sample{
+				Node:   encodeNodeView(sub, emb, stat),
+				Struct: sv,
+				Label:  label,
+				Meta:   meta,
+			}
+			d.Records = append(d.Records, rec)
+		}
+	}
+	return nil
 }
 
 // recordBuildStats publishes one Build's record count and class balance.
@@ -370,11 +502,16 @@ func StructDimFor(space *walks.Space) int { return space.NumTypes() + structDesc
 
 // encodeStructView builds the structural-view features: the anonymous-walk
 // type distribution (eq. 3) concatenated with local structural
-// descriptors of the (kind-merged) sub-PEG.
-func encodeStructView(sub *peg.SubPEG, space *walks.Space, p walks.Params, seed int64) *gnn.EncodedGraph {
+// descriptors of the (kind-merged) sub-PEG. It fails (rather than
+// panicking or stalling) when walk sampling goes over Params.MaxSamples;
+// callers degrade to zeroStructView.
+func encodeStructView(sub *peg.SubPEG, space *walks.Space, p walks.Params, seed int64) (*gnn.EncodedGraph, error) {
 	rng := rand.New(rand.NewSource(seed))
 	g := modelGraph(sub)
-	dist := space.NodeDistributions(g, p, rng)
+	dist, err := space.NodeDistributionsBudget(g, p, rng)
+	if err != nil {
+		return nil, err
+	}
 	x := tensor.New(g.NumNodes(), StructDimFor(space))
 	for v := 0; v < g.NumNodes(); v++ {
 		row := x.Row(v)
@@ -418,7 +555,18 @@ func encodeStructView(sub *peg.SubPEG, space *walks.Space, p walks.Params, seed 
 			}
 		}
 	}
-	return gnn.Encode(g, x)
+	return gnn.Encode(g, x), nil
+}
+
+// zeroStructView is the graceful-degradation fallback for a loop whose
+// structural view could not be sampled: the sub-PEG topology with an
+// all-zero feature matrix. It keeps the sample shape-valid for the
+// multi-view model while carrying no structural signal, so predictions
+// for such loops should come from the node view (Record.Degraded marks
+// them).
+func zeroStructView(sub *peg.SubPEG, space *walks.Space) *gnn.EncodedGraph {
+	g := modelGraph(sub)
+	return gnn.Encode(g, tensor.New(g.NumNodes(), StructDimFor(space)))
 }
 
 // modelGraph returns the graph the models see: the sub-PEG with carried

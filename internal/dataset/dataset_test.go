@@ -48,7 +48,7 @@ func smallConfig() dataset.Config {
 }
 
 func TestBuildRecordCountsAndLabels(t *testing.T) {
-	d, err := dataset.Build(smallApps(), smallConfig())
+	d, _, err := dataset.Build(smallApps(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestBuildRecordCountsAndLabels(t *testing.T) {
 }
 
 func TestEncodedDimensions(t *testing.T) {
-	d, err := dataset.Build(smallApps(), smallConfig())
+	d, _, err := dataset.Build(smallApps(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestEncodedDimensions(t *testing.T) {
 }
 
 func TestVariantsChangeTokens(t *testing.T) {
-	d, err := dataset.Build(smallApps(), smallConfig())
+	d, _, err := dataset.Build(smallApps(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestVariantsChangeTokens(t *testing.T) {
 }
 
 func TestBalanced(t *testing.T) {
-	d, err := dataset.Build(smallApps(), smallConfig())
+	d, _, err := dataset.Build(smallApps(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestBalanced(t *testing.T) {
 }
 
 func TestSplitNoCommonObjects(t *testing.T) {
-	d, err := dataset.Build(smallApps(), smallConfig())
+	d, _, err := dataset.Build(smallApps(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestSplitNoCommonObjects(t *testing.T) {
 func itoa(i int) string { return string(rune('0' + i)) }
 
 func TestSamplesAndBySuite(t *testing.T) {
-	d, err := dataset.Build(smallApps(), smallConfig())
+	d, _, err := dataset.Build(smallApps(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,11 +206,11 @@ func TestSamplesAndBySuite(t *testing.T) {
 }
 
 func TestDeterministicBuild(t *testing.T) {
-	d1, err := dataset.Build(smallApps(), smallConfig())
+	d1, _, err := dataset.Build(smallApps(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	d2, err := dataset.Build(smallApps(), smallConfig())
+	d2, _, err := dataset.Build(smallApps(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +228,7 @@ func TestDeterministicBuild(t *testing.T) {
 }
 
 func TestExportJSON(t *testing.T) {
-	d, err := dataset.Build(smallApps(), smallConfig())
+	d, _, err := dataset.Build(smallApps(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +256,7 @@ func TestExportJSON(t *testing.T) {
 }
 
 func TestKFold(t *testing.T) {
-	d, err := dataset.Build(smallApps(), smallConfig())
+	d, _, err := dataset.Build(smallApps(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +294,7 @@ func TestKFold(t *testing.T) {
 func TestLabelNoiseRateAndConsistency(t *testing.T) {
 	cfg := smallConfig()
 	cfg.LabelNoise = 0.5 // large rate so the small corpus shows flips
-	d, err := dataset.Build(smallApps(), cfg)
+	d, _, err := dataset.Build(smallApps(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +329,7 @@ func TestLabelNoiseRateAndConsistency(t *testing.T) {
 }
 
 func TestPatternSamplesAndBalance(t *testing.T) {
-	d, err := dataset.Build(smallApps(), smallConfig())
+	d, _, err := dataset.Build(smallApps(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,7 +359,7 @@ func TestPatternSamplesAndBalance(t *testing.T) {
 }
 
 func TestStaticNodeSamplesZeroDynamics(t *testing.T) {
-	d, err := dataset.Build(smallApps(), smallConfig())
+	d, _, err := dataset.Build(smallApps(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,151 @@
+package dataset_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"mvpar/internal/bench"
+	"mvpar/internal/dataset"
+	"mvpar/internal/faults"
+	"mvpar/internal/gnn"
+	"mvpar/internal/obs"
+)
+
+// poisonedCorpus returns the two healthy smallApps plus three poisoned
+// programs: one that fails to parse, one that blows the interpreter step
+// budget, and one (healthy by itself) that the encode fault hook will
+// panic on.
+func poisonedCorpus() []bench.App {
+	apps := smallApps()
+	apps = append(apps,
+		bench.App{Name: "badparse", Suite: "NPB", Source: `
+void main() { for (int i = 0; i < 8; i++ { } }
+`},
+		bench.App{Name: "runaway", Suite: "NPB", Source: `
+float a[4];
+void main() {
+    for (int i = 0; i < 1000000; i++) {
+        for (int j = 0; j < 1000; j++) { a[0] = a[0] + 1.0; }
+    }
+}
+`},
+		bench.App{Name: "boomenc", Suite: "NPB", Source: `
+float a[8];
+void main() {
+    for (int i = 0; i < 8; i++) { a[i] = i; }
+}
+`},
+	)
+	return apps
+}
+
+// TestQuarantineBuildContinues is the end-to-end fault-isolation check:
+// a corpus with a parse failure, a step-budget blowout, and an
+// encode-stage panic still produces a dataset from the healthy programs,
+// and the report names every poisoned program with its failing stage.
+func TestQuarantineBuildContinues(t *testing.T) {
+	obs.Reset()
+	dataset.EncodeFaultHook = func(program string) {
+		if program == "boomenc" {
+			panic("injected encoder bug")
+		}
+	}
+	defer func() { dataset.EncodeFaultHook = nil }()
+
+	cfg := smallConfig()
+	cfg.Strict = false
+	cfg.MaxSteps = 200_000 // plenty for smallApps, far below runaway's need
+
+	d, report, err := dataset.Build(poisonedCorpus(), cfg)
+	if err != nil {
+		t.Fatalf("lenient build failed: %v", err)
+	}
+	if report.Programs != 5 || report.Healthy != 2 {
+		t.Fatalf("report programs/healthy = %d/%d, want 5/2", report.Programs, report.Healthy)
+	}
+	want := map[string]string{
+		"badparse": faults.StageParse,
+		"runaway":  faults.StageProfile,
+		"boomenc":  faults.StageEncode,
+	}
+	if got := report.Quarantine.Programs(); len(got) != len(want) {
+		t.Fatalf("quarantined programs = %v, want %v", got, want)
+	}
+	for prog, stage := range want {
+		if !report.Quarantine.Has(prog) {
+			t.Errorf("%s not quarantined", prog)
+		}
+		if got := report.Quarantine.StageOf(prog); got != stage {
+			t.Errorf("%s quarantined in stage %q, want %q", prog, got, stage)
+		}
+	}
+	if got := obs.GetCounter("mvpar_quarantined_programs_total").Value(); got != 3 {
+		t.Errorf("mvpar_quarantined_programs_total = %d, want 3", got)
+	}
+
+	// Healthy programs only: alpha (4 loops) + beta (2 loops), 3 variants.
+	if len(d.Records) != (4+2)*3 {
+		t.Fatalf("records = %d, want 18", len(d.Records))
+	}
+	for _, r := range d.Records {
+		if _, poisoned := want[r.Meta.Program]; poisoned {
+			t.Fatalf("record from quarantined program %s", r.Meta.Program)
+		}
+	}
+
+	// The surviving dataset must still train.
+	m := gnn.NewMVGNN(d.NodeDim, d.StructDim, 1)
+	tc := gnn.DefaultTrainConfig
+	tc.Epochs = 1
+	if curve := m.Train(dataset.Samples(d.Records), tc, nil); len(curve) == 0 {
+		t.Fatal("training on quarantine survivors produced no epochs")
+	}
+}
+
+// TestQuarantineStrictFailsFast checks the default strict mode still
+// fail-fasts on the first poisoned program.
+func TestQuarantineStrictFailsFast(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Strict = true
+	_, _, err := dataset.Build(poisonedCorpus(), cfg)
+	if err == nil {
+		t.Fatal("strict build of poisoned corpus succeeded")
+	}
+	if !strings.Contains(err.Error(), "badparse") {
+		t.Fatalf("strict error does not name the failing program: %v", err)
+	}
+}
+
+// TestQuarantineAllPoisoned checks that a corpus with no healthy program
+// is an error, not a silently empty dataset.
+func TestQuarantineAllPoisoned(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Strict = false
+	_, report, err := dataset.Build([]bench.App{{Name: "badparse", Suite: "NPB",
+		Source: `void main() { for (int i = 0; i < 8; i++ { } }`}}, cfg)
+	if err == nil {
+		t.Fatal("all-poisoned build succeeded")
+	}
+	if !report.Quarantine.Has("badparse") {
+		t.Fatal("report does not record the only program")
+	}
+}
+
+// TestQuarantineCancellationNotQuarantined checks that a cancelled
+// context aborts a lenient build with an error instead of quarantining
+// every program.
+func TestQuarantineCancellationNotQuarantined(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := smallConfig()
+	cfg.Strict = false
+	cfg.Ctx = ctx
+	_, report, err := dataset.Build(smallApps(), cfg)
+	if err == nil {
+		t.Fatal("cancelled build succeeded")
+	}
+	if report.Quarantine.Len() != 0 {
+		t.Fatalf("cancellation was quarantined: %s", report.Quarantine)
+	}
+}

@@ -16,6 +16,7 @@
 package deps
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -427,8 +428,20 @@ func (a *Analyzer) Finalize(prog *ir.Program) *Result {
 }
 
 // Analyze profiles prog's entry function and returns the dependence result
-// together with the interpreter statistics.
+// together with the interpreter statistics. Execution budgets default per
+// interp.Limits; pass interp.Limits{} for the pipeline-wide defaults.
 func Analyze(prog *ir.Program, entry string, limits interp.Limits) (*Result, interp.Stats, error) {
+	return AnalyzeContext(context.Background(), prog, entry, limits)
+}
+
+// AnalyzeContext is Analyze with cancellation: a done ctx aborts the
+// profiled execution at the interpreter's instruction-stride check with
+// an error wrapping both interp.ErrCancelled and ctx.Err(). An explicit
+// limits.Ctx takes precedence over ctx.
+func AnalyzeContext(ctx context.Context, prog *ir.Program, entry string, limits interp.Limits) (*Result, interp.Stats, error) {
+	if limits.Ctx == nil && ctx != nil && ctx != context.Background() {
+		limits.Ctx = ctx
+	}
 	defer obs.Start("deps.analyze").End()
 	an := NewAnalyzer()
 	mt := &interp.MetricsTracer{}

@@ -1,0 +1,96 @@
+package faults_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mvpar/internal/faults"
+	"mvpar/internal/obs"
+)
+
+func TestStageWrapsErrors(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := faults.Stage("prog", faults.StageParse, func() error { return sentinel })
+	var se *faults.StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("expected *StageError, got %T (%v)", err, err)
+	}
+	if se.Program != "prog" || se.Stage != faults.StageParse {
+		t.Fatalf("bad attribution: %+v", se)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("errors.Is should reach the cause through Unwrap")
+	}
+	if faults.Stage("prog", faults.StageParse, func() error { return nil }) != nil {
+		t.Fatalf("nil error must pass through as nil")
+	}
+}
+
+func TestStageRecoversPanics(t *testing.T) {
+	err := faults.Stage("prog", faults.StageEncode, func() error {
+		panic("index out of range")
+	})
+	var se *faults.StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("expected *StageError, got %T", err)
+	}
+	var pe *faults.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected wrapped *PanicError, got %v", err)
+	}
+	if pe.Value != "index out of range" || len(pe.Stack) == 0 {
+		t.Fatalf("panic value/stack not preserved: %+v", pe)
+	}
+}
+
+func TestStageKeepsInnermostAttribution(t *testing.T) {
+	inner := &faults.StageError{Program: "p", Stage: faults.StageProfile, Err: errors.New("x")}
+	err := faults.Stage("p", faults.StageEncode, func() error { return inner })
+	var se *faults.StageError
+	if !errors.As(err, &se) || se.Stage != faults.StageProfile {
+		t.Fatalf("nested boundary must not re-attribute: got %v", err)
+	}
+}
+
+func TestQuarantineReport(t *testing.T) {
+	obs.Reset()
+	var q faults.Quarantine
+	q.Add(&faults.StageError{Program: "a", Stage: faults.StageParse, Err: errors.New("e1")})
+	q.Add(&faults.StageError{Program: "a", Stage: faults.StageLower, Err: errors.New("e2")})
+	q.Add(&faults.StageError{Program: "b", Stage: faults.StageProfile, Err: errors.New("e3")})
+	q.Add(nil)
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+	if got := q.Programs(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Programs = %v", got)
+	}
+	if !q.Has("a") || q.Has("c") {
+		t.Fatalf("Has is wrong")
+	}
+	if q.StageOf("a") != faults.StageParse || q.StageOf("c") != "" {
+		t.Fatalf("StageOf is wrong: %q", q.StageOf("a"))
+	}
+	s := q.String()
+	for _, want := range []string{"3 failure(s)", "2 program(s)", "[parse] a: e1", "[profile] b: e3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q:\n%s", want, s)
+		}
+	}
+	if n := obs.GetCounter("mvpar_quarantined_programs_total").Value(); n != 2 {
+		t.Fatalf("mvpar_quarantined_programs_total = %d, want 2", n)
+	}
+}
+
+func TestErrorsTotalMetric(t *testing.T) {
+	obs.Reset()
+	for i := 0; i < 3; i++ {
+		faults.Stage("p", faults.StageEncode, func() error { return fmt.Errorf("e%d", i) })
+	}
+	faults.Stage("p", faults.StageEncode, func() error { return nil })
+	if n := obs.GetCounter("mvpar_errors_total").Value(); n != 3 {
+		t.Fatalf("mvpar_errors_total = %d, want 3", n)
+	}
+}

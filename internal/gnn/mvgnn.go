@@ -139,6 +139,13 @@ func (m *MVGNN) PredictStructView(s Sample) int {
 	return nn.Predict(m.StructView.Forward(s.Struct))[0]
 }
 
+// PredictProbaNodeView returns P(class=1) from the node view's own head —
+// the degraded-prediction path used when a sample has no usable
+// structural view (the paper's Static-GNN baseline geometry).
+func (m *MVGNN) PredictProbaNodeView(s Sample) float64 {
+	return nn.Probabilities(m.NodeView.Forward(s.Node)).At(0, 1)
+}
+
 // Predict returns the predicted class for one sample using the head
 // selected during training.
 func (m *MVGNN) Predict(s Sample) int {

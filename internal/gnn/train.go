@@ -1,6 +1,7 @@
 package gnn
 
 import (
+	"context"
 	"math/rand"
 
 	"mvpar/internal/nn"
@@ -20,6 +21,10 @@ type TrainConfig struct {
 	// training.
 	PretrainEpochs int
 	Seed           int64
+	// Ctx, when non-nil, is checked at every batch boundary; a done
+	// context stops training early and the curve so far is returned.
+	// Callers that need an error must inspect Ctx.Err() afterwards.
+	Ctx context.Context
 }
 
 // DefaultTrainConfig is sized so the built-in experiments train in
@@ -214,8 +219,13 @@ func trainLoop(c classifier, samples []Sample, cfg TrainConfig, hook func(EpochS
 		batch = 1
 	}
 
+	cancelled := func() bool { return cfg.Ctx != nil && cfg.Ctx.Err() != nil }
 	var curve []EpochStats
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cancelled() {
+			obs.Warn("gnn.train.cancelled", "epoch", epoch)
+			return curve
+		}
 		epochSpan := obs.Start("gnn.epoch")
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		totalLoss := 0.0
@@ -232,6 +242,9 @@ func trainLoop(c classifier, samples []Sample, cfg TrainConfig, hook func(EpochS
 			pending = 0
 		}
 		for _, idx := range order {
+			if pending == 0 && cancelled() {
+				break
+			}
 			s := samples[idx]
 			l, pred := c.trainStep(s, loss, cfg.AuxWeight)
 			totalLoss += l

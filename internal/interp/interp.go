@@ -11,6 +11,7 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -80,16 +81,67 @@ func (m MultiTracer) LoopExit(id int, instance, iters int64) {
 	}
 }
 
-// Limits bounds an execution.
+// Limits bounds an execution. The zero value of every field selects the
+// package-wide default below, so interp.Limits{} means "all defaults" —
+// this is the single place the pipeline's execution budgets are defined;
+// callers (deps.Analyze, dataset.Build, sched.BuildDAG, core) must not
+// restate their own numbers.
 type Limits struct {
-	MaxSteps int64 // instruction budget; 0 means DefaultMaxSteps
+	MaxSteps     int64 // instruction budget; 0 means DefaultMaxSteps
+	MaxMemCells  int64 // allocated memory cells (8 bytes each); 0 means DefaultMaxMemCells
+	MaxCallDepth int   // nested call limit; 0 means DefaultMaxCallDepth
+	// Ctx, when non-nil, is polled every ctxCheckStride instructions; a
+	// done context aborts the run with ErrCancelled wrapping Ctx.Err(), so
+	// errors.Is(err, context.DeadlineExceeded) works on timeouts.
+	Ctx context.Context
 }
 
-// DefaultMaxSteps is the default instruction budget per run.
-const DefaultMaxSteps = 50_000_000
+// withDefaults fills every unset field with its package default.
+func (l Limits) withDefaults() Limits {
+	if l.MaxSteps <= 0 {
+		l.MaxSteps = DefaultMaxSteps
+	}
+	if l.MaxMemCells <= 0 {
+		l.MaxMemCells = DefaultMaxMemCells
+	}
+	if l.MaxCallDepth <= 0 {
+		l.MaxCallDepth = DefaultMaxCallDepth
+	}
+	return l
+}
 
-// ErrBudget is returned when execution exceeds the instruction budget.
-var ErrBudget = errors.New("interp: instruction budget exceeded")
+// Default execution budgets. Every pipeline layer inherits these via the
+// zero value of Limits; there is deliberately no second copy anywhere.
+const (
+	// DefaultMaxSteps is the default instruction budget per run.
+	DefaultMaxSteps = 50_000_000
+	// DefaultMaxMemCells caps the interpreter heap at 2^26 float64 cells
+	// (512 MiB) — far above any corpus program, low enough that a runaway
+	// allocation loop fails fast instead of OOM-killing the process.
+	DefaultMaxMemCells = 1 << 26
+	// DefaultMaxCallDepth bounds recursion; each frame also allocates its
+	// locals, so this mostly protects against infinite recursion long
+	// before MaxMemCells would trip.
+	DefaultMaxCallDepth = 10_000
+)
+
+// ctxCheckStride is how many instructions execute between polls of
+// Limits.Ctx; a power of two so the check compiles to a mask.
+const ctxCheckStride = 1 << 14
+
+// Sentinel errors distinguishing which limit aborted a run; match with
+// errors.Is.
+var (
+	// ErrBudget is returned when execution exceeds the instruction budget.
+	ErrBudget = errors.New("interp: instruction budget exceeded")
+	// ErrMem is returned when execution exceeds the memory-cell budget.
+	ErrMem = errors.New("interp: memory budget exceeded")
+	// ErrCallDepth is returned when execution exceeds the call-depth limit.
+	ErrCallDepth = errors.New("interp: call depth limit exceeded")
+	// ErrCancelled is returned when Limits.Ctx is cancelled or times out;
+	// it wraps the context's own error.
+	ErrCancelled = errors.New("interp: execution cancelled")
+)
 
 // Stats summarizes a run.
 type Stats struct {
@@ -109,15 +161,13 @@ type Interp struct {
 	loopStack []LoopFrame
 	instSeq   int64
 	steps     int64
+	depth     int
 	stats     Stats
 }
 
 // New creates an interpreter. tracer may be nil for untraced execution.
 func New(prog *ir.Program, tracer Tracer, limits Limits) *Interp {
-	if limits.MaxSteps <= 0 {
-		limits.MaxSteps = DefaultMaxSteps
-	}
-	return &Interp{prog: prog, tracer: tracer, limits: limits}
+	return &Interp{prog: prog, tracer: tracer, limits: limits.withDefaults()}
 }
 
 // Run executes the named entry function (no arguments) and returns run
@@ -130,14 +180,23 @@ func (it *Interp) Run(entry string) (Stats, error) {
 	if len(fn.Params) != 0 {
 		return Stats{}, fmt.Errorf("interp: entry %q must take no parameters", entry)
 	}
+	if it.limits.Ctx != nil {
+		if err := it.limits.Ctx.Err(); err != nil {
+			return Stats{}, fmt.Errorf("%w: %w", ErrCancelled, err)
+		}
+	}
 	it.mem = it.mem[:0]
 	it.globals = make(map[string]uint64, len(it.prog.Globals))
 	it.loopStack = it.loopStack[:0]
 	it.steps = 0
 	it.instSeq = 0
+	it.depth = 0
 	it.stats = Stats{LoopIters: map[int]int64{}, LoopEnter: map[int]int64{}}
 	for _, g := range it.prog.Globals {
-		base := it.alloc(g.Size())
+		base, err := it.alloc(g.Size())
+		if err != nil {
+			return Stats{}, err
+		}
 		it.globals[g.Name] = base
 		if g.HasInit {
 			it.mem[base] = g.InitVal
@@ -154,13 +213,18 @@ func (it *Interp) Run(entry string) (Stats, error) {
 }
 
 // alloc reserves n zeroed cells and returns the base address. Addresses
-// are never reused.
-func (it *Interp) alloc(n int) uint64 {
+// are never reused, so total allocation is monotone and the MaxMemCells
+// check here bounds the whole run.
+func (it *Interp) alloc(n int) (uint64, error) {
 	base := uint64(len(it.mem))
+	if int64(len(it.mem))+int64(n) > it.limits.MaxMemCells {
+		return 0, fmt.Errorf("%w: %d cells requested over limit %d",
+			ErrMem, int64(len(it.mem))+int64(n), it.limits.MaxMemCells)
+	}
 	for i := 0; i < n; i++ {
 		it.mem = append(it.mem, 0)
 	}
-	return base
+	return base, nil
 }
 
 // binding maps a function's variable names to memory base addresses.
@@ -172,6 +236,11 @@ type binding struct {
 // call executes fn with scalar argument values args (by value) and array
 // bindings arrays (by reference, name -> base address).
 func (it *Interp) call(fn *ir.Func, args []float64, arrays map[string]uint64) (float64, error) {
+	it.depth++
+	defer func() { it.depth-- }()
+	if it.depth > it.limits.MaxCallDepth {
+		return 0, fmt.Errorf("%w: %q at depth %d", ErrCallDepth, fn.Name, it.depth)
+	}
 	bind := binding{addr: make(map[string]uint64, len(fn.Params)+len(fn.Locals)), size: map[string]int{}}
 	for i, p := range fn.Params {
 		if p.IsArray() {
@@ -179,13 +248,19 @@ func (it *Interp) call(fn *ir.Func, args []float64, arrays map[string]uint64) (f
 			bind.size[p.Name] = p.Size()
 			continue
 		}
-		base := it.alloc(1)
+		base, err := it.alloc(1)
+		if err != nil {
+			return 0, err
+		}
 		it.mem[base] = args[i]
 		bind.addr[p.Name] = base
 		bind.size[p.Name] = 1
 	}
 	for _, l := range fn.Locals {
-		base := it.alloc(l.Size())
+		base, err := it.alloc(l.Size())
+		if err != nil {
+			return 0, err
+		}
 		bind.addr[l.Name] = base
 		bind.size[l.Name] = l.Size()
 	}
@@ -209,6 +284,11 @@ func (it *Interp) call(fn *ir.Func, args []float64, arrays map[string]uint64) (f
 		it.steps++
 		if it.steps > it.limits.MaxSteps {
 			return 0, ErrBudget
+		}
+		if it.limits.Ctx != nil && it.steps&(ctxCheckStride-1) == 0 {
+			if err := it.limits.Ctx.Err(); err != nil {
+				return 0, fmt.Errorf("%w: %w", ErrCancelled, err)
+			}
 		}
 		it.stats.Steps = it.steps
 		in := &fn.Code[pc]

@@ -1,0 +1,94 @@
+package interp_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mvpar/internal/interp"
+)
+
+func TestMaxMemCellsSentinel(t *testing.T) {
+	prog := lower(t, `
+int main() {
+	int a[100];
+	int i;
+	for (i = 0; i < 100; i++) { a[i] = i; }
+	return 0;
+}`)
+	it := interp.New(prog, nil, interp.Limits{MaxMemCells: 50})
+	_, err := it.Run("main")
+	if !errors.Is(err, interp.ErrMem) {
+		t.Fatalf("want ErrMem, got %v", err)
+	}
+	// The same program fits comfortably under the default limit.
+	if _, err := interp.New(prog, nil, interp.Limits{}).Run("main"); err != nil {
+		t.Fatalf("default limits should pass: %v", err)
+	}
+}
+
+func TestMaxCallDepthSentinel(t *testing.T) {
+	prog := lower(t, `
+int f(int n) {
+	if (n <= 0) { return 0; }
+	return f(n - 1);
+}
+int main() { return f(100); }`)
+	it := interp.New(prog, nil, interp.Limits{MaxCallDepth: 10})
+	_, err := it.Run("main")
+	if !errors.Is(err, interp.ErrCallDepth) {
+		t.Fatalf("want ErrCallDepth, got %v", err)
+	}
+	if _, err := interp.New(prog, nil, interp.Limits{MaxCallDepth: 200}).Run("main"); err != nil {
+		t.Fatalf("depth 200 should pass: %v", err)
+	}
+}
+
+func TestCancelledContextSentinel(t *testing.T) {
+	prog := lower(t, `int main() { return 0; }`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := interp.New(prog, nil, interp.Limits{Ctx: ctx}).Run("main")
+	if !errors.Is(err, interp.ErrCancelled) {
+		t.Fatalf("want ErrCancelled, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ErrCancelled must wrap the context cause, got %v", err)
+	}
+}
+
+func TestDeadlineAbortsLongRun(t *testing.T) {
+	// ~40M instructions, far longer than the 1ms deadline; the stride
+	// check must abort the run instead of letting it finish.
+	prog := lower(t, `
+int s = 0;
+int main() {
+	int i;
+	for (i = 0; i < 10000000; i++) { s = s + 1; }
+	return s;
+}`)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := interp.New(prog, nil, interp.Limits{Ctx: ctx}).Run("main")
+	if !errors.Is(err, interp.ErrCancelled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want ErrCancelled wrapping DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestBudgetSentinelStillDistinct(t *testing.T) {
+	prog := lower(t, `
+int s = 0;
+int main() {
+	int i;
+	for (i = 0; i < 1000000; i++) { s = s + 1; }
+	return s;
+}`)
+	_, err := interp.New(prog, nil, interp.Limits{MaxSteps: 1000}).Run("main")
+	if !errors.Is(err, interp.ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+	if errors.Is(err, interp.ErrMem) || errors.Is(err, interp.ErrCallDepth) || errors.Is(err, interp.ErrCancelled) {
+		t.Fatalf("sentinels must stay distinct, got %v", err)
+	}
+}

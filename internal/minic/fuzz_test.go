@@ -1,0 +1,71 @@
+package minic_test
+
+import (
+	"strings"
+	"testing"
+
+	"mvpar/internal/bench"
+	"mvpar/internal/minic"
+)
+
+// FuzzParse asserts the parser's core robustness contract: for any input
+// whatsoever, Parse returns a program or an error — it never panics and
+// never runs away. Seeded with the real benchmark corpus so mutations
+// start from realistic MiniC rather than random bytes.
+//
+// Run with: go test -fuzz=FuzzParse ./internal/minic/ (see make fuzz).
+func FuzzParse(f *testing.F) {
+	for _, app := range bench.Corpus() {
+		f.Add(app.Source)
+	}
+	f.Add("void main() { for (int i = 0; i < 8; i++) { } }")
+	f.Add("int g; float a[4][4];")
+	f.Add("((((((")
+	f.Add(strings.Repeat("-", 100) + "x")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := minic.Parse("fuzz", src)
+		if err == nil && prog == nil {
+			t.Fatal("Parse returned nil program and nil error")
+		}
+	})
+}
+
+// TestParseNeverPanics is the regression companion to FuzzParse: a fixed
+// battery of adversarial inputs — including the deep-nesting cases that
+// would overflow the stack without the parser's depth limit — must all
+// come back as errors (or parse), never as panics.
+func TestParseNeverPanics(t *testing.T) {
+	inputs := []string{
+		"",
+		";;;",
+		"void",
+		"int main(",
+		"void main() {",
+		"void main() { return }",
+		"void main() { x = ; }",
+		"void main() { for (int i = 0; i < 8; i++ { } }",
+		"int x = " + strings.Repeat("(", 100000),
+		"int x = " + strings.Repeat("-", 100000) + "1;",
+		"void main() " + strings.Repeat("{", 100000),
+		"void main() { x = " + strings.Repeat("a[", 100000) + "0;}",
+		"void main() { if (1) " + strings.Repeat("if (1) ", 100000) + "{} }",
+		"int x = 99999999999999999999999999;",
+		"float f = 1e999;",
+		"\x00\xff\xfe",
+	}
+	for _, src := range inputs {
+		src := src
+		name := src
+		if len(name) > 32 {
+			name = name[:32] + "..."
+		}
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse panicked: %v", r)
+				}
+			}()
+			_, _ = minic.Parse("adversarial", src)
+		})
+	}
+}

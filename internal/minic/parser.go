@@ -12,7 +12,26 @@ type Parser struct {
 	toks   []Token
 	pos    int
 	loopID int
+	depth  int
 }
+
+// maxParseDepth bounds statement/expression nesting so adversarial inputs
+// (e.g. thousands of "(" or "-" in a row, found by fuzzing) return a parse
+// error instead of exhausting the goroutine stack. Real MiniC programs
+// nest a handful of levels; 512 is far beyond anything legitimate.
+const maxParseDepth = 512
+
+// enter guards one level of recursive descent; every enter that returns
+// nil must be paired with leave.
+func (p *Parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return fmt.Errorf("minic: line %d: nesting deeper than %d levels", p.cur().Line, maxParseDepth)
+	}
+	return nil
+}
+
+func (p *Parser) leave() { p.depth-- }
 
 // Parse lexes and parses src into a Program named name.
 func Parse(name, src string) (*Program, error) {
@@ -213,6 +232,10 @@ func blockOf(s Stmt, line int) *BlockStmt {
 }
 
 func (p *Parser) parseStmt() (Stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.cur()
 	switch {
 	case p.at(TokPunct, "{"):
@@ -462,6 +485,10 @@ func (p *Parser) parseBinary(minPrec int) (Expr, error) {
 }
 
 func (p *Parser) parseUnary() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.cur()
 	if t.Kind == TokPunct && (t.Text == "-" || t.Text == "!") {
 		p.next()

@@ -2,6 +2,8 @@ package nn
 
 import (
 	"bytes"
+	"encoding/gob"
+	"strings"
 	"testing"
 
 	"mvpar/internal/tensor"
@@ -63,5 +65,89 @@ func TestLoadGarbage(t *testing.T) {
 	d := NewDense("x", 2, 2, rng)
 	if err := LoadParams(bytes.NewBufferString("not a gob stream"), d.Params()); err == nil {
 		t.Fatal("expected decode error")
+	}
+}
+
+func saveToBytes(t *testing.T, params []*Param) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, params); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSaveWritesHeader(t *testing.T) {
+	rng := NewRNG(5)
+	d := NewDense("x", 2, 2, rng)
+	raw := saveToBytes(t, d.Params())
+	if !bytes.HasPrefix(raw, []byte(paramsMagic)) {
+		t.Fatalf("stream does not start with magic: % x", raw[:16])
+	}
+}
+
+func TestLoadTruncated(t *testing.T) {
+	rng := NewRNG(6)
+	d := NewDense("x", 2, 2, rng)
+	raw := saveToBytes(t, d.Params())
+	for _, cut := range []int{4, len(paramsMagic) + 8, len(raw) - 1} {
+		err := LoadParams(bytes.NewReader(raw[:cut]), d.Params())
+		if err == nil {
+			t.Fatalf("truncation at %d bytes loaded successfully", cut)
+		}
+		if !strings.Contains(err.Error(), "truncated") && !strings.Contains(err.Error(), "decode") {
+			t.Fatalf("truncation at %d: unclear error: %v", cut, err)
+		}
+	}
+}
+
+func TestLoadCorrupted(t *testing.T) {
+	rng := NewRNG(7)
+	d := NewDense("x", 2, 2, rng)
+	raw := saveToBytes(t, d.Params())
+	raw[len(raw)-3] ^= 0x40 // flip one payload bit
+	err := LoadParams(bytes.NewReader(raw), d.Params())
+	if err == nil {
+		t.Fatal("corrupted stream loaded successfully")
+	}
+	if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corruption not reported as checksum mismatch: %v", err)
+	}
+}
+
+func TestLoadUnknownVersion(t *testing.T) {
+	rng := NewRNG(8)
+	d := NewDense("x", 2, 2, rng)
+	raw := saveToBytes(t, d.Params())
+	raw[len(paramsMagic)+3] = 99
+	err := LoadParams(bytes.NewReader(raw), d.Params())
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("unknown version not rejected clearly: %v", err)
+	}
+}
+
+// TestLoadLegacyStream checks that a headerless gob stream — the format
+// written before the container existed — still loads.
+func TestLoadLegacyStream(t *testing.T) {
+	rng := NewRNG(9)
+	src := NewDense("x", 3, 3, rng)
+	blobs := make([]paramBlob, 0, len(src.Params()))
+	for _, p := range src.Params() {
+		blobs = append(blobs, paramBlob{
+			Name: p.Name, Rows: p.Value.Rows, Cols: p.Value.Cols, Data: p.Value.Data,
+		})
+	}
+	var legacy bytes.Buffer
+	if err := gob.NewEncoder(&legacy).Encode(blobs); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewDense("x", 3, 3, NewRNG(10))
+	if err := LoadParams(&legacy, dst.Params()); err != nil {
+		t.Fatalf("legacy stream rejected: %v", err)
+	}
+	for i, p := range dst.Params() {
+		if !tensor.ApproxEqual(p.Value, src.Params()[i].Value, 0) {
+			t.Fatalf("param %s not restored from legacy stream", p.Name)
+		}
 	}
 }

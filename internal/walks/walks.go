@@ -8,6 +8,7 @@
 package walks
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -118,11 +119,19 @@ func (s *Space) IndexOf(aw []int) (int, bool) {
 }
 
 // Params configures walk sampling: Gamma walks of Length edges per node
-// (the paper's γ and l).
+// (the paper's γ and l). MaxSamples, when positive, caps the total number
+// of walks sampled per graph (NumNodes × Gamma); graphs whose sampling
+// would exceed it fail with ErrBudget so callers can degrade to the
+// node-feature view instead of stalling on a pathological sub-PEG.
 type Params struct {
-	Length int
-	Gamma  int
+	Length     int
+	Gamma      int
+	MaxSamples int64
 }
+
+// ErrBudget is returned by NodeDistributionsBudget when sampling a graph
+// would exceed Params.MaxSamples.
+var ErrBudget = errors.New("walks: sample budget exceeded")
 
 // DefaultParams mirrors the scale used in the paper's references: walks of
 // length 5 with 32 samples per node.
@@ -131,12 +140,31 @@ var DefaultParams = Params{Length: 5, Gamma: 32}
 // NodeDistributions samples Gamma anonymous walks of the given length from
 // every node of g and returns the N x NumTypes matrix of empirical
 // distributions p̂(ω|v) (eq. 3). Rows sum to 1 for non-empty graphs.
+// Params.MaxSamples is ignored here; use NodeDistributionsBudget to
+// enforce it.
 func (s *Space) NodeDistributions(g *graph.Directed, p Params, rng *rand.Rand) *tensor.Matrix {
+	m, _ := s.nodeDistributions(g, p, rng, false)
+	return m
+}
+
+// NodeDistributionsBudget is NodeDistributions with the sampling budget
+// enforced: when p.MaxSamples > 0 and the graph needs more than that many
+// walks, it returns ErrBudget without sampling.
+func (s *Space) NodeDistributionsBudget(g *graph.Directed, p Params, rng *rand.Rand) (*tensor.Matrix, error) {
+	return s.nodeDistributions(g, p, rng, true)
+}
+
+func (s *Space) nodeDistributions(g *graph.Directed, p Params, rng *rand.Rand, budgeted bool) (*tensor.Matrix, error) {
 	defer obs.Start("walks.sample").End()
 	n := g.NumNodes()
 	out := tensor.New(n, s.NumTypes())
 	if p.Gamma <= 0 {
-		return out
+		return out, nil
+	}
+	if budgeted && p.MaxSamples > 0 && int64(n)*int64(p.Gamma) > p.MaxSamples {
+		obs.GetCounter("mvpar_walks_budget_exceeded_total").Inc()
+		return nil, fmt.Errorf("%w: %d nodes x %d walks > %d",
+			ErrBudget, n, p.Gamma, p.MaxSamples)
 	}
 	obs.GetCounter("mvpar_walks_sampled_total").Add(int64(n) * int64(p.Gamma))
 	inv := 1.0 / float64(p.Gamma)
@@ -153,7 +181,7 @@ func (s *Space) NodeDistributions(g *graph.Directed, p Params, rng *rand.Rand) *
 			row[idx] += inv
 		}
 	}
-	return out
+	return out, nil
 }
 
 // GraphDistribution averages the node distributions into the graph-level

@@ -1,6 +1,7 @@
 package walks_test
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"reflect"
@@ -229,4 +230,29 @@ func TestSampleBound(t *testing.T) {
 		}
 	}()
 	s.SampleBound(0, 0.05)
+}
+
+func TestNodeDistributionsBudget(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 2, 0)
+	g.AddEdge(2, 3, 0)
+	s := walks.NewSpace(3)
+	rng := rand.New(rand.NewSource(1))
+
+	// 4 nodes x 8 walks = 32 samples: over a budget of 10, within 100.
+	p := walks.Params{Length: 3, Gamma: 8, MaxSamples: 10}
+	if _, err := s.NodeDistributionsBudget(g, p, rng); !errors.Is(err, walks.ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+	p.MaxSamples = 100
+	d, err := s.NodeDistributionsBudget(g, p, rand.New(rand.NewSource(1)))
+	if err != nil || d == nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	// The unbudgeted path ignores MaxSamples entirely.
+	p.MaxSamples = 1
+	if d := s.NodeDistributions(g, p, rand.New(rand.NewSource(1))); d == nil {
+		t.Fatal("NodeDistributions must ignore MaxSamples")
+	}
 }
