@@ -1,13 +1,21 @@
 # Build/verify entry points. `make test` is the tier-1 verify path:
-# vet + build + full test suite, plus the obs package under the race
-# detector (its logger/registry/span state is the only shared-mutable
-# state in the repo).
+# vet + build + full test suite, plus the concurrent packages under the
+# race detector: obs (logger/registry/span state) and the worker-pool
+# paths introduced by the parallel engine (pool, tensor's pooled MatMul,
+# gnn's data-parallel trainer, dataset's parallel Build).
 GO ?= go
 
 .PHONY: all build lint test test-race bench fuzz verify
 
 # How long `make fuzz` mutates the MiniC parser (CI uses 10s).
 FUZZTIME ?= 30s
+
+# `make bench` output: machine-readable benchmark log (one JSON test
+# event per line, the `go test -json` format) and how long each
+# benchmark runs. BENCH_3.json is the checked-in snapshot for this
+# change; override BENCHJSON to benchmark without clobbering it.
+BENCHJSON ?= BENCH_3.json
+BENCHTIME ?= 1x
 
 all: verify
 
@@ -19,13 +27,14 @@ lint:
 
 test: build
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs/...
+	$(GO) test -race ./internal/obs/... ./internal/pool/... ./internal/tensor/... ./internal/gnn/... ./internal/dataset/...
 
 test-race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench=. -benchmem -run='^$$' .
+	$(GO) test -json -bench=. -benchmem -benchtime=$(BENCHTIME) -run='^$$' . | tee $(BENCHJSON) | \
+		grep -o '"Output":"Benchmark[^"]*' | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/minic/

@@ -25,6 +25,7 @@ import (
 	"mvpar/internal/ir"
 	"mvpar/internal/minic"
 	"mvpar/internal/sched"
+	"mvpar/internal/tensor"
 	"mvpar/internal/walks"
 )
 
@@ -198,12 +199,13 @@ func BenchmarkAblationWalkParams(b *testing.B) {
 			}
 			train, test := dataset.Split(d.Records, 0.75, cfg.Seed)
 			train = dataset.Balance(train, 0, cfg.Seed)
+			ts, es := dataset.Samples(train), dataset.Samples(test)
 			tc := gnn.TrainConfig{Epochs: cfg.Epochs, LR: 0.003, Temperature: 0.5, ClipNorm: 5, BatchSize: 8, Seed: cfg.Seed}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				v := gnn.NewSingleView(d.StructDim, true, cfg.Seed)
-				v.Train(dataset.Samples(train), tc, nil)
-				b.ReportMetric(100*gnn.Evaluate(v.Predict, dataset.Samples(test)), "acc_struct")
+				v.Train(ts, tc, nil)
+				b.ReportMetric(100*gnn.Evaluate(v.Predict, es), "acc_struct")
 			}
 		})
 	}
@@ -222,6 +224,7 @@ func BenchmarkAblationSortPoolK(b *testing.B) {
 			gcfg := gnn.DefaultConfig(d.NodeDim)
 			gcfg.SortK = k
 			tc := gnn.TrainConfig{Epochs: cfg.Epochs, LR: 0.003, Temperature: 0.5, ClipNorm: 5, BatchSize: 8, Seed: cfg.Seed}
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				v := &gnn.SingleView{Net: gnn.NewDGCNN(gcfg, rand.New(rand.NewSource(cfg.Seed)))}
 				v.Train(ts, tc, nil)
@@ -241,15 +244,18 @@ func BenchmarkAblationDynamicFeatures(b *testing.B) {
 	train = dataset.Balance(train, 0, cfg.Seed)
 	tc := gnn.TrainConfig{Epochs: cfg.Epochs, LR: 0.003, Temperature: 0.5, ClipNorm: 5, BatchSize: 8, Seed: cfg.Seed}
 	b.Run("with-dynamics", func(b *testing.B) {
+		ts, es := dataset.Samples(train), dataset.Samples(test)
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			v := gnn.NewSingleView(d.NodeDim, false, cfg.Seed)
-			v.Train(dataset.Samples(train), tc, nil)
-			b.ReportMetric(100*gnn.Evaluate(v.Predict, dataset.Samples(test)), "acc")
+			v.Train(ts, tc, nil)
+			b.ReportMetric(100*gnn.Evaluate(v.Predict, es), "acc")
 		}
 	})
 	b.Run("static-only", func(b *testing.B) {
 		ts := dataset.StaticNodeSamples(train)
 		es := dataset.StaticNodeSamples(test)
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			v := gnn.NewSingleView(d.NodeDim, false, cfg.Seed)
 			v.Train(ts, tc, nil)
@@ -276,24 +282,59 @@ func BenchmarkProfileCorpus(b *testing.B) {
 	b.ReportMetric(float64(steps), "instrs/op")
 }
 
-// BenchmarkDatasetEncode measures end-to-end dataset construction for one
-// application (profile, embed, walk-sample, encode).
+// BenchmarkDatasetEncode measures end-to-end dataset construction
+// (profile, embed, walk-sample, encode) over four applications at two
+// worker counts. jobs=1 is the exact legacy serial path; jobs=4 fans the
+// per-app profile jobs and per-(program,variant) encode jobs over the
+// pool. Build guarantees bit-identical records at every worker count, so
+// the records/op metric must match between the two sub-benchmarks.
 func BenchmarkDatasetEncode(b *testing.B) {
-	app := bench.Corpus()[5] // CG
-	cfg := dataset.Config{
-		Variants:   2,
-		WalkParams: walks.Params{Length: 4, Gamma: 12},
-		WalkLen:    4,
-		EmbedCfg:   inst2vec.DefaultConfig,
-		Seed:       1,
+	all := bench.Corpus()
+	apps := []bench.App{all[3], all[5], all[9], all[10]} // IS, CG, jacobi-2d, seidel-2d
+	for _, jobs := range []int{1, 4} {
+		jobs := jobs
+		b.Run(fmt.Sprintf("jobs%d", jobs), func(b *testing.B) {
+			cfg := dataset.Config{
+				Variants:    2,
+				WalkParams:  walks.Params{Length: 4, Gamma: 12},
+				WalkLen:     4,
+				EmbedCfg:    inst2vec.DefaultConfig,
+				Seed:        1,
+				Parallelism: jobs,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d, _, err := dataset.Build(apps, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(d.Records)), "records")
+			}
+		})
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		d, _, err := dataset.Build([]bench.App{app}, cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(float64(len(d.Records)), "records")
+}
+
+// BenchmarkMatMulThreshold justifies tensor's parallelThreshold
+// (32*64*64 multiply-accumulates): for each square size it times the
+// always-serial kernel against MatMul, which dispatches to the shared
+// pool only above the threshold. Sizes 16-32 must show serial == pooled
+// (MatMul falls back below threshold); sizes 48+ show where the fan-out
+// starts paying for itself on a multi-core runner.
+func BenchmarkMatMulThreshold(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{16, 32, 48, 64, 96, 128} {
+		a := tensor.Randn(n, n, 1, rng)
+		m := tensor.Randn(n, n, 1, rng)
+		b.Run(fmt.Sprintf("n%d/serial", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulSerial(a, m)
+			}
+		})
+		b.Run(fmt.Sprintf("n%d/pooled", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tensor.MatMul(a, m)
+			}
+		})
 	}
 }
 
@@ -352,24 +393,28 @@ func BenchmarkAblationPretraining(b *testing.B) {
 }
 
 // BenchmarkOracleThroughput measures raw oracle labeling speed over the
-// whole 840-loop corpus: parse, lower, execute, analyze.
+// whole 840-loop corpus (parse, lower, execute, analyze) at two worker
+// counts. Each program's interpreter run is independent, so the verdict
+// total is identical at any worker count; jobs=1 runs the exact serial
+// loop, jobs=4 fans programs over the pool via core.OracleSweep.
 func BenchmarkOracleThroughput(b *testing.B) {
 	apps := bench.Corpus()
 	progs := make([]*ir.Program, len(apps))
 	for i, app := range apps {
 		progs[i] = ir.MustLower(minic.MustParse(app.Name, app.Source))
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		loops := 0
-		for _, p := range progs {
-			res, _, err := deps.Analyze(p, "main", interp.Limits{})
-			if err != nil {
-				b.Fatal(err)
+	for _, jobs := range []int{1, 4} {
+		jobs := jobs
+		b.Run(fmt.Sprintf("jobs%d", jobs), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				loops, err := core.OracleSweep(progs, interp.Limits{}, jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(loops), "loops/op")
 			}
-			loops += len(res.Verdicts)
-		}
-		b.ReportMetric(float64(loops), "loops/op")
+		})
 	}
 }
 

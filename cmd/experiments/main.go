@@ -24,6 +24,7 @@ import (
 	"mvpar/internal/eval"
 	"mvpar/internal/features"
 	"mvpar/internal/obs"
+	"mvpar/internal/pool"
 )
 
 func main() {
@@ -37,6 +38,7 @@ func main() {
 	epochs := flag.Int("epochs", -1, "training epochs (override)")
 	noise := flag.Float64("noise", -1, "annotation noise rate (override)")
 	seed := flag.Int64("seed", 1, "global seed")
+	jobs := flag.Int("jobs", 0, "worker count for dataset build, training and evaluation (0 = NumCPU, 1 = serial)")
 	logLevel := flag.String("log-level", "", "structured log level: debug|info|warn|error (default silent; also $MVPAR_LOG)")
 	metricsOut := flag.String("metrics-out", "", "write the metrics registry dump to this file on exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -76,6 +78,8 @@ func main() {
 		cfg.LabelNoise = *noise
 	}
 	cfg.Seed = *seed
+	pool.SetDefaultParallelism(*jobs)
+	cfg.Jobs = *jobs
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()

@@ -37,6 +37,7 @@ import (
 	"mvpar/internal/minic"
 	"mvpar/internal/obs"
 	"mvpar/internal/peg"
+	"mvpar/internal/pool"
 	"mvpar/internal/sched"
 	"mvpar/internal/tools"
 	"mvpar/internal/walks"
@@ -47,8 +48,10 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the metrics registry dump to this file on exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	timeout := flag.Duration("timeout", 0, "abort the command after this duration (e.g. 30s; 0 = no limit)")
+	jobs := flag.Int("jobs", 0, "worker count for dataset build, training and evaluation (0 = NumCPU, 1 = serial)")
 	flag.Usage = usage
 	flag.Parse()
+	pool.SetDefaultParallelism(*jobs)
 	if *logLevel != "" {
 		lvl, err := obs.ParseLevel(*logLevel)
 		if err != nil {
@@ -134,6 +137,8 @@ global flags (before the command):
   -metrics-out FILE  dump the metrics registry to FILE on exit
   -pprof ADDR        serve net/http/pprof on ADDR (e.g. localhost:6060)
   -timeout DUR       abort the command after DUR (e.g. 30s; 0 = no limit)
+  -jobs N            worker count for dataset build, training and evaluation
+                     (0 = NumCPU, 1 = serial; results are identical either way)
 
 commands:
   oracle   <file.mc>           profile a program, print per-loop verdicts

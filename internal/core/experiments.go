@@ -13,6 +13,7 @@ import (
 	"mvpar/internal/gnn"
 	"mvpar/internal/inst2vec"
 	"mvpar/internal/minic"
+	"mvpar/internal/pool"
 	"mvpar/internal/tensor"
 	"mvpar/internal/tools"
 	"mvpar/internal/walks"
@@ -31,6 +32,10 @@ type ExperimentConfig struct {
 	// AppsOverride, when non-empty, replaces the full corpus — used by
 	// tests to exercise the harness at miniature scale.
 	AppsOverride []bench.App
+	// Jobs is the worker count threaded into every stage (dataset build,
+	// training, evaluation sweeps). 0 uses pool.DefaultParallelism();
+	// 1 is the exact serial pipeline. Results are identical either way.
+	Jobs int
 	// Ctx, when non-nil, cancels the experiment's dataset builds and
 	// training runs (the experiments CLI sets it from --timeout).
 	Ctx context.Context
@@ -56,6 +61,7 @@ func (c ExperimentConfig) dataConfig() dataset.Config {
 	cfg.WalkParams = walks.Params{Length: 5, Gamma: 24}
 	cfg.EmbedCfg = inst2vec.DefaultConfig
 	cfg.LabelNoise = c.LabelNoise
+	cfg.Parallelism = c.Jobs
 	cfg.Ctx = c.Ctx
 	return cfg
 }
@@ -77,6 +83,7 @@ func (c ExperimentConfig) trainConfig() gnn.TrainConfig {
 	if c.Epochs >= 20 {
 		cfg.PretrainEpochs = 2
 	}
+	cfg.Parallelism = c.Jobs
 	cfg.Ctx = c.Ctx
 	return cfg
 }
@@ -191,14 +198,6 @@ func RunTable3(cfg ExperimentConfig) (*Table3Result, error) {
 		tools.NameAutoPar:  func(r *dataset.Record) int { return r.Tools[tools.NameAutoPar] },
 		tools.NameDiscoPoP: func(r *dataset.Record) int { return r.Tools[tools.NameDiscoPoP] },
 	}
-	for name, predict := range predictors {
-		var c eval.Confusion
-		for _, r := range test {
-			c.Add(predict(r), r.Label)
-		}
-		res.HeldOutAcc[name] = c.Accuracy()
-	}
-
 	bySuite := dataset.BySuite(d.Records)
 	for suite := range bySuite {
 		res.Suites = append(res.Suites, suite)
@@ -207,17 +206,43 @@ func RunTable3(cfg ExperimentConfig) (*Table3Result, error) {
 		return suiteRank(res.Suites[i]) < suiteRank(res.Suites[j])
 	})
 
-	for _, suite := range res.Suites {
-		recs := bySuite[suite]
-		acc := map[string]float64{}
-		for name, predict := range predictors {
-			var c eval.Confusion
-			for _, r := range recs {
-				c.Add(predict(r), r.Label)
-			}
-			acc[name] = c.Accuracy()
+	// The evaluation sweep fans out one job per model: each trained model
+	// owns mutable layer caches (forward passes write activations), so the
+	// model — not the sample — is the unit of concurrency. Every job sweeps
+	// the held-out set plus all suites for its model; accuracies are pure
+	// counts, so the result is identical at any worker count.
+	type modelAcc struct {
+		heldOut float64
+		suites  []float64
+	}
+	accs, aerr := pool.Map(pool.Config{Workers: cfg.Jobs, Ctx: cfg.Ctx}, len(table3Models), func(i int) (modelAcc, error) {
+		predict := predictors[table3Models[i]]
+		var out modelAcc
+		var c eval.Confusion
+		for _, r := range test {
+			c.Add(predict(r), r.Label)
 		}
-		res.Acc[suite] = acc
+		out.heldOut = c.Accuracy()
+		for _, suite := range res.Suites {
+			var cs eval.Confusion
+			for _, r := range bySuite[suite] {
+				cs.Add(predict(r), r.Label)
+			}
+			out.suites = append(out.suites, cs.Accuracy())
+		}
+		return out, nil
+	})
+	if aerr != nil {
+		return nil, aerr
+	}
+	for _, suite := range res.Suites {
+		res.Acc[suite] = map[string]float64{}
+	}
+	for i, name := range table3Models {
+		res.HeldOutAcc[name] = accs[i].heldOut
+		for j, suite := range res.Suites {
+			res.Acc[suite][name] = accs[i].suites[j]
+		}
 	}
 	return res, nil
 }
@@ -279,16 +304,36 @@ func RunTable4(cfg ExperimentConfig) ([]Table4Row, *gnn.MVGNN, error) {
 	for _, name := range order {
 		counts[name] = &Table4Row{App: name}
 	}
+	var npb []*dataset.Record
 	for _, r := range d.Records {
-		if r.Meta.Suite != "NPB" || r.Meta.Variant != 0 {
+		if r.Meta.Suite != "NPB" || r.Meta.Variant != 0 || counts[r.Meta.App] == nil {
 			continue
 		}
+		npb = append(npb, r)
+	}
+	// Per-record prediction sweep on worker-private model replicas (the
+	// model's layer caches cannot be shared between concurrent forwards).
+	jobs := cfg.Jobs
+	if jobs <= 0 {
+		jobs = pool.DefaultParallelism()
+	}
+	if jobs > len(npb) {
+		jobs = maxInt(1, len(npb))
+	}
+	reps := make([]*gnn.MVGNN, jobs)
+	for w := range reps {
+		reps[w] = mv.Replicate()
+	}
+	preds, perr := pool.MapWorker(pool.Config{Workers: jobs, Ctx: cfg.Ctx}, len(npb), func(w, i int) (int, error) {
+		return reps[w].Predict(npb[i].Sample), nil
+	})
+	if perr != nil {
+		return nil, nil, perr
+	}
+	for i, r := range npb {
 		row := counts[r.Meta.App]
-		if row == nil {
-			continue
-		}
 		row.Loops++
-		if mv.Predict(r.Sample) == 1 {
+		if preds[i] == 1 {
 			row.Identified++
 		}
 	}
@@ -512,13 +557,22 @@ func RunRobustness(cfg ExperimentConfig, k int) (*RobustnessResult, error) {
 		return nil, err
 	}
 	res := &RobustnessResult{}
-	for i, fold := range dataset.KFold(d.Records, k, cfg.Seed) {
+	// Folds are fully independent (each trains its own seeded model), so
+	// they fan out whole; per-fold training itself stays data-parallel via
+	// trainConfig().Parallelism, which is deterministic, so nesting cannot
+	// change any fold's accuracy.
+	folds := dataset.KFold(d.Records, k, cfg.Seed)
+	accs, ferr := pool.Map(pool.Config{Workers: cfg.Jobs, Ctx: cfg.Ctx}, len(folds), func(i int) (float64, error) {
+		fold := folds[i]
 		train := dataset.Balance(fold[0], cfg.PerClass, cfg.Seed)
 		mv := gnn.NewMVGNN(d.NodeDim, d.StructDim, cfg.Seed+int64(i))
 		mv.Train(dataset.Samples(train), cfg.trainConfig(), EpochHook("robustness"))
-		acc := gnn.Evaluate(mv.Predict, dataset.Samples(fold[1]))
-		res.Folds = append(res.Folds, acc)
+		return gnn.Evaluate(mv.Predict, dataset.Samples(fold[1])), nil
+	})
+	if ferr != nil {
+		return nil, ferr
 	}
+	res.Folds = accs
 	for _, a := range res.Folds {
 		res.Mean += a
 	}

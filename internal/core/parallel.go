@@ -1,0 +1,33 @@
+package core
+
+import (
+	"mvpar/internal/deps"
+	"mvpar/internal/interp"
+	"mvpar/internal/ir"
+	"mvpar/internal/pool"
+)
+
+// OracleSweep profiles every program on the worker pool — the
+// embarrassingly parallel stage the paper identifies as the end-to-end
+// cost driver (DiscoPoP-style dynamic dependence profiling) — and returns
+// the total number of loop verdicts produced. Each program's interpreter
+// run is fully independent, so the verdict total is identical at any
+// worker count; jobs <= 0 uses pool.DefaultParallelism(). The first
+// failing program aborts the sweep with its error, like a serial loop.
+func OracleSweep(progs []*ir.Program, limits interp.Limits, jobs int) (int, error) {
+	counts, err := pool.Map(pool.Config{Workers: jobs, Ctx: limits.Ctx}, len(progs), func(i int) (int, error) {
+		res, _, err := deps.Analyze(progs[i], "main", limits)
+		if err != nil {
+			return 0, err
+		}
+		return len(res.Verdicts), nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total, nil
+}

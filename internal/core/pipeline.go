@@ -118,11 +118,14 @@ func (p *Pipeline) TrainOnContext(ctx context.Context, apps []bench.App) (*Train
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: training cancelled: %w", err)
 	}
+	// Report accuracies fan out over model replicas; identical to the
+	// serial Evaluate at every worker count.
+	newPredict := func() func(gnn.Sample) int { return p.Model.Replicate().Predict }
 	report := &TrainReport{
 		TrainRecords: len(train),
 		TestRecords:  len(test),
-		TrainAcc:     gnn.Evaluate(p.Model.Predict, dataset.Samples(train)),
-		TestAcc:      gnn.Evaluate(p.Model.Predict, dataset.Samples(test)),
+		TrainAcc:     gnn.EvaluateParallel(newPredict, dataset.Samples(train), trainCfg.Parallelism),
+		TestAcc:      gnn.EvaluateParallel(newPredict, dataset.Samples(test), trainCfg.Parallelism),
 		Curve:        curve,
 		StageTimings: obs.TimingsSince(before),
 		Build:        buildReport,

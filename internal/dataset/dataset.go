@@ -29,6 +29,7 @@ import (
 	"mvpar/internal/minic"
 	"mvpar/internal/obs"
 	"mvpar/internal/peg"
+	"mvpar/internal/pool"
 	"mvpar/internal/tensor"
 	"mvpar/internal/tools"
 	"mvpar/internal/walks"
@@ -82,6 +83,14 @@ type Config struct {
 	// exact, so the annotation-noise channel is reintroduced explicitly.
 	// The six hand-written BOTS loops are hand-verified and exempt.
 	LabelNoise float64
+	// Parallelism is the worker count for the per-program profile stage
+	// and the per-(program, variant) encode stage. 0 uses
+	// pool.DefaultParallelism() (NumCPU or the --jobs override); 1 runs
+	// the stages inline on one goroutine. Records, quarantine reports and
+	// walk sampling are bit-identical at every worker count: jobs are
+	// merged in input order and every record's walk RNG is seeded per
+	// (program, loop, variant) via sampleSeed.
+	Parallelism int
 	// Strict makes Build fail fast on the first program whose
 	// parse/lower/profile/encode stage fails — the right behavior for
 	// tests and single-program callers, and the default via DefaultConfig.
@@ -178,14 +187,21 @@ func Build(apps []bench.App, cfg Config) (*Dataset, *BuildReport, error) {
 		res    *deps.Result
 		static tools.Results
 	}
+	// Profile stage: each program's parse/lower/profile is an independent
+	// job. Lenient-mode failures travel back inside the job's result so the
+	// fan-out keeps going; only strict failures and cancellation become
+	// pool errors (which the pool resolves to the lowest-index failure —
+	// exactly the error the serial loop would have hit first). The merge
+	// below quarantines failures in input order, so the BuildReport is
+	// identical at every worker count.
+	type profileOut struct {
+		p   *profiled
+		err *faults.StageError
+	}
 	profileSpan := obs.Start("dataset.profile")
-	var progs []profiled
-	var irProgs []*ir.Program
-	for _, app := range apps {
-		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
-			profileSpan.End()
-			return nil, report, fmt.Errorf("dataset: %w", cfg.Ctx.Err())
-		}
+	pcfg := pool.Config{Workers: cfg.Parallelism, Ctx: cfg.Ctx}
+	outs, perr := pool.Map(pcfg, len(apps), func(i int) (profileOut, error) {
+		app := apps[i]
 		var (
 			src  *minic.Program
 			base *ir.Program
@@ -209,16 +225,26 @@ func Build(apps []bench.App, cfg Config) (*Dataset, *BuildReport, error) {
 		}
 		if err != nil {
 			if cancelled(cfg.Ctx, err) || cfg.Strict {
-				profileSpan.End()
-				return nil, report, fmt.Errorf("dataset: %w", err)
+				return profileOut{}, err
 			}
-			report.Quarantine.Add(err.(*faults.StageError))
+			return profileOut{err: err.(*faults.StageError)}, nil
+		}
+		return profileOut{p: &profiled{app: app, base: base, res: res, static: tools.AnalyzeStatic(src)}}, nil
+	})
+	profileSpan.End()
+	if perr != nil {
+		return nil, report, fmt.Errorf("dataset: %w", perr)
+	}
+	var progs []profiled
+	var irProgs []*ir.Program
+	for _, o := range outs {
+		if o.err != nil {
+			report.Quarantine.Add(o.err)
 			continue
 		}
-		progs = append(progs, profiled{app: app, base: base, res: res, static: tools.AnalyzeStatic(src)})
-		irProgs = append(irProgs, base)
+		progs = append(progs, *o.p)
+		irProgs = append(irProgs, o.p.base)
 	}
-	profileSpan.End()
 	if len(apps) > 0 && len(progs) == 0 {
 		return nil, report, fmt.Errorf("dataset: all %d programs quarantined:\n%s",
 			len(apps), report.Quarantine)
@@ -238,33 +264,73 @@ func Build(apps []bench.App, cfg Config) (*Dataset, *BuildReport, error) {
 		StructDim: StructDimFor(space),
 	}
 
+	// Encode stage: one job per (program, variant) pair — the finer grain
+	// matters because single-program builds (core.ClassifySource, the
+	// encode benchmarks) still fan out across their variants. Records are
+	// appended at the merge in (program, variant) order, so Dataset.Records
+	// is byte-identical to the serial build; a program with any failing
+	// variant contributes no records and is quarantined once, under its
+	// lowest failing variant (the failure the serial per-program loop
+	// would have hit first).
+	type encodeOut struct {
+		recs []*Record
+		degs []degradation
+		err  *faults.StageError
+	}
+	nv := cfg.Variants
 	encodeSpan := obs.Start("dataset.encode")
-	for _, p := range progs {
-		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
-			encodeSpan.End()
-			return nil, report, fmt.Errorf("dataset: %w", cfg.Ctx.Err())
-		}
-		start := len(d.Records)
+	eouts, eerr := pool.Map(pool.Config{Workers: cfg.Parallelism, Ctx: cfg.Ctx}, len(progs)*nv, func(j int) (encodeOut, error) {
+		p := progs[j/nv]
+		v := j % nv
+		var recs []*Record
+		var degs []degradation
 		err := faults.Stage(p.app.Name, faults.StageEncode, func() error {
-			if EncodeFaultHook != nil {
+			// The fault hook fires once per program (on its first variant),
+			// preserving the legacy once-per-program injection semantics.
+			if v == 0 && EncodeFaultHook != nil {
 				EncodeFaultHook(p.app.Name)
 			}
-			return encodeApp(d, p.app, p.base, p.res, p.static, emb, space, cfg, report)
+			recs, degs = encodeVariant(p.app, p.base, p.res, p.static, emb, space, cfg, v)
+			return nil
 		})
 		if err != nil {
-			// Drop any partial records of the failed program before
-			// quarantining it.
-			d.Records = d.Records[:start]
 			if cfg.Strict {
-				encodeSpan.End()
-				return nil, report, fmt.Errorf("dataset: %w", err)
+				return encodeOut{}, err
 			}
-			report.Quarantine.Add(err.(*faults.StageError))
+			return encodeOut{err: err.(*faults.StageError)}, nil
+		}
+		return encodeOut{recs: recs, degs: degs}, nil
+	})
+	encodeSpan.End()
+	if eerr != nil {
+		return nil, report, fmt.Errorf("dataset: %w", eerr)
+	}
+	for pi := range progs {
+		var failed *faults.StageError
+		for v := 0; v < nv; v++ {
+			if e := eouts[pi*nv+v].err; e != nil {
+				failed = e
+				break
+			}
+		}
+		if failed != nil {
+			// No partial records: the whole program is quarantined, like the
+			// serial build dropping a failed program's partial output.
+			report.Quarantine.Add(failed)
 			continue
+		}
+		for v := 0; v < nv; v++ {
+			o := eouts[pi*nv+v]
+			for _, deg := range o.degs {
+				report.DegradedRecords++
+				obs.GetCounter("mvpar_degraded_samples_total").Inc()
+				obs.Warn("dataset.degraded", "program", deg.program, "loop", deg.loop,
+					"variant", deg.variant, "err", deg.msg)
+			}
+			d.Records = append(d.Records, o.recs...)
 		}
 		report.Healthy++
 	}
-	encodeSpan.End()
 	if len(apps) > 0 && report.Healthy == 0 {
 		return nil, report, fmt.Errorf("dataset: all %d programs quarantined:\n%s",
 			len(apps), report.Quarantine)
@@ -280,79 +346,88 @@ func Build(apps []bench.App, cfg Config) (*Dataset, *BuildReport, error) {
 	return d, report, nil
 }
 
-// encodeApp encodes every loop of every requested IR variant of one
-// profiled program, appending the records to d. It runs inside the
-// caller's recovery boundary: a panic anywhere in the graph/tensor/nn
-// encoding machinery quarantines only this program.
-func encodeApp(d *Dataset, app bench.App, base *ir.Program, res *deps.Result,
+// degradation records one loop's structural-view fallback so the build
+// merge can count and log it in deterministic input order.
+type degradation struct {
+	program string
+	loop    int
+	variant int
+	msg     string
+}
+
+// encodeVariant encodes every loop of one IR variant of one profiled
+// program and returns the records plus any degradation events. It is a
+// pure function of its inputs (walk sampling is seeded per record), which
+// is what lets Build fan variants out across workers and still merge a
+// bit-identical dataset. It runs inside the caller's recovery boundary: a
+// panic anywhere in the graph/tensor/nn encoding machinery quarantines
+// only this program.
+func encodeVariant(app bench.App, base *ir.Program, res *deps.Result,
 	static tools.Results, emb *inst2vec.Embedding, space *walks.Space,
-	cfg Config, report *BuildReport) error {
-	for v := 0; v < cfg.Variants; v++ {
-		variant := ir.Variant(base, v)
-		cus := cu.Build(variant)
-		pg := peg.Build(variant, cus, res)
-		for _, loopID := range variant.LoopIDs() {
-			verdict := res.Verdicts[loopID]
-			label := 0
-			if verdict.Parallelizable {
-				label = 1
-			}
-			pattern := PatternSequential
-			if verdict.Parallelizable {
-				pattern = PatternDoAll
-				if verdict.HasReduction {
-					pattern = PatternReduction
-				}
-			}
-			if cfg.LabelNoise > 0 && app.Suite != "BOTS" &&
-				flipLabel(app.Name, loopID, cfg.Seed, cfg.LabelNoise) {
-				label = 1 - label
-			}
-			meta := gnn.SampleMeta{
-				Program: app.Name,
-				Suite:   app.Suite,
-				App:     app.Name,
-				LoopID:  loopID,
-				Variant: v,
-			}
-			sub := pg.Extract(loopID)
-			stat := features.ExtractStatic(variant, cus, res, loopID)
-			rec := &Record{
-				Meta:    meta,
-				Label:   label,
-				Pattern: pattern,
-				Verdict: verdict,
-				Static:  stat,
-				Tokens:  regionTokens(cus, loopID, cfg.MaxTokens),
-				Tools: map[string]int{
-					tools.NamePluto:    b2i(static.Pluto[loopID]),
-					tools.NameAutoPar:  b2i(static.AutoPar[loopID]),
-					tools.NameDiscoPoP: b2i(tools.DiscoPoPRule(verdict)),
-				},
-			}
-			sv, svErr := encodeStructView(sub, space, cfg.WalkParams, sampleSeed(cfg.Seed, meta))
-			if svErr != nil {
-				// Graceful degradation: keep the loop with an all-zero
-				// structural view (the node view still carries the full
-				// Static-GNN signal) instead of dropping it.
-				rec.Degraded = append(rec.Degraded,
-					fmt.Sprintf("structural view unavailable: %v", svErr))
-				sv = zeroStructView(sub, space)
-				report.DegradedRecords++
-				obs.GetCounter("mvpar_degraded_samples_total").Inc()
-				obs.Warn("dataset.degraded", "program", app.Name, "loop", loopID,
-					"variant", v, "err", svErr.Error())
-			}
-			rec.Sample = gnn.Sample{
-				Node:   encodeNodeView(sub, emb, stat),
-				Struct: sv,
-				Label:  label,
-				Meta:   meta,
-			}
-			d.Records = append(d.Records, rec)
+	cfg Config, v int) ([]*Record, []degradation) {
+	var recs []*Record
+	var degs []degradation
+	variant := ir.Variant(base, v)
+	cus := cu.Build(variant)
+	pg := peg.Build(variant, cus, res)
+	for _, loopID := range variant.LoopIDs() {
+		verdict := res.Verdicts[loopID]
+		label := 0
+		if verdict.Parallelizable {
+			label = 1
 		}
+		pattern := PatternSequential
+		if verdict.Parallelizable {
+			pattern = PatternDoAll
+			if verdict.HasReduction {
+				pattern = PatternReduction
+			}
+		}
+		if cfg.LabelNoise > 0 && app.Suite != "BOTS" &&
+			flipLabel(app.Name, loopID, cfg.Seed, cfg.LabelNoise) {
+			label = 1 - label
+		}
+		meta := gnn.SampleMeta{
+			Program: app.Name,
+			Suite:   app.Suite,
+			App:     app.Name,
+			LoopID:  loopID,
+			Variant: v,
+		}
+		sub := pg.Extract(loopID)
+		stat := features.ExtractStatic(variant, cus, res, loopID)
+		rec := &Record{
+			Meta:    meta,
+			Label:   label,
+			Pattern: pattern,
+			Verdict: verdict,
+			Static:  stat,
+			Tokens:  regionTokens(cus, loopID, cfg.MaxTokens),
+			Tools: map[string]int{
+				tools.NamePluto:    b2i(static.Pluto[loopID]),
+				tools.NameAutoPar:  b2i(static.AutoPar[loopID]),
+				tools.NameDiscoPoP: b2i(tools.DiscoPoPRule(verdict)),
+			},
+		}
+		sv, svErr := encodeStructView(sub, space, cfg.WalkParams, sampleSeed(cfg.Seed, meta))
+		if svErr != nil {
+			// Graceful degradation: keep the loop with an all-zero
+			// structural view (the node view still carries the full
+			// Static-GNN signal) instead of dropping it.
+			rec.Degraded = append(rec.Degraded,
+				fmt.Sprintf("structural view unavailable: %v", svErr))
+			sv = zeroStructView(sub, space)
+			degs = append(degs, degradation{program: app.Name, loop: loopID, variant: v, msg: svErr.Error()})
+		}
+		rec.Sample = gnn.Sample{
+			Node:   encodeNodeView(sub, emb, stat),
+			Struct: sv,
+			Label:  label,
+			Meta:   meta,
+		}
+		recs = append(recs, rec)
 	}
-	return nil
+	return recs, degs
 }
 
 // recordBuildStats publishes one Build's record count and class balance.

@@ -198,6 +198,21 @@ func name(prefix string, i int) string {
 	return prefix + string(rune('0'+i))
 }
 
+// Replicate returns a worker-private copy for data-parallel training and
+// evaluation: the replica rebuilds the full layer stack (own activation
+// caches, own gradient buffers) and then rebinds every parameter Value to
+// the master's storage, so forward passes see the master weights while
+// backward passes stay isolated. Params() order is stable across
+// construction, which makes the positional rebind sound.
+func (d *DGCNN) Replicate() *DGCNN {
+	rep := NewDGCNN(d.Cfg, rand.New(rand.NewSource(0)))
+	src := d.Params()
+	for i, p := range rep.Params() {
+		p.Value = src[i].Value
+	}
+	return rep
+}
+
 // Params returns every trainable parameter.
 func (d *DGCNN) Params() []*nn.Param {
 	var ps []*nn.Param

@@ -91,6 +91,20 @@ func (m *MVGNN) Params() []*nn.Param {
 	return append(ps, m.out.Params()...)
 }
 
+// Replicate returns a worker-private copy sharing m's weights but owning
+// its own gradient buffers and layer activation caches, so concurrent
+// forward/backward passes on different replicas never race. See
+// DGCNN.Replicate for the sharing contract.
+func (m *MVGNN) Replicate() *MVGNN {
+	return &MVGNN{
+		NodeView:    m.NodeView.Replicate(),
+		StructView:  m.StructView.Replicate(),
+		fuse:        &nn.Tanh{},
+		out:         m.out.Replicate(),
+		predictMode: m.predictMode,
+	}
+}
+
 // ForwardAll returns the fused logits plus each view's own head logits
 // (used for deep supervision during training and the figure-8 probes).
 // The internal caches remain valid for BackwardAll.

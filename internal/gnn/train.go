@@ -6,6 +6,8 @@ import (
 
 	"mvpar/internal/nn"
 	"mvpar/internal/obs"
+	"mvpar/internal/pool"
+	"mvpar/internal/tensor"
 )
 
 // TrainConfig controls supervised training of the graph models.
@@ -21,6 +23,13 @@ type TrainConfig struct {
 	// training.
 	PretrainEpochs int
 	Seed           int64
+	// Parallelism is the number of data-parallel training workers per
+	// minibatch. 0 uses pool.DefaultParallelism() (NumCPU or the --jobs
+	// override); 1 runs the exact legacy serial loop. Any value produces
+	// bit-identical parameters and loss curves: workers accumulate
+	// per-sample gradients into private shadow buffers that are reduced
+	// into the master in sample order at each batch boundary.
+	Parallelism int
 	// Ctx, when non-nil, is checked at every batch boundary; a done
 	// context stops training early and the curve so far is returned.
 	// Callers that need an error must inspect Ctx.Err() afterwards.
@@ -56,6 +65,10 @@ type classifier interface {
 	// train independently (the two views) clip independently so neither
 	// starves the other of its gradient budget.
 	clip(norm float64)
+	// replicate returns a worker-private copy sharing this classifier's
+	// weights but owning its own gradient buffers and activation caches,
+	// with params() in the same order as the original.
+	replicate() classifier
 }
 
 // SingleView wraps one DGCNN over either the node or the structural
@@ -89,6 +102,10 @@ func (v *SingleView) trainStep(s Sample, loss *nn.SoftmaxCrossEntropy, aux float
 func (v *SingleView) params() []*nn.Param { return v.Net.Params() }
 
 func (v *SingleView) clip(norm float64) { nn.ClipGrads(v.Net.Params(), norm) }
+
+func (v *SingleView) replicate() classifier {
+	return &SingleView{Net: v.Net.Replicate(), UseStruct: v.UseStruct}
+}
 
 // Predict returns the predicted class for one sample.
 func (v *SingleView) Predict(s Sample) int {
@@ -147,9 +164,14 @@ func (m *MVGNN) Train(samples []Sample, cfg TrainConfig, hook func(EpochStats)) 
 	curve = append(curve, trainLoop(&fusePhase{m: m}, samples, fuseCfg, hook)...)
 
 	m.predictMode = 0
-	fusedAcc := Evaluate(func(s Sample) int { f, _, _ := m.ForwardAll(s); return nn.Predict(f)[0] }, sel)
-	nodeAcc := Evaluate(m.PredictNodeView, sel)
-	structAcc := Evaluate(m.PredictStructView, sel)
+	// Head selection fans out over replicas: each evaluation worker gets a
+	// private copy so concurrent forward passes never share layer caches.
+	fusedAcc := EvaluateParallel(func() func(Sample) int {
+		r := m.Replicate()
+		return func(s Sample) int { f, _, _ := r.ForwardAll(s); return nn.Predict(f)[0] }
+	}, sel, cfg.Parallelism)
+	nodeAcc := EvaluateParallel(func() func(Sample) int { return m.Replicate().PredictNodeView }, sel, cfg.Parallelism)
+	structAcc := EvaluateParallel(func() func(Sample) int { return m.Replicate().PredictStructView }, sel, cfg.Parallelism)
 	if nodeAcc > fusedAcc && nodeAcc >= structAcc {
 		m.predictMode = 1
 	} else if structAcc > fusedAcc && structAcc > nodeAcc {
@@ -184,6 +206,8 @@ func (p *viewPhase) clip(norm float64) {
 	nn.ClipGrads(p.m.StructView.Params(), norm)
 }
 
+func (p *viewPhase) replicate() classifier { return &viewPhase{m: p.m.Replicate()} }
+
 // fusePhase trains only the fusion head over frozen view outputs.
 type fusePhase struct{ m *MVGNN }
 
@@ -200,9 +224,17 @@ func (p *fusePhase) params() []*nn.Param { return p.m.out.Params() }
 
 func (p *fusePhase) clip(norm float64) { nn.ClipGrads(p.m.out.Params(), norm) }
 
+func (p *fusePhase) replicate() classifier { return &fusePhase{m: p.m.Replicate()} }
+
 // Train runs supervised training of a single-view model.
 func (v *SingleView) Train(samples []Sample, cfg TrainConfig, hook func(EpochStats)) []EpochStats {
 	return trainLoop(v, samples, cfg, hook)
+}
+
+// stepOut is one training step's contribution to the epoch statistics.
+type stepOut struct {
+	loss float64
+	pred int
 }
 
 func trainLoop(c classifier, samples []Sample, cfg TrainConfig, hook func(EpochStats)) []EpochStats {
@@ -218,6 +250,39 @@ func trainLoop(c classifier, samples []Sample, cfg TrainConfig, hook func(EpochS
 	if batch < 1 {
 		batch = 1
 	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = pool.DefaultParallelism()
+	}
+	if workers > batch {
+		// A minibatch is the unit of fan-out; more workers than batch
+		// slots would idle.
+		workers = batch
+	}
+
+	// Data-parallel state: worker-private model replicas (shared weights,
+	// private gradients) and one shadow-gradient slot per minibatch
+	// position. Slot k receives exactly sample k's gradient, so reducing
+	// slots into the master in slot order reproduces the serial in-place
+	// accumulation bit for bit, independent of the worker count.
+	var reps []classifier
+	var repParams [][]*nn.Param
+	var slots [][]*tensor.Matrix
+	if workers > 1 {
+		reps = make([]classifier, workers)
+		repParams = make([][]*nn.Param, workers)
+		for w := range reps {
+			reps[w] = c.replicate()
+			repParams[w] = reps[w].params()
+		}
+		slots = make([][]*tensor.Matrix, batch)
+		for k := range slots {
+			slots[k] = make([]*tensor.Matrix, len(params))
+			for j, p := range params {
+				slots[k][j] = tensor.New(p.Value.Rows, p.Value.Cols)
+			}
+		}
+	}
 
 	cancelled := func() bool { return cfg.Ctx != nil && cfg.Ctx.Err() != nil }
 	var curve []EpochStats
@@ -230,33 +295,83 @@ func trainLoop(c classifier, samples []Sample, cfg TrainConfig, hook func(EpochS
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		totalLoss := 0.0
 		correct := 0
-		pending := 0
-		step := func() {
-			if pending == 0 {
-				return
+		if workers > 1 {
+			for lo := 0; lo < len(order); lo += batch {
+				// Same cancellation point as the serial loop: the check
+				// before the first sample of each minibatch.
+				if cancelled() {
+					break
+				}
+				hi := lo + batch
+				if hi > len(order) {
+					hi = len(order)
+				}
+				idxs := order[lo:hi]
+				outs, err := pool.MapWorker(pool.Config{Workers: workers}, len(idxs), func(w, k int) (stepOut, error) {
+					s := samples[idxs[k]]
+					l, pred := reps[w].trainStep(s, loss, cfg.AuxWeight)
+					// Move the replica's per-sample gradient into slot k and
+					// clear it for the worker's next sample.
+					for j, p := range repParams[w] {
+						dst := slots[k][j].Data
+						for i, v := range p.Grad.Data {
+							dst[i] = v
+							p.Grad.Data[i] = 0
+						}
+					}
+					return stepOut{loss: l, pred: pred}, nil
+				})
+				if err != nil {
+					// trainStep returns no errors, so this can only be a
+					// captured worker panic; resurface it like the serial
+					// loop would have.
+					panic(err)
+				}
+				// Reduce in slot (= sample) order, then clip and step with
+				// the exact serial batch semantics.
+				for k := range idxs {
+					for j := range params {
+						params[j].Grad.AddInPlace(slots[k][j])
+					}
+					totalLoss += outs[k].loss
+					if outs[k].pred == samples[idxs[k]].Label {
+						correct++
+					}
+				}
+				if cfg.ClipNorm > 0 {
+					c.clip(cfg.ClipNorm)
+				}
+				opt.Step(params)
 			}
-			if cfg.ClipNorm > 0 {
-				c.clip(cfg.ClipNorm)
+		} else {
+			pending := 0
+			step := func() {
+				if pending == 0 {
+					return
+				}
+				if cfg.ClipNorm > 0 {
+					c.clip(cfg.ClipNorm)
+				}
+				opt.Step(params)
+				pending = 0
 			}
-			opt.Step(params)
-			pending = 0
+			for _, idx := range order {
+				if pending == 0 && cancelled() {
+					break
+				}
+				s := samples[idx]
+				l, pred := c.trainStep(s, loss, cfg.AuxWeight)
+				totalLoss += l
+				if pred == s.Label {
+					correct++
+				}
+				pending++
+				if pending >= batch {
+					step()
+				}
+			}
+			step()
 		}
-		for _, idx := range order {
-			if pending == 0 && cancelled() {
-				break
-			}
-			s := samples[idx]
-			l, pred := c.trainStep(s, loss, cfg.AuxWeight)
-			totalLoss += l
-			if pred == s.Label {
-				correct++
-			}
-			pending++
-			if pending >= batch {
-				step()
-			}
-		}
-		step()
 		st := EpochStats{
 			Epoch: epoch,
 			Loss:  totalLoss / float64(max(1, len(samples))),
@@ -280,6 +395,45 @@ func Evaluate(predict func(Sample) int, samples []Sample) float64 {
 	correct := 0
 	for _, s := range samples {
 		if predict(s) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}
+
+// EvaluateParallel is Evaluate fanned out over the worker pool. Model
+// forward passes cache activations in their layers, so a single predictor
+// cannot be shared between workers; newPredict is called once per worker
+// to build a private predictor (typically Replicate().Predict). jobs <= 0
+// uses pool.DefaultParallelism(); jobs == 1 calls newPredict once and runs
+// the serial Evaluate. Accuracy is a count of independent per-sample
+// hits, so the result is identical at any worker count.
+func EvaluateParallel(newPredict func() func(Sample) int, samples []Sample, jobs int) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	if jobs <= 0 {
+		jobs = pool.DefaultParallelism()
+	}
+	if jobs > len(samples) {
+		jobs = len(samples)
+	}
+	if jobs == 1 {
+		return Evaluate(newPredict(), samples)
+	}
+	preds := make([]func(Sample) int, jobs)
+	for w := range preds {
+		preds[w] = newPredict()
+	}
+	hits, err := pool.MapWorker(pool.Config{Workers: jobs}, len(samples), func(w, i int) (bool, error) {
+		return preds[w](samples[i]) == samples[i].Label, nil
+	})
+	if err != nil {
+		panic(err) // predictors return no errors; only a captured panic lands here
+	}
+	correct := 0
+	for _, h := range hits {
+		if h {
 			correct++
 		}
 	}

@@ -75,13 +75,22 @@ func (c *Conv1D) Forward(x *tensor.Matrix) *tensor.Matrix {
 }
 
 // Backward accumulates kernel/bias gradients and returns the input gradient.
+//
+// The per-sample gradient is summed into local buffers and folded into
+// W.Grad/B.Grad with exactly one AddInPlace each. That single-add contract
+// is what makes data-parallel training bitwise deterministic: a worker's
+// shadow grad (starting from zero) holds exactly this sample's contribution,
+// so reducing shadows into the master in sample order reproduces the serial
+// accumulation bit for bit.
 func (c *Conv1D) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	x := c.lastX
 	dx := tensor.New(x.Rows, x.Cols)
+	dwBuf := tensor.New(c.W.Value.Rows, c.W.Value.Cols)
+	dbBuf := tensor.New(c.B.Value.Rows, c.B.Value.Cols)
 	outLen := grad.Cols
 	for f := 0; f < c.OutChannels; f++ {
 		w := c.W.Value.Row(f)
-		dw := c.W.Grad.Row(f)
+		dw := dwBuf.Row(f)
 		gRow := grad.Row(f)
 		for t := 0; t < outLen; t++ {
 			g := gRow[t]
@@ -89,7 +98,7 @@ func (c *Conv1D) Backward(grad *tensor.Matrix) *tensor.Matrix {
 				continue
 			}
 			start := t * c.Stride
-			c.B.Grad.Data[f] += g
+			dbBuf.Data[f] += g
 			for ch := 0; ch < c.InChannels; ch++ {
 				xr := x.Row(ch)
 				dxr := dx.Row(ch)
@@ -101,6 +110,8 @@ func (c *Conv1D) Backward(grad *tensor.Matrix) *tensor.Matrix {
 			}
 		}
 	}
+	c.W.Grad.AddInPlace(dwBuf)
+	c.B.Grad.AddInPlace(dbBuf)
 	return dx
 }
 

@@ -38,3 +38,10 @@ func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 
 // Params returns W and b.
 func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// Replicate returns a worker-private copy for data-parallel training: it
+// shares d's weight values through shadow params (see Param.Shadow) but
+// owns its own gradient buffers and activation cache.
+func (d *Dense) Replicate() *Dense {
+	return &Dense{W: d.W.Shadow(), B: d.B.Shadow()}
+}

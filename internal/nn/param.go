@@ -29,6 +29,15 @@ func NewParam(name string, value *tensor.Matrix) *Param {
 	return &Param{Name: name, Value: value, Grad: tensor.New(value.Rows, value.Cols)}
 }
 
+// Shadow returns a parameter that shares p's Value storage but owns a
+// fresh zero Grad buffer. Data-parallel training workers run their model
+// replicas through shadow params: forward passes read the shared weights,
+// backward passes accumulate into the private grad, and the trainer
+// reduces the shadows into the master grads in a fixed order.
+func (p *Param) Shadow() *Param {
+	return &Param{Name: p.Name, Value: p.Value, Grad: tensor.New(p.Value.Rows, p.Value.Cols)}
+}
+
 // ZeroGrad clears the accumulated gradient.
 func (p *Param) ZeroGrad() {
 	for i := range p.Grad.Data {

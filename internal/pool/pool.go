@@ -1,0 +1,277 @@
+// Package pool is the pipeline's work-scheduling layer: a bounded worker
+// pool with ordered-result fan-in for the coarse-grained stages (per-app
+// profiling, per-variant encoding, per-sample training steps, per-fold
+// evaluation) and a shared persistent executor for the fine-grained
+// data-parallel kernels (tensor.MatMul row blocks).
+//
+// Determinism is the design center. Map/MapWorker return results in input
+// index order no matter how jobs interleave; workers claim indices from a
+// shared counter in increasing order, so after a failure the lowest-index
+// error — the one the serial loop would have hit first — is the one
+// returned. Workers == 1 runs every job inline on the caller's goroutine
+// with no channels or goroutines at all: the exact legacy serial path.
+//
+// Panics inside jobs are converted to errors through the same
+// faults.Capture boundary the ingestion pipeline uses, so one poisoned
+// work item cannot take down a fan-out. Fan-outs export mvpar_pool_*
+// metrics through internal/obs.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mvpar/internal/faults"
+	"mvpar/internal/obs"
+)
+
+// Config controls one fan-out.
+type Config struct {
+	// Workers is the maximum number of concurrent jobs. <= 0 uses
+	// DefaultParallelism(); 1 runs every job inline on the caller's
+	// goroutine in index order — the exact legacy serial path.
+	Workers int
+	// Ctx, when non-nil, cancels the fan-out: no new jobs start once the
+	// context is done and Map returns ctx.Err(). Jobs already in flight
+	// run to completion (they receive the same ctx through their closures
+	// if they want to abort mid-job).
+	Ctx context.Context
+}
+
+// defaultParallelism holds the process-wide --jobs override; 0 means
+// "use runtime.NumCPU()".
+var defaultParallelism atomic.Int64
+
+// SetDefaultParallelism sets the process-wide default worker count — the
+// CLIs wire their --jobs flag here so every stage that leaves its
+// Parallelism knob at zero follows the flag. n <= 0 restores the
+// runtime.NumCPU() default.
+func SetDefaultParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultParallelism.Store(int64(n))
+}
+
+// DefaultParallelism returns the worker count used when a Config leaves
+// Workers at zero: the --jobs override if set, else runtime.NumCPU().
+func DefaultParallelism() int {
+	if n := defaultParallelism.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.NumCPU()
+}
+
+// Map runs fn(i) for every i in [0, n) and returns the results in index
+// order. See MapWorker for scheduling, error and cancellation semantics.
+func Map[T any](cfg Config, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapWorker(cfg, n, func(_, i int) (T, error) { return fn(i) })
+}
+
+// MapWorker is Map with the worker index (0 <= worker < effective worker
+// count) passed to fn, so callers can keep per-worker state — model
+// replicas, gradient buffers — without locking. Each worker processes its
+// jobs sequentially.
+//
+// Error semantics: the first failing job stops the scheduling of jobs with
+// higher indices; jobs already claimed run to completion. Because indices
+// are claimed in increasing order, every job below the failing one
+// completes, so the error returned (the lowest-index failure) is exactly
+// the error the serial loop would have hit first. Panics are recovered via
+// faults.Capture and surface as *faults.PanicError.
+//
+// Cancellation wins over job errors: when cfg.Ctx is done, MapWorker
+// returns ctx.Err() regardless of job outcomes, matching the serial
+// loops' per-iteration ctx checks.
+func MapWorker[T any](cfg Config, n int, fn func(worker, i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = DefaultParallelism()
+	}
+	if workers > n {
+		workers = n
+	}
+	start := time.Now()
+	obs.GetCounter("mvpar_pool_fanouts_total").Inc()
+	obs.GetGauge("mvpar_pool_workers").Set(float64(workers))
+
+	if workers == 1 {
+		// Inline serial path: no goroutines, jobs in index order, first
+		// error returned immediately — bit-identical to the pre-pool loops.
+		completed := 0
+		var ferr error
+		for i := 0; i < n && ferr == nil; i++ {
+			if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+				finish(workers, completed, start, time.Since(start))
+				return results, cfg.Ctx.Err()
+			}
+			i := i
+			err := faults.Capture(func() error {
+				v, e := fn(0, i)
+				results[i] = v
+				return e
+			})
+			if err != nil {
+				ferr = err
+				break
+			}
+			completed++
+		}
+		finish(workers, completed, start, time.Since(start))
+		return results, ferr
+	}
+
+	var (
+		next      atomic.Int64
+		failedMin atomic.Int64
+		completed atomic.Int64
+		busyNanos atomic.Int64
+		wg        sync.WaitGroup
+		errs      = make([]error, n)
+	)
+	failedMin.Store(int64(n)) // sentinel: no failure yet
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+					return
+				}
+				// Fail-fast: never start a job above a known failure (jobs
+				// below it must still run so the minimum is exact).
+				if int64(i) > failedMin.Load() {
+					return
+				}
+				jobStart := time.Now()
+				err := faults.Capture(func() error {
+					v, e := fn(w, i)
+					results[i] = v
+					return e
+				})
+				busyNanos.Add(int64(time.Since(jobStart)))
+				if err != nil {
+					errs[i] = err
+					// Lower the failure watermark to this index.
+					for {
+						cur := failedMin.Load()
+						if cur <= int64(i) || failedMin.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				} else {
+					completed.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	finish(workers, int(completed.Load()), start, time.Duration(busyNanos.Load()))
+	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+		return results, cfg.Ctx.Err()
+	}
+	if fm := failedMin.Load(); fm < int64(n) {
+		return results, errs[fm]
+	}
+	return results, nil
+}
+
+// finish publishes one fan-out's pool metrics: completed job count, wall
+// time, and the busy/capacity utilization ratio.
+func finish(workers, completed int, start time.Time, busy time.Duration) {
+	wall := time.Since(start)
+	obs.GetCounter("mvpar_pool_jobs_total").Add(int64(completed))
+	obs.GetHistogram("mvpar_pool_fanout_seconds").Observe(wall.Seconds())
+	if wall > 0 && workers > 0 {
+		util := busy.Seconds() / (wall.Seconds() * float64(workers))
+		if util > 1 {
+			util = 1
+		}
+		obs.GetGauge("mvpar_pool_utilization_ratio").Set(util)
+	}
+}
+
+// ---- shared executor for fine-grained data parallelism ----
+
+// task is one chunk of a For call.
+type task struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+var (
+	forOnce  sync.Once
+	forTasks chan task
+)
+
+// startExecutor spawns the persistent worker goroutines the first time a
+// For call wants to go parallel. They live for the process lifetime —
+// that is the point: hot kernels like MatMul dispatch row blocks onto
+// warm workers instead of spawning goroutines per call.
+func startExecutor() {
+	workers := runtime.GOMAXPROCS(0)
+	forTasks = make(chan task, 4*workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for t := range forTasks {
+				t.fn(t.lo, t.hi)
+				t.wg.Done()
+			}
+		}()
+	}
+}
+
+// For splits [0, n) into one contiguous chunk per available worker and
+// runs fn(lo, hi) for each on the shared persistent executor, keeping the
+// final chunk on the calling goroutine. Submission never blocks: when
+// every executor worker is busy a chunk runs inline on the caller, so
+// nested For calls (a pool job whose kernel itself calls For) cannot
+// deadlock. Chunks are disjoint, so any fn writing only to its own range
+// is deterministic regardless of scheduling.
+func For(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	forOnce.Do(startExecutor)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi >= n {
+			// The caller keeps the last chunk instead of idling in Wait.
+			fn(lo, n)
+			break
+		}
+		wg.Add(1)
+		t := task{fn: fn, lo: lo, hi: hi, wg: &wg}
+		select {
+		case forTasks <- t:
+		default:
+			// Executor saturated (or this is a nested call from one of its
+			// own workers): run inline rather than block.
+			fn(lo, hi)
+			wg.Done()
+		}
+	}
+	wg.Wait()
+}

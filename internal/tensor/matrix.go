@@ -4,8 +4,9 @@
 //
 // All matrices are row-major. Operations allocate their result unless the
 // name ends in InPlace. Matrix multiplication parallelizes across row
-// blocks with goroutines once the work is large enough to amortize the
-// scheduling cost; everything is deterministic regardless of worker count.
+// blocks on the shared persistent worker pool (internal/pool) once the
+// work is large enough to amortize the dispatch cost; everything is
+// deterministic regardless of worker count because row blocks are disjoint.
 package tensor
 
 import (
@@ -13,7 +14,8 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
-	"sync"
+
+	"mvpar/internal/pool"
 )
 
 // Matrix is a dense row-major matrix.
@@ -240,42 +242,28 @@ func (m *Matrix) Norm2() float64 {
 }
 
 // parallelThreshold is the number of multiply-adds below which MatMul runs
-// serially; goroutine fan-out only pays for itself on larger products.
-const parallelThreshold = 64 * 64 * 64
+// serially. With the shared executor (pool.For) dispatch costs a channel
+// send onto an already-warm worker instead of a goroutine spawn, so the
+// break-even point sits lower than the old 64*64*64; BenchmarkMatMulThreshold
+// shows pooled dispatch matching serial around 32x64x64 and winning above it.
+const parallelThreshold = 32 * 64 * 64
 
-// MatMul returns a x b, parallelizing across row blocks for large products.
+// MatMul returns a x b, parallelizing across row blocks on the shared
+// persistent worker pool for large products. Row blocks are disjoint, so
+// the result is bit-identical to MatMulSerial at any worker count.
 func MatMul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	c := New(a.Rows, b.Cols)
 	work := a.Rows * a.Cols * b.Cols
-	workers := runtime.GOMAXPROCS(0)
-	if work < parallelThreshold || workers == 1 || a.Rows == 1 {
+	if work < parallelThreshold || runtime.GOMAXPROCS(0) == 1 || a.Rows == 1 {
 		matMulRange(a, b, c, 0, a.Rows)
 		return c
 	}
-	if workers > a.Rows {
-		workers = a.Rows
-	}
-	var wg sync.WaitGroup
-	chunk := (a.Rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > a.Rows {
-			hi = a.Rows
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matMulRange(a, b, c, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	pool.For(a.Rows, func(lo, hi int) {
+		matMulRange(a, b, c, lo, hi)
+	})
 	return c
 }
 

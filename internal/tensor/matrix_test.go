@@ -59,12 +59,20 @@ func TestMatMulShapeMismatchPanics(t *testing.T) {
 }
 
 func TestMatMulParallelMatchesSerial(t *testing.T) {
+	// Row blocks are disjoint, so the pooled path must be bit-identical to
+	// the serial kernel — not merely approximately equal — at every shape
+	// above and below parallelThreshold.
 	rng := rand.New(rand.NewSource(7))
-	// Big enough to trip the parallel path.
-	a := Randn(130, 90, 1, rng)
-	b := Randn(90, 110, 1, rng)
-	if !ApproxEqual(MatMul(a, b), MatMulSerial(a, b), 1e-9) {
-		t.Fatal("parallel MatMul disagrees with serial")
+	for _, dims := range [][3]int{{130, 90, 110}, {32, 64, 64}, {200, 64, 64}, {7, 5, 3}} {
+		a := Randn(dims[0], dims[1], 1, rng)
+		b := Randn(dims[1], dims[2], 1, rng)
+		got, want := MatMul(a, b), MatMulSerial(a, b)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("%dx%dx%d: pooled MatMul differs from serial at element %d: %g vs %g",
+					dims[0], dims[1], dims[2], i, got.Data[i], want.Data[i])
+			}
+		}
 	}
 }
 
