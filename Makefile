@@ -5,17 +5,21 @@
 # gnn's data-parallel trainer, dataset's parallel Build).
 GO ?= go
 
-.PHONY: all build lint test test-race bench fuzz verify
+.PHONY: all build lint test test-race bench benchcmp fuzz verify
 
 # How long `make fuzz` mutates the MiniC parser (CI uses 10s).
 FUZZTIME ?= 30s
 
 # `make bench` output: machine-readable benchmark log (one JSON test
 # event per line, the `go test -json` format) and how long each
-# benchmark runs. BENCH_3.json is the checked-in snapshot for this
+# benchmark runs. BENCH_4.json is the checked-in snapshot for this
 # change; override BENCHJSON to benchmark without clobbering it.
-BENCHJSON ?= BENCH_3.json
+BENCHJSON ?= BENCH_4.json
 BENCHTIME ?= 1x
+
+# `make benchcmp` inputs: two bench logs to diff (ns/op and allocs/op).
+BENCHOLD ?= BENCH_3.json
+BENCHNEW ?= BENCH_4.json
 
 all: verify
 
@@ -35,6 +39,9 @@ test-race:
 bench:
 	$(GO) test -json -bench=. -benchmem -benchtime=$(BENCHTIME) -run='^$$' . | tee $(BENCHJSON) | \
 		grep -o '"Output":"Benchmark[^"]*' | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
+
+benchcmp:
+	$(GO) run ./cmd/benchcmp $(BENCHOLD) $(BENCHNEW)
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/minic/

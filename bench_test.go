@@ -20,10 +20,12 @@ import (
 	"mvpar/internal/deps"
 	"mvpar/internal/features"
 	"mvpar/internal/gnn"
+	"mvpar/internal/graph"
 	"mvpar/internal/inst2vec"
 	"mvpar/internal/interp"
 	"mvpar/internal/ir"
 	"mvpar/internal/minic"
+	"mvpar/internal/nn"
 	"mvpar/internal/sched"
 	"mvpar/internal/tensor"
 	"mvpar/internal/walks"
@@ -59,6 +61,7 @@ func miniDataset(b *testing.B, cfg core.ExperimentConfig) *dataset.Dataset {
 // BenchmarkTable2DatasetStats regenerates Table II: the per-application
 // loop counts of the corpus.
 func BenchmarkTable2DatasetStats(b *testing.B) {
+	b.ReportAllocs()
 	var total int
 	for i := 0; i < b.N; i++ {
 		rows, t := core.RunTable2()
@@ -73,6 +76,7 @@ func BenchmarkTable2DatasetStats(b *testing.B) {
 // BenchmarkTable3Accuracy regenerates Table III at mini scale: every
 // model and tool evaluated per suite.
 func BenchmarkTable3Accuracy(b *testing.B) {
+	b.ReportAllocs()
 	cfg := miniConfig()
 	var res *core.Table3Result
 	for i := 0; i < b.N; i++ {
@@ -92,6 +96,7 @@ func BenchmarkTable3Accuracy(b *testing.B) {
 // BenchmarkTable4NPBCaseStudy regenerates Table IV: identified
 // parallelizable loops per NPB application.
 func BenchmarkTable4NPBCaseStudy(b *testing.B) {
+	b.ReportAllocs()
 	cfg := miniConfig()
 	// Table IV needs the NPB apps; the mini corpus includes IS/EP/CG/MG.
 	var rows []core.Table4Row
@@ -115,6 +120,7 @@ func BenchmarkTable4NPBCaseStudy(b *testing.B) {
 // BenchmarkFigure7TrainingCurves regenerates Figure 7: loss and accuracy
 // across training epochs on the generated dataset.
 func BenchmarkFigure7TrainingCurves(b *testing.B) {
+	b.ReportAllocs()
 	cfg := miniConfig()
 	var res *core.Figure7Result
 	for i := 0; i < b.N; i++ {
@@ -133,6 +139,7 @@ func BenchmarkFigure7TrainingCurves(b *testing.B) {
 // BenchmarkFigure8ViewImportance regenerates Figure 8: IMP_n and IMP_s
 // per benchmark suite.
 func BenchmarkFigure8ViewImportance(b *testing.B) {
+	b.ReportAllocs()
 	cfg := miniConfig()
 	var res *core.Figure8Result
 	for i := 0; i < b.N; i++ {
@@ -152,6 +159,7 @@ func BenchmarkFigure8ViewImportance(b *testing.B) {
 // BenchmarkFigure1StructuralPatterns regenerates the figure-1
 // illustration: walk-signature separation of stencil vs reduction.
 func BenchmarkFigure1StructuralPatterns(b *testing.B) {
+	b.ReportAllocs()
 	var l1 float64
 	for i := 0; i < b.N; i++ {
 		r, err := core.RunFigure1()
@@ -166,6 +174,7 @@ func BenchmarkFigure1StructuralPatterns(b *testing.B) {
 // BenchmarkAblationSingleView compares the fused model against each view
 // alone (DESIGN.md ablation 1; the quantitative form of figure 8).
 func BenchmarkAblationSingleView(b *testing.B) {
+	b.ReportAllocs()
 	cfg := miniConfig()
 	d := miniDataset(b, cfg)
 	train, test := dataset.Split(d.Records, 0.75, cfg.Seed)
@@ -186,9 +195,11 @@ func BenchmarkAblationSingleView(b *testing.B) {
 // count (DESIGN.md ablation 2) and reports struct-view accuracy per
 // setting.
 func BenchmarkAblationWalkParams(b *testing.B) {
+	b.ReportAllocs()
 	for _, p := range []walks.Params{{Length: 3, Gamma: 8}, {Length: 5, Gamma: 8}, {Length: 5, Gamma: 32}} {
 		p := p
 		b.Run(fmt.Sprintf("l%d_g%d", p.Length, p.Gamma), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := miniConfig()
 			dcfg := core.ExportDataConfig(cfg)
 			dcfg.WalkParams = p
@@ -213,6 +224,7 @@ func BenchmarkAblationWalkParams(b *testing.B) {
 
 // BenchmarkAblationSortPoolK sweeps SortPooling's k (DESIGN.md ablation 3).
 func BenchmarkAblationSortPoolK(b *testing.B) {
+	b.ReportAllocs()
 	cfg := miniConfig()
 	d := miniDataset(b, cfg)
 	train, test := dataset.Split(d.Records, 0.75, cfg.Seed)
@@ -221,6 +233,7 @@ func BenchmarkAblationSortPoolK(b *testing.B) {
 	for _, k := range []int{8, 16, 32} {
 		k := k
 		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			gcfg := gnn.DefaultConfig(d.NodeDim)
 			gcfg.SortK = k
 			tc := gnn.TrainConfig{Epochs: cfg.Epochs, LR: 0.003, Temperature: 0.5, ClipNorm: 5, BatchSize: 8, Seed: cfg.Seed}
@@ -238,12 +251,14 @@ func BenchmarkAblationSortPoolK(b *testing.B) {
 // without the Table-I dynamic features (DESIGN.md ablation 4 — the
 // paper's future-work item on decoupling dynamic features).
 func BenchmarkAblationDynamicFeatures(b *testing.B) {
+	b.ReportAllocs()
 	cfg := miniConfig()
 	d := miniDataset(b, cfg)
 	train, test := dataset.Split(d.Records, 0.75, cfg.Seed)
 	train = dataset.Balance(train, 0, cfg.Seed)
 	tc := gnn.TrainConfig{Epochs: cfg.Epochs, LR: 0.003, Temperature: 0.5, ClipNorm: 5, BatchSize: 8, Seed: cfg.Seed}
 	b.Run("with-dynamics", func(b *testing.B) {
+		b.ReportAllocs()
 		ts, es := dataset.Samples(train), dataset.Samples(test)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -253,6 +268,7 @@ func BenchmarkAblationDynamicFeatures(b *testing.B) {
 		}
 	})
 	b.Run("static-only", func(b *testing.B) {
+		b.ReportAllocs()
 		ts := dataset.StaticNodeSamples(train)
 		es := dataset.StaticNodeSamples(test)
 		b.ResetTimer()
@@ -268,6 +284,7 @@ func BenchmarkAblationDynamicFeatures(b *testing.B) {
 // full instrumented execution + dependence analysis of the biggest
 // corpus application.
 func BenchmarkProfileCorpus(b *testing.B) {
+	b.ReportAllocs()
 	app := bench.Corpus()[1] // SP: 252 loops
 	prog := ir.MustLower(minic.MustParse(app.Name, app.Source))
 	b.ResetTimer()
@@ -289,11 +306,13 @@ func BenchmarkProfileCorpus(b *testing.B) {
 // pool. Build guarantees bit-identical records at every worker count, so
 // the records/op metric must match between the two sub-benchmarks.
 func BenchmarkDatasetEncode(b *testing.B) {
+	b.ReportAllocs()
 	all := bench.Corpus()
 	apps := []bench.App{all[3], all[5], all[9], all[10]} // IS, CG, jacobi-2d, seidel-2d
 	for _, jobs := range []int{1, 4} {
 		jobs := jobs
 		b.Run(fmt.Sprintf("jobs%d", jobs), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := dataset.Config{
 				Variants:    2,
 				WalkParams:  walks.Params{Length: 4, Gamma: 12},
@@ -321,16 +340,19 @@ func BenchmarkDatasetEncode(b *testing.B) {
 // (MatMul falls back below threshold); sizes 48+ show where the fan-out
 // starts paying for itself on a multi-core runner.
 func BenchmarkMatMulThreshold(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(7))
 	for _, n := range []int{16, 32, 48, 64, 96, 128} {
 		a := tensor.Randn(n, n, 1, rng)
 		m := tensor.Randn(n, n, 1, rng)
 		b.Run(fmt.Sprintf("n%d/serial", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				tensor.MatMulSerial(a, m)
 			}
 		})
 		b.Run(fmt.Sprintf("n%d/pooled", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				tensor.MatMul(a, m)
 			}
@@ -341,6 +363,7 @@ func BenchmarkMatMulThreshold(b *testing.B) {
 // BenchmarkMVGNNInference measures single-sample prediction latency of a
 // trained multi-view model.
 func BenchmarkMVGNNInference(b *testing.B) {
+	b.ReportAllocs()
 	cfg := miniConfig()
 	d := miniDataset(b, cfg)
 	mv := gnn.NewMVGNN(d.NodeDim, d.StructDim, cfg.Seed)
@@ -354,6 +377,7 @@ func BenchmarkMVGNNInference(b *testing.B) {
 // BenchmarkExtensionPatterns runs the future-work pattern-classification
 // extension (sequential / DoALL / reduction) at mini scale.
 func BenchmarkExtensionPatterns(b *testing.B) {
+	b.ReportAllocs()
 	cfg := miniConfig()
 	var res *core.PatternResult
 	for i := 0; i < b.N; i++ {
@@ -373,6 +397,7 @@ func BenchmarkExtensionPatterns(b *testing.B) {
 // BenchmarkAblationPretraining compares supervised training with and
 // without the unsupervised GraphSAGE warm-up (§III-E).
 func BenchmarkAblationPretraining(b *testing.B) {
+	b.ReportAllocs()
 	cfg := miniConfig()
 	d := miniDataset(b, cfg)
 	train, test := dataset.Split(d.Records, 0.75, cfg.Seed)
@@ -381,6 +406,7 @@ func BenchmarkAblationPretraining(b *testing.B) {
 	for _, pre := range []int{0, 3} {
 		pre := pre
 		b.Run(fmt.Sprintf("pretrain%d", pre), func(b *testing.B) {
+			b.ReportAllocs()
 			tc := gnn.TrainConfig{Epochs: cfg.Epochs, LR: 0.003, Temperature: 0.5,
 				ClipNorm: 5, BatchSize: 8, PretrainEpochs: pre, Seed: cfg.Seed}
 			for i := 0; i < b.N; i++ {
@@ -398,6 +424,7 @@ func BenchmarkAblationPretraining(b *testing.B) {
 // total is identical at any worker count; jobs=1 runs the exact serial
 // loop, jobs=4 fans programs over the pool via core.OracleSweep.
 func BenchmarkOracleThroughput(b *testing.B) {
+	b.ReportAllocs()
 	apps := bench.Corpus()
 	progs := make([]*ir.Program, len(apps))
 	for i, app := range apps {
@@ -406,6 +433,7 @@ func BenchmarkOracleThroughput(b *testing.B) {
 	for _, jobs := range []int{1, 4} {
 		jobs := jobs
 		b.Run(fmt.Sprintf("jobs%d", jobs), func(b *testing.B) {
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				loops, err := core.OracleSweep(progs, interp.Limits{}, jobs)
@@ -423,6 +451,7 @@ func BenchmarkOracleThroughput(b *testing.B) {
 // loops it reports the pairwise ordering agreement between estimated and
 // simulated speedup (1.0 = ESP ranks every loop pair like the simulator).
 func BenchmarkESPValidation(b *testing.B) {
+	b.ReportAllocs()
 	apps := bench.Corpus()
 	sample := []bench.App{apps[3], apps[4], apps[9], apps[11]} // IS, EP, jacobi-2d, trmm
 	type pt struct{ esp, sim float64 }
@@ -469,6 +498,7 @@ func BenchmarkESPValidation(b *testing.B) {
 // BenchmarkRobustnessKFold cross-validates the MV-GNN (3 folds) at mini
 // scale and reports mean and standard deviation of held-out accuracy.
 func BenchmarkRobustnessKFold(b *testing.B) {
+	b.ReportAllocs()
 	cfg := miniConfig()
 	var res *core.RobustnessResult
 	for i := 0; i < b.N; i++ {
@@ -480,4 +510,71 @@ func BenchmarkRobustnessKFold(b *testing.B) {
 	}
 	b.ReportMetric(100*res.Mean, "acc_mean")
 	b.ReportMetric(100*res.Std, "acc_std")
+}
+
+// BenchmarkSpMM compares the CSR propagation kernel against the dense
+// matmul it replaced, at adjacency-like sparsity (~4 entries per row, the
+// corpus sub-PEG profile).
+func BenchmarkSpMM(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	const n, f = 64, 16
+	rowPtr := make([]int, n+1)
+	var colIdx []int
+	var val []float64
+	for i := 0; i < n; i++ {
+		cols := map[int]bool{i: true}
+		for len(cols) < 4 {
+			cols[rng.Intn(n)] = true
+		}
+		for j := 0; j < n; j++ {
+			if cols[j] {
+				colIdx = append(colIdx, j)
+				val = append(val, 1/float64(len(cols)))
+			}
+		}
+		rowPtr[i+1] = len(colIdx)
+	}
+	s := tensor.NewCSR(n, n, rowPtr, colIdx, val)
+	h := tensor.Randn(n, f, 1, rng)
+	out := tensor.New(n, f)
+	b.Run("csr", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tensor.SpMMInto(s, h, out)
+		}
+	})
+	dense := s.Dense()
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulInto(dense, h, out)
+		}
+	})
+}
+
+// BenchmarkTrainStepAllocs measures one full DGCNN training step —
+// forward, loss, backward, optimizer — on a representative sub-PEG. The
+// allocs/op column is the PR-4 headline: after arena warm-up the step
+// allocates only what the loss layer and optimizer bookkeeping need.
+func BenchmarkTrainStepAllocs(b *testing.B) {
+	b.ReportAllocs()
+	rng := rand.New(rand.NewSource(10))
+	cfg := gnn.DefaultConfig(6)
+	d := gnn.NewDGCNN(cfg, rng)
+	line := graph.New(12)
+	for i := 0; i+1 < 12; i++ {
+		line.AddEdge(i, i+1, 0)
+	}
+	g := gnn.Encode(line, tensor.Randn(12, 6, 1, rng))
+	loss := &nn.SoftmaxCrossEntropy{Temperature: 0.5}
+	opt := nn.NewAdam(0.003)
+	params := d.Params()
+	label := []int{1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logits := d.Forward(g)
+		_, grad := loss.Loss(logits, label)
+		d.Backward(grad)
+		opt.Step(params)
+	}
 }

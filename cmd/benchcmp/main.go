@@ -1,0 +1,184 @@
+// Command benchcmp diffs two benchmark logs in the `go test -json` format
+// that `make bench` writes (BENCH_*.json): for every benchmark present in
+// either log it prints ns/op and allocs/op side by side with the relative
+// change. Usage:
+//
+//	go run ./cmd/benchcmp BENCH_3.json BENCH_4.json
+//
+// or `make benchcmp` (BENCHOLD/BENCHNEW override the defaults). The tool
+// has no third-party dependencies and tolerates logs from different
+// machines: it compares only benchmarks that ran in both, listing the
+// rest as added/removed.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result holds one benchmark's parsed metrics. A metric is NaN-free:
+// missing columns (a log recorded without -benchmem) stay at -1.
+type result struct {
+	nsOp     float64
+	allocsOp float64
+	bOp      float64
+}
+
+// parseLog extracts benchmark result lines from a `go test -json` stream.
+// The stream's Output events are concatenated and re-split on newlines
+// first: test2json flushes the benchmark name ("BenchmarkX  \t") as its
+// own event before the timing columns arrive, so one logical result line
+//
+//	BenchmarkSpMM/csr-4   50   3937 ns/op   0 B/op   0 allocs/op
+//
+// often spans several events. Metric suffixes identify the columns, so
+// extra ReportMetric columns (acc_..., loops/op) pass through harmlessly.
+func parseLog(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1024*1024), 16*1024*1024)
+	for sc.Scan() {
+		var ev struct {
+			Output string `json:"Output"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			// Tolerate plain `go test -bench` logs: treat the raw line
+			// as output.
+			text.WriteString(sc.Text())
+			text.WriteByte('\n')
+			continue
+		}
+		text.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	res := map[string]result{}
+	for _, line := range strings.Split(text.String(), "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "Benchmark") || !strings.Contains(line, "ns/op") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name := trimProcSuffix(fields[0])
+		r := result{nsOp: -1, allocsOp: -1, bOp: -1}
+		if prev, ok := res[name]; ok {
+			r = prev
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.nsOp = v
+			case "allocs/op":
+				r.allocsOp = v
+			case "B/op":
+				r.bOp = v
+			}
+		}
+		if r.nsOp >= 0 {
+			res[name] = r
+		}
+	}
+	return res, nil
+}
+
+// trimProcSuffix drops the -GOMAXPROCS suffix go test appends to
+// benchmark names, so logs from machines with different core counts
+// still line up.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func delta(old, new float64) string {
+	if old <= 0 {
+		if new == 0 {
+			return "0%"
+		}
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
+}
+
+func fmtMetric(v float64) string {
+	if v < 0 {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintf(os.Stderr, "usage: %s OLD.json NEW.json\n", os.Args[0])
+		os.Exit(2)
+	}
+	oldRes, err := parseLog(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(1)
+	}
+	newRes, err := parseLog(os.Args[2])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(1)
+	}
+
+	names := map[string]bool{}
+	for n := range oldRes {
+		names[n] = true
+	}
+	for n := range newRes {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-50s %15s %15s %9s %15s %15s %9s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs/op", "new allocs/op", "delta")
+	for _, n := range sorted {
+		o, haveOld := oldRes[n]
+		nw, haveNew := newRes[n]
+		switch {
+		case !haveOld:
+			fmt.Fprintf(w, "%-50s %15s %15s %9s %15s %15s %9s\n",
+				n, "-", fmtMetric(nw.nsOp), "added", "-", fmtMetric(nw.allocsOp), "added")
+		case !haveNew:
+			fmt.Fprintf(w, "%-50s %15s %15s %9s %15s %15s %9s\n",
+				n, fmtMetric(o.nsOp), "-", "removed", fmtMetric(o.allocsOp), "-", "removed")
+		default:
+			fmt.Fprintf(w, "%-50s %15s %15s %9s %15s %15s %9s\n",
+				n, fmtMetric(o.nsOp), fmtMetric(nw.nsOp), delta(o.nsOp, nw.nsOp),
+				fmtMetric(o.allocsOp), fmtMetric(nw.allocsOp), delta(o.allocsOp, nw.allocsOp))
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package gnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"mvpar/internal/tensor"
+)
+
+// TestDGCNNSteadyStateAllocFree asserts the arena actually delivers:
+// after warm-up (which sizes the arena's free lists and the cached index
+// buffers), a full DGCNN forward + backward allocates nothing.
+func TestDGCNNSteadyStateAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := DefaultConfig(4)
+	d := NewDGCNN(cfg, rng)
+	g := Encode(lineGraph(9), tensor.Randn(9, 4, 1, rng))
+	grad := tensor.New(1, cfg.NumClasses)
+	grad.Set(0, 0, 1)
+	grad.Set(0, 1, -1)
+	step := func() {
+		d.Forward(g)
+		d.Backward(grad)
+	}
+	// Two cycles populate the arena free lists (the first run's buffers
+	// only become reusable at the second run's Reset); a third for luck.
+	for i := 0; i < 3; i++ {
+		step()
+	}
+	if n := testing.AllocsPerRun(10, step); n != 0 {
+		t.Fatalf("DGCNN forward+backward allocates %v per run in steady state, want 0", n)
+	}
+}
+
+// TestDGCNNAllocFreeAcrossGraphSizes checks the arena also reaches steady
+// state when alternating between graphs of different sizes (each size
+// class gets its own free-list bucket).
+func TestDGCNNAllocFreeAcrossGraphSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cfg := DefaultConfig(3)
+	d := NewDGCNN(cfg, rng)
+	graphs := []*EncodedGraph{
+		Encode(lineGraph(4), tensor.Randn(4, 3, 1, rng)),
+		Encode(starGraph(11), tensor.Randn(11, 3, 1, rng)),
+		Encode(lineGraph(25), tensor.Randn(25, 3, 1, rng)),
+	}
+	grad := tensor.New(1, cfg.NumClasses)
+	grad.Set(0, 0, 1)
+	grad.Set(0, 1, -1)
+	step := func() {
+		for _, g := range graphs {
+			d.Forward(g)
+			d.Backward(grad)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		step()
+	}
+	if n := testing.AllocsPerRun(10, step); n != 0 {
+		t.Fatalf("mixed-size forward+backward allocates %v per run in steady state, want 0", n)
+	}
+}

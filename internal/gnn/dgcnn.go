@@ -62,9 +62,14 @@ func PaperConfig(inputDim int) Config {
 	}
 }
 
-// graphConv is one graph convolution layer with manual backprop.
+// graphConv is one graph convolution layer with manual backprop. Its
+// buffers come from the owning DGCNN's arena; wT caches the weight
+// transpose the backward pass multiplies by, invalidated by optimizer
+// steps (nn.Param.Bump).
 type graphConv struct {
-	w *nn.Param
+	w       *nn.Param
+	wT      nn.TransposeCache
+	scratch *tensor.Arena
 
 	lastM *tensor.Matrix // Â·H input aggregate
 	lastZ *tensor.Matrix // tanh output
@@ -75,52 +80,70 @@ func newGraphConv(name string, in, out int, rng *rand.Rand) *graphConv {
 	return &graphConv{w: nn.NewParam(name, tensor.XavierInit(in, out, rng))}
 }
 
-// forward computes Z = tanh(Â H W).
+// forward computes Z = tanh(Â H W) via the CSR propagation kernel.
 func (l *graphConv) forward(g *EncodedGraph, h *tensor.Matrix) *tensor.Matrix {
 	l.g = g
-	l.lastM = g.propagate(h)
-	l.lastZ = tensor.Apply(tensor.MatMul(l.lastM, l.w.Value), math.Tanh)
-	return l.lastZ
+	l.lastM = l.scratch.Get(g.N, h.Cols)
+	g.propagateInto(h, l.lastM)
+	z := l.scratch.Get(g.N, l.w.Value.Cols)
+	tensor.MatMulInto(l.lastM, l.w.Value, z)
+	tensor.ApplyInto(z, math.Tanh, z)
+	l.lastZ = z
+	return z
 }
 
 // backward receives dZ, accumulates dW, and returns dH.
 func (l *graphConv) backward(dz *tensor.Matrix) *tensor.Matrix {
-	dpre := tensor.New(dz.Rows, dz.Cols)
+	dpre := l.scratch.Get(dz.Rows, dz.Cols)
 	for i := range dz.Data {
 		z := l.lastZ.Data[i]
 		dpre.Data[i] = dz.Data[i] * (1 - z*z)
 	}
-	l.w.Grad.AddInPlace(tensor.MatMul(tensor.Transpose(l.lastM), dpre))
-	dm := tensor.MatMul(dpre, tensor.Transpose(l.w.Value))
-	return l.g.propagateT(dm)
+	// Per-sample dW in a zeroed buffer, folded into Grad with one
+	// AddInPlace (the data-parallel bit-identity contract).
+	mT := l.scratch.Get(l.lastM.Cols, l.lastM.Rows)
+	tensor.TransposeInto(l.lastM, mT)
+	dw := l.scratch.Get(l.w.Value.Rows, l.w.Value.Cols)
+	tensor.MatMulInto(mT, dpre, dw)
+	l.w.Grad.AddInPlace(dw)
+	dm := l.scratch.Get(dpre.Rows, l.w.Value.Rows)
+	tensor.MatMulInto(dpre, l.wT.Of(l.w), dm)
+	dh := l.scratch.Get(l.g.N, dm.Cols)
+	l.g.propagateTInto(dm, dh)
+	return dh
 }
 
 // sortPool implements SortPooling: orders nodes by the last (sort) channel
 // descending and keeps the top k rows, zero-padding small graphs, so the
-// downstream 1-D convolution sees a fixed-size input.
+// downstream 1-D convolution sees a fixed-size input. Sort keys, index
+// buffers and the permutation are reused across calls.
 type sortPool struct {
-	k int
+	k       int
+	scratch *tensor.Arena
 
-	perm []int // kept row -> source row (-1 for padding)
-	nIn  int
-	cols int
+	perm      []int // kept row -> source row (-1 for padding)
+	keys      []float64
+	idx, tmp  []int
+	nIn, cols int
 }
 
 func (s *sortPool) forward(z *tensor.Matrix) *tensor.Matrix {
 	s.nIn = z.Rows
 	s.cols = z.Cols
-	keys := make([]float64, z.Rows)
+	s.keys = growFloats(s.keys, z.Rows)
+	s.idx = growInts(s.idx, z.Rows)
+	s.tmp = growInts(s.tmp, z.Rows)
 	for i := 0; i < z.Rows; i++ {
-		// Negate so Argsort's ascending order yields descending keys.
-		keys[i] = -z.At(i, z.Cols-1)
+		// Negate so the ascending argsort yields descending keys.
+		s.keys[i] = -z.At(i, z.Cols-1)
 	}
-	order := tensor.Argsort(keys)
-	out := tensor.New(s.k, z.Cols)
-	s.perm = make([]int, s.k)
+	tensor.ArgsortInto(s.keys, s.idx, s.tmp)
+	out := s.scratch.Get(s.k, z.Cols) // zeroed: rows past nIn stay padding
+	s.perm = growInts(s.perm, s.k)
 	for i := 0; i < s.k; i++ {
-		if i < len(order) {
-			s.perm[i] = order[i]
-			copy(out.Row(i), z.Row(order[i]))
+		if i < len(s.idx) {
+			s.perm[i] = s.idx[i]
+			copy(out.Row(i), z.Row(s.idx[i]))
 		} else {
 			s.perm[i] = -1
 		}
@@ -129,7 +152,7 @@ func (s *sortPool) forward(z *tensor.Matrix) *tensor.Matrix {
 }
 
 func (s *sortPool) backward(grad *tensor.Matrix) *tensor.Matrix {
-	dz := tensor.New(s.nIn, s.cols)
+	dz := s.scratch.Get(s.nIn, s.cols)
 	for i := 0; i < s.k; i++ {
 		if src := s.perm[i]; src >= 0 {
 			copy(dz.Row(src), grad.Row(i))
@@ -138,12 +161,37 @@ func (s *sortPool) backward(grad *tensor.Matrix) *tensor.Matrix {
 	return dz
 }
 
+// growInts returns a length-n int slice, reusing s's storage when it is
+// large enough (callers overwrite every element).
+func growInts(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
+}
+
+// growFloats is growInts for float64 slices.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
 // DGCNN is the end-to-end graph classifier of figure 6: graph conv stack
 // with concatenated channels, SortPooling, Conv1D/MaxPool/Conv1D, a dense
 // penultimate layer, and a classification head. PenultForward exposes the
 // fusion-facing vector the multi-view model consumes.
+//
+// Every layer draws its activation and gradient buffers from one arena
+// owned by the model, reset at the start of each forward pass — so
+// steady-state training allocates nothing. Consequently outputs are valid
+// only until the model's next forward; callers that hold a result across
+// samples must Clone it.
 type DGCNN struct {
 	Cfg Config
+
+	arena *tensor.Arena
 
 	convs []*graphConv
 	pool  *sortPool
@@ -159,20 +207,28 @@ type DGCNN struct {
 
 	// caches for backward
 	convOuts []*tensor.Matrix
+	offsets  []int
 	totalCh  int
 }
 
 // NewDGCNN builds a DGCNN from cfg.
 func NewDGCNN(cfg Config, rng *rand.Rand) *DGCNN {
-	d := &DGCNN{Cfg: cfg, pool: &sortPool{k: cfg.SortK}}
+	arena := tensor.NewArena()
+	d := &DGCNN{Cfg: cfg, arena: arena, pool: &sortPool{k: cfg.SortK, scratch: arena}}
 	in := cfg.InputDim
 	total := 0
 	for i, ch := range cfg.ConvChannels {
-		d.convs = append(d.convs, newGraphConv(name(cfg.Prefix+"gc", i), in, ch, rng))
+		gc := newGraphConv(name(cfg.Prefix+"gc", i), in, ch, rng)
+		gc.scratch = arena
+		d.convs = append(d.convs, gc)
 		in = ch
 		total += ch
 	}
 	d.totalCh = total
+	d.offsets = make([]int, len(d.convs)+1)
+	for i, c := range d.convs {
+		d.offsets[i+1] = d.offsets[i] + c.w.Value.Cols
+	}
 	d.conv1 = nn.NewConv1D(cfg.Prefix+"conv1", 1, cfg.Conv1Filters, total, total, rng)
 	d.pool1 = nn.NewMaxPool1D(2, 2)
 	kernel2 := 5
@@ -191,6 +247,12 @@ func NewDGCNN(cfg Config, rng *rand.Rand) *DGCNN {
 	d.head = nn.NewDense(cfg.Prefix+"head", cfg.DenseDim, cfg.NumClasses, rng)
 	d.flat1 = &nn.Flatten{}
 	d.flat2 = &nn.Flatten{}
+	d.conv1.Scratch = arena
+	d.pool1.Scratch = arena
+	d.conv2.Scratch = arena
+	d.dense.Scratch = arena
+	d.act.Scratch = arena
+	d.head.Scratch = arena
 	return d
 }
 
@@ -199,16 +261,18 @@ func name(prefix string, i int) string {
 }
 
 // Replicate returns a worker-private copy for data-parallel training and
-// evaluation: the replica rebuilds the full layer stack (own activation
-// caches, own gradient buffers) and then rebinds every parameter Value to
-// the master's storage, so forward passes see the master weights while
-// backward passes stay isolated. Params() order is stable across
-// construction, which makes the positional rebind sound.
+// evaluation: the replica rebuilds the full layer stack (own arena, own
+// activation caches, own gradient and transpose-cache buffers) and then
+// rebinds every parameter to the master's Value storage and revision
+// counter, so forward passes see the master weights — and master optimizer
+// steps invalidate replica transpose caches — while backward passes stay
+// isolated. Params() order is stable across construction, which makes the
+// positional rebind sound.
 func (d *DGCNN) Replicate() *DGCNN {
 	rep := NewDGCNN(d.Cfg, rand.New(rand.NewSource(0)))
 	src := d.Params()
 	for i, p := range rep.Params() {
-		p.Value = src[i].Value
+		p.Rebind(src[i])
 	}
 	return rep
 }
@@ -229,15 +293,21 @@ func (d *DGCNN) Params() []*nn.Param {
 // forwardConvs runs the graph convolution stack and returns the
 // channel-concatenated node representations (N x totalCh).
 func (d *DGCNN) forwardConvs(g *EncodedGraph) *tensor.Matrix {
+	// One reset per sample: every buffer handed out since the previous
+	// forward (including backward-pass buffers) is reclaimed here.
+	d.arena.Reset()
 	h := g.X
 	d.convOuts = d.convOuts[:0]
 	for _, c := range d.convs {
 		h = c.forward(g, h)
 		d.convOuts = append(d.convOuts, h)
 	}
-	cat := d.convOuts[0]
-	for _, z := range d.convOuts[1:] {
-		cat = tensor.Concat(cat, z)
+	cat := d.arena.Get(g.N, d.totalCh)
+	for ci, z := range d.convOuts {
+		lo := d.offsets[ci]
+		for r := 0; r < z.Rows; r++ {
+			copy(cat.Row(r)[lo:lo+z.Cols], z.Row(r))
+		}
 	}
 	return cat
 }
@@ -246,14 +316,10 @@ func (d *DGCNN) forwardConvs(g *EncodedGraph) *tensor.Matrix {
 // outputs through the graph convolution stack, threading the skip
 // gradients between layers.
 func (d *DGCNN) backwardConvs(g *tensor.Matrix) {
-	offsets := make([]int, len(d.convs)+1)
-	for i, c := range d.convs {
-		offsets[i+1] = offsets[i] + c.w.Value.Cols
-	}
 	var dH *tensor.Matrix
 	for i := len(d.convs) - 1; i >= 0; i-- {
-		lo, hi := offsets[i], offsets[i+1]
-		dz := tensor.New(g.Rows, hi-lo)
+		lo, hi := d.offsets[i], d.offsets[i+1]
+		dz := d.arena.Get(g.Rows, hi-lo)
 		for r := 0; r < g.Rows; r++ {
 			copy(dz.Row(r), g.Row(r)[lo:hi])
 		}
@@ -265,7 +331,8 @@ func (d *DGCNN) backwardConvs(g *tensor.Matrix) {
 }
 
 // PenultForward runs the network up to the penultimate dense layer and
-// returns the 1 x DenseDim fusion vector.
+// returns the 1 x DenseDim fusion vector (owned by the model's arena:
+// valid until the next forward).
 func (d *DGCNN) PenultForward(g *EncodedGraph) *tensor.Matrix {
 	cat := d.forwardConvs(g)
 	pooled := d.pool.forward(cat)               // k x C

@@ -12,20 +12,22 @@ import (
 	"mvpar/internal/tensor"
 )
 
-// weightedEdge is one entry of a normalized sparse adjacency row.
-type weightedEdge struct {
-	to int
-	w  float64
-}
-
 // EncodedGraph is a graph prepared for message passing: the random-walk
-// normalized adjacency Â = D⁻¹(A + I) over the undirected structure, with
-// its transpose for backpropagation, plus the node feature matrix.
+// normalized adjacency Â = D⁻¹(A + I) over the undirected structure in CSR
+// form, with its transpose for backpropagation, plus the node feature
+// matrix. The CSR arrays are built once per record and are read-only
+// afterwards, so epochs and data-parallel replicas share them freely.
 type EncodedGraph struct {
-	N    int
-	X    *tensor.Matrix // N x F node features
-	adj  [][]weightedEdge
-	adjT [][]weightedEdge
+	N int
+	X *tensor.Matrix // N x F node features
+
+	a  *tensor.Sparse // Â, rows store columns ascending
+	at *tensor.Sparse // Âᵀ
+
+	// aDense/atDense, when set (ForceDense), route propagation through the
+	// dense MatMul kernel instead of SpMM — the reference path the
+	// sparse-vs-dense bit-identity test compares against.
+	aDense, atDense *tensor.Matrix
 }
 
 // WithFeatures returns a shallow copy of the encoded graph that shares
@@ -35,13 +37,24 @@ func (g *EncodedGraph) WithFeatures(x *tensor.Matrix) *EncodedGraph {
 	if x.Rows != g.N {
 		panic(fmt.Sprintf("gnn: WithFeatures rows %d != nodes %d", x.Rows, g.N))
 	}
-	return &EncodedGraph{N: g.N, X: x, adj: g.adj, adjT: g.adjT}
+	return &EncodedGraph{N: g.N, X: x, a: g.a, at: g.at, aDense: g.aDense, atDense: g.atDense}
+}
+
+// ForceDense materializes Â and Âᵀ as dense matrices and routes propagate
+// through MatMul from now on. Debug/testing hook: because the dense kernel
+// accumulates over k ascending and skips zeros, and the CSR rows store
+// columns ascending, the dense path is bit-identical to the sparse one —
+// which TestSparseDenseBitIdentical pins.
+func (g *EncodedGraph) ForceDense() {
+	g.aDense = g.a.Dense()
+	g.atDense = g.at.Dense()
 }
 
 // Encode builds an EncodedGraph from a directed graph and node features.
 // Edges are symmetrized (message passing ignores dependence direction,
 // matching the DGCNN's treatment of arbitrary graphs) and self-loops are
-// added before normalization.
+// added before normalization. Each CSR row stores its columns in ascending
+// order — the determinism contract tensor.SpMMInto relies on.
 func Encode(g *graph.Directed, x *tensor.Matrix) *EncodedGraph {
 	n := g.NumNodes()
 	if x.Rows != n {
@@ -55,57 +68,64 @@ func Encode(g *graph.Directed, x *tensor.Matrix) *EncodedGraph {
 		neighbors[e.From][e.To] = true
 		neighbors[e.To][e.From] = true
 	}
-	eg := &EncodedGraph{N: n, X: x, adj: make([][]weightedEdge, n), adjT: make([][]weightedEdge, n)}
+	rowPtr := make([]int, n+1)
 	for v := 0; v < n; v++ {
-		deg := len(neighbors[v])
-		w := 1.0 / float64(deg)
-		row := make([]weightedEdge, 0, deg)
-		// Deterministic order for reproducibility.
+		rowPtr[v+1] = rowPtr[v] + len(neighbors[v])
+	}
+	nnz := rowPtr[n]
+	colIdx := make([]int, 0, nnz)
+	val := make([]float64, 0, nnz)
+	for v := 0; v < n; v++ {
+		w := 1.0 / float64(len(neighbors[v]))
+		// Ascending column order for reproducibility (and the SpMM
+		// bit-identity contract).
 		for u := 0; u < n; u++ {
 			if neighbors[v][u] {
-				row = append(row, weightedEdge{to: u, w: w})
+				colIdx = append(colIdx, u)
+				val = append(val, w)
 			}
 		}
-		eg.adj[v] = row
 	}
-	for v := 0; v < n; v++ {
-		for _, e := range eg.adj[v] {
-			eg.adjT[e.to] = append(eg.adjT[e.to], weightedEdge{to: v, w: e.w})
-		}
-	}
-	return eg
+	a := tensor.NewCSR(n, n, rowPtr, colIdx, val)
+	return &EncodedGraph{N: n, X: x, a: a, at: a.Transposed()}
 }
 
 // AdjacencyEntries returns the number of normalized adjacency entries
 // (symmetrized edges plus self-loops) — a size statistic for exports.
-func (g *EncodedGraph) AdjacencyEntries() int {
-	n := 0
-	for _, row := range g.adj {
-		n += len(row)
-	}
-	return n
-}
+func (g *EncodedGraph) AdjacencyEntries() int { return g.a.NNZ() }
+
+// Adjacency returns the normalized adjacency Â in CSR form. Read-only:
+// the arrays are shared across feature views, epochs and replicas.
+func (g *EncodedGraph) Adjacency() *tensor.Sparse { return g.a }
 
 // propagate computes Â·H (rows of H aggregated over normalized neighbors).
 func (g *EncodedGraph) propagate(h *tensor.Matrix) *tensor.Matrix {
-	return spmm(g.adj, h)
+	out := tensor.New(g.N, h.Cols)
+	g.propagateInto(h, out)
+	return out
 }
 
 // propagateT computes Âᵀ·H, needed by the backward pass.
 func (g *EncodedGraph) propagateT(h *tensor.Matrix) *tensor.Matrix {
-	return spmm(g.adjT, h)
+	out := tensor.New(g.N, h.Cols)
+	g.propagateTInto(h, out)
+	return out
 }
 
-func spmm(rows [][]weightedEdge, h *tensor.Matrix) *tensor.Matrix {
-	out := tensor.New(len(rows), h.Cols)
-	for v, row := range rows {
-		dst := out.Row(v)
-		for _, e := range row {
-			src := h.Row(e.to)
-			for j, s := range src {
-				dst[j] += e.w * s
-			}
-		}
+// propagateInto computes out = Â·H without allocating. out must not alias h.
+func (g *EncodedGraph) propagateInto(h, out *tensor.Matrix) {
+	if g.aDense != nil {
+		tensor.MatMulInto(g.aDense, h, out)
+		return
 	}
-	return out
+	tensor.SpMMInto(g.a, h, out)
+}
+
+// propagateTInto computes out = Âᵀ·H without allocating. out must not alias h.
+func (g *EncodedGraph) propagateTInto(h, out *tensor.Matrix) {
+	if g.atDense != nil {
+		tensor.MatMulInto(g.atDense, h, out)
+		return
+	}
+	tensor.SpMMInto(g.at, h, out)
 }

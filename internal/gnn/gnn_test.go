@@ -31,17 +31,23 @@ func TestEncodeNormalization(t *testing.T) {
 	x := tensor.New(3, 2)
 	eg := Encode(g, x)
 	// Node 0: self + node 1 -> weights 1/2 each. Node 1: self + 0 + 2 -> 1/3.
+	a := eg.Adjacency()
 	for v, wantDeg := range []int{2, 3, 2} {
-		row := eg.adj[v]
-		if len(row) != wantDeg {
-			t.Fatalf("node %d degree %d, want %d", v, len(row), wantDeg)
+		lo, hi := a.RowPtr[v], a.RowPtr[v+1]
+		if hi-lo != wantDeg {
+			t.Fatalf("node %d degree %d, want %d", v, hi-lo, wantDeg)
 		}
 		sum := 0.0
-		for _, e := range row {
-			sum += e.w
+		for _, w := range a.Val[lo:hi] {
+			sum += w
 		}
 		if math.Abs(sum-1) > 1e-12 {
 			t.Fatalf("node %d weights sum %v", v, sum)
+		}
+		for k := lo + 1; k < hi; k++ {
+			if a.ColIdx[k] <= a.ColIdx[k-1] {
+				t.Fatalf("node %d columns not ascending: %v", v, a.ColIdx[lo:hi])
+			}
 		}
 	}
 }

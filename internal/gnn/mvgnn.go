@@ -39,6 +39,10 @@ type MVGNN struct {
 	fuse       *nn.Tanh
 	out        *nn.Dense
 
+	// arena backs the fusion layers' buffers (each view owns its own);
+	// reset once per sample at the start of ForwardAll.
+	arena *tensor.Arena
+
 	// predictMode selects the inference head after staged training:
 	// 0 = fused (default), 1 = node head, 2 = struct head. Train picks
 	// the head with the best training accuracy (fused wins ties), so the
@@ -65,13 +69,16 @@ func NewMVGNNClasses(nodeDim, structDim, classes int, seed int64) *MVGNN {
 	// Each view gets its own RNG stream: the node view's initialization is
 	// then bit-identical to a standalone SingleView with the same seed,
 	// which makes "multi-view never loses to single view" checkable.
+	arena := tensor.NewArena()
 	m := &MVGNN{
 		NodeView:   NewDGCNN(nodeCfg, rand.New(rand.NewSource(seed))),
 		StructView: NewDGCNN(structCfg, rand.New(rand.NewSource(seed^0x5DEECE66D))),
-		fuse:       &nn.Tanh{},
+		fuse:       &nn.Tanh{Scratch: arena},
+		arena:      arena,
 	}
 	rng := rand.New(rand.NewSource(seed ^ 0x9E3779B9))
 	m.out = nn.NewDense("mv.out", 2*classes, classes, rng)
+	m.out.Scratch = arena
 	// Prior: the fused head starts as an exact copy of the node view
 	// (tanh is monotone, so argmax is preserved). Fusion training then
 	// only departs from the stronger view where the structural view adds
@@ -96,11 +103,15 @@ func (m *MVGNN) Params() []*nn.Param {
 // forward/backward passes on different replicas never race. See
 // DGCNN.Replicate for the sharing contract.
 func (m *MVGNN) Replicate() *MVGNN {
+	arena := tensor.NewArena()
+	out := m.out.Replicate()
+	out.Scratch = arena
 	return &MVGNN{
 		NodeView:    m.NodeView.Replicate(),
 		StructView:  m.StructView.Replicate(),
-		fuse:        &nn.Tanh{},
-		out:         m.out.Replicate(),
+		fuse:        &nn.Tanh{Scratch: arena},
+		out:         out,
+		arena:       arena,
 		predictMode: m.predictMode,
 	}
 }
@@ -109,11 +120,14 @@ func (m *MVGNN) Replicate() *MVGNN {
 // (used for deep supervision during training and the figure-8 probes).
 // The internal caches remain valid for BackwardAll.
 func (m *MVGNN) ForwardAll(s Sample) (fused, nodeLogits, structLogits *tensor.Matrix) {
+	m.arena.Reset()
 	hn := m.NodeView.PenultForward(s.Node)
 	hs := m.StructView.PenultForward(s.Struct)
 	nodeLogits = m.NodeView.head.Forward(hn)
 	structLogits = m.StructView.head.Forward(hs)
-	fused = m.out.Forward(m.fuse.Forward(tensor.Concat(nodeLogits, structLogits)))
+	cat := m.arena.Get(1, nodeLogits.Cols+structLogits.Cols)
+	tensor.ConcatInto(nodeLogits, structLogits, cat)
+	fused = m.out.Forward(m.fuse.Forward(cat))
 	return
 }
 

@@ -32,10 +32,11 @@ func (d *DGCNN) PretrainStep(g *EncodedGraph, maxPairs int, rng *rand.Rand) floa
 
 	type pair struct{ u, v int }
 	var pos []pair
+	a := g.a
 	for u := 0; u < g.N; u++ {
-		for _, e := range g.adj[u] {
-			if e.to != u {
-				pos = append(pos, pair{u, e.to})
+		for _, v := range a.ColIdx[a.RowPtr[u]:a.RowPtr[u+1]] {
+			if v != u {
+				pos = append(pos, pair{u, v})
 			}
 		}
 	}

@@ -8,20 +8,25 @@ import (
 
 // Tanh is the elementwise hyperbolic-tangent activation; it is the
 // nonlinearity the paper uses both inside the DGCNN graph convolutions and
-// in the multi-view fusion layer (eq. 5).
+// in the multi-view fusion layer (eq. 5). Scratch, when set, supplies the
+// activation buffers (see Dense.Scratch).
 type Tanh struct {
+	Scratch *tensor.Arena
+
 	lastY *tensor.Matrix
 }
 
 // Forward applies tanh elementwise.
 func (t *Tanh) Forward(x *tensor.Matrix) *tensor.Matrix {
-	t.lastY = tensor.Apply(x, math.Tanh)
-	return t.lastY
+	out := t.Scratch.Get(x.Rows, x.Cols)
+	tensor.ApplyInto(x, math.Tanh, out)
+	t.lastY = out
+	return out
 }
 
 // Backward multiplies the incoming gradient by 1 - tanh².
 func (t *Tanh) Backward(grad *tensor.Matrix) *tensor.Matrix {
-	out := tensor.New(grad.Rows, grad.Cols)
+	out := t.Scratch.Get(grad.Rows, grad.Cols)
 	for i := range grad.Data {
 		y := t.lastY.Data[i]
 		out.Data[i] = grad.Data[i] * (1 - y*y)
@@ -35,26 +40,32 @@ func (t *Tanh) Params() []*Param { return nil }
 // ReLU is the elementwise rectified linear activation (used by the NCC
 // baseline's dense layers).
 type ReLU struct {
+	Scratch *tensor.Arena
+
 	lastX *tensor.Matrix
 }
 
 // Forward applies max(0, x) elementwise.
 func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
 	r.lastX = x
-	return tensor.Apply(x, func(v float64) float64 {
+	out := r.Scratch.Get(x.Rows, x.Cols)
+	tensor.ApplyInto(x, func(v float64) float64 {
 		if v > 0 {
 			return v
 		}
 		return 0
-	})
+	}, out)
+	return out
 }
 
 // Backward zeroes the gradient where the input was non-positive.
 func (r *ReLU) Backward(grad *tensor.Matrix) *tensor.Matrix {
-	out := tensor.New(grad.Rows, grad.Cols)
+	out := r.Scratch.Get(grad.Rows, grad.Cols)
 	for i := range grad.Data {
 		if r.lastX.Data[i] > 0 {
 			out.Data[i] = grad.Data[i]
+		} else {
+			out.Data[i] = 0
 		}
 	}
 	return out
@@ -66,18 +77,22 @@ func (r *ReLU) Params() []*Param { return nil }
 // Sigmoid is the elementwise logistic activation (used inside LSTM gates
 // and available as a generic layer).
 type Sigmoid struct {
+	Scratch *tensor.Arena
+
 	lastY *tensor.Matrix
 }
 
 // Forward applies 1/(1+e^-x) elementwise.
 func (s *Sigmoid) Forward(x *tensor.Matrix) *tensor.Matrix {
-	s.lastY = tensor.Apply(x, sigmoid)
-	return s.lastY
+	out := s.Scratch.Get(x.Rows, x.Cols)
+	tensor.ApplyInto(x, sigmoid, out)
+	s.lastY = out
+	return out
 }
 
 // Backward multiplies the incoming gradient by y(1-y).
 func (s *Sigmoid) Backward(grad *tensor.Matrix) *tensor.Matrix {
-	out := tensor.New(grad.Rows, grad.Cols)
+	out := s.Scratch.Get(grad.Rows, grad.Cols)
 	for i := range grad.Data {
 		y := s.lastY.Data[i]
 		out.Data[i] = grad.Data[i] * y * (1 - y)

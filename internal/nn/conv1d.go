@@ -21,6 +21,10 @@ type Conv1D struct {
 	// W has shape outChannels x (inChannels*kernelSize); B is 1 x outChannels.
 	W, B *Param
 
+	// Scratch, when set, supplies output and gradient buffers so
+	// steady-state Forward/Backward allocate nothing (see Dense.Scratch).
+	Scratch *tensor.Arena
+
 	lastX *tensor.Matrix
 }
 
@@ -54,7 +58,7 @@ func (c *Conv1D) Forward(x *tensor.Matrix) *tensor.Matrix {
 	}
 	c.lastX = x
 	outLen := c.OutLen(x.Cols)
-	out := tensor.New(c.OutChannels, outLen)
+	out := c.Scratch.Get(c.OutChannels, outLen)
 	for f := 0; f < c.OutChannels; f++ {
 		w := c.W.Value.Row(f)
 		bias := c.B.Value.Data[f]
@@ -84,9 +88,9 @@ func (c *Conv1D) Forward(x *tensor.Matrix) *tensor.Matrix {
 // accumulation bit for bit.
 func (c *Conv1D) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	x := c.lastX
-	dx := tensor.New(x.Rows, x.Cols)
-	dwBuf := tensor.New(c.W.Value.Rows, c.W.Value.Cols)
-	dbBuf := tensor.New(c.B.Value.Rows, c.B.Value.Cols)
+	dx := c.Scratch.Get(x.Rows, x.Cols)
+	dwBuf := c.Scratch.Get(c.W.Value.Rows, c.W.Value.Cols)
+	dbBuf := c.Scratch.Get(c.B.Value.Rows, c.B.Value.Cols)
 	outLen := grad.Cols
 	for f := 0; f < c.OutChannels; f++ {
 		w := c.W.Value.Row(f)
@@ -124,8 +128,12 @@ type MaxPool1D struct {
 	KernelSize int
 	Stride     int
 
+	// Scratch, when set, supplies output and gradient buffers (see
+	// Dense.Scratch).
+	Scratch *tensor.Arena
+
 	lastX  *tensor.Matrix
-	argmax []int // flattened (channel, outPos) -> input column index
+	argmax []int // flattened (channel, outPos) -> input column index, reused across calls
 	outLen int
 }
 
@@ -149,8 +157,8 @@ func (p *MaxPool1D) OutLen(l int) int {
 func (p *MaxPool1D) Forward(x *tensor.Matrix) *tensor.Matrix {
 	p.lastX = x
 	p.outLen = p.OutLen(x.Cols)
-	out := tensor.New(x.Rows, p.outLen)
-	p.argmax = make([]int, x.Rows*p.outLen)
+	out := p.Scratch.Get(x.Rows, p.outLen)
+	p.argmax = growInts(p.argmax, x.Rows*p.outLen)
 	for ch := 0; ch < x.Rows; ch++ {
 		xr := x.Row(ch)
 		for t := 0; t < p.outLen; t++ {
@@ -172,7 +180,7 @@ func (p *MaxPool1D) Forward(x *tensor.Matrix) *tensor.Matrix {
 
 // Backward scatters gradients back to the argmax positions.
 func (p *MaxPool1D) Backward(grad *tensor.Matrix) *tensor.Matrix {
-	dx := tensor.New(p.lastX.Rows, p.lastX.Cols)
+	dx := p.Scratch.Get(p.lastX.Rows, p.lastX.Cols)
 	for ch := 0; ch < grad.Rows; ch++ {
 		for t := 0; t < grad.Cols; t++ {
 			dx.Row(ch)[p.argmax[ch*p.outLen+t]] += grad.At(ch, t)
@@ -185,24 +193,38 @@ func (p *MaxPool1D) Backward(grad *tensor.Matrix) *tensor.Matrix {
 func (p *MaxPool1D) Params() []*Param { return nil }
 
 // Flatten reshapes any matrix to a single row (1 x Rows*Cols) so a dense
-// head can follow a convolutional stack.
+// head can follow a convolutional stack. Both directions reuse the input
+// storage; the reshaped headers are cached in the layer so steady-state
+// calls allocate nothing.
 type Flatten struct {
 	lastRows, lastCols int
+	out, back          tensor.Matrix
 }
 
-// Forward flattens x to one row.
+// Forward flattens x to one row (sharing x's storage).
 func (f *Flatten) Forward(x *tensor.Matrix) *tensor.Matrix {
 	f.lastRows, f.lastCols = x.Rows, x.Cols
-	return tensor.FromSlice(1, x.Rows*x.Cols, x.Data)
+	f.out = tensor.Matrix{Rows: 1, Cols: x.Rows * x.Cols, Data: x.Data}
+	return &f.out
 }
 
-// Backward restores the original shape.
+// Backward restores the original shape (sharing grad's storage).
 func (f *Flatten) Backward(grad *tensor.Matrix) *tensor.Matrix {
-	return tensor.FromSlice(f.lastRows, f.lastCols, grad.Data)
+	f.back = tensor.Matrix{Rows: f.lastRows, Cols: f.lastCols, Data: grad.Data}
+	return &f.back
 }
 
 // Params returns nil: Flatten has no trainable state.
 func (f *Flatten) Params() []*Param { return nil }
+
+// growInts returns a length-n int slice, reusing s's storage when it is
+// large enough (every element is overwritten by the caller).
+func growInts(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
+}
 
 // LastRow selects the final row of its input (e.g. the last hidden state of
 // an LSTM sequence) and backpropagates only into that row.

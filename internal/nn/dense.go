@@ -11,7 +11,14 @@ import (
 type Dense struct {
 	W, B *Param
 
+	// Scratch, when set, supplies the activation and gradient buffers so
+	// steady-state Forward/Backward allocate nothing. The model that owns
+	// the layer resets the arena once per sample; a nil Scratch falls
+	// back to heap allocation (standalone use, tests).
+	Scratch *tensor.Arena
+
 	lastX *tensor.Matrix
+	wT    TransposeCache
 }
 
 // NewDense creates a Dense layer with Xavier-initialized weights.
@@ -22,18 +29,32 @@ func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
 	}
 }
 
-// Forward computes X·W + b.
+// Forward computes X·W + b. The result is owned by the layer's arena
+// (valid until the owning model's next forward) when Scratch is set.
 func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
 	d.lastX = x
-	return tensor.AddRowVec(tensor.MatMul(x, d.W.Value), d.B.Value)
+	out := d.Scratch.Get(x.Rows, d.W.Value.Cols)
+	tensor.MatMulInto(x, d.W.Value, out)
+	tensor.AddRowVecInto(out, d.B.Value, out)
+	return out
 }
 
 // Backward accumulates dW = Xᵀ·grad and db = Σrows(grad), and returns
-// dX = grad·Wᵀ.
+// dX = grad·Wᵀ. Wᵀ comes from a cache invalidated by optimizer steps
+// (Param.Bump) rather than being re-transposed every call.
 func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
-	d.W.Grad.AddInPlace(tensor.MatMul(tensor.Transpose(d.lastX), grad))
-	d.B.Grad.AddInPlace(tensor.SumRows(grad))
-	return tensor.MatMul(grad, tensor.Transpose(d.W.Value))
+	x := d.lastX
+	xT := d.Scratch.Get(x.Cols, x.Rows)
+	tensor.TransposeInto(x, xT)
+	dw := d.Scratch.Get(d.W.Value.Rows, d.W.Value.Cols)
+	tensor.MatMulInto(xT, grad, dw)
+	d.W.Grad.AddInPlace(dw)
+	db := d.Scratch.Get(1, grad.Cols)
+	tensor.SumRowsInto(grad, db)
+	d.B.Grad.AddInPlace(db)
+	dx := d.Scratch.Get(grad.Rows, d.W.Value.Rows)
+	tensor.MatMulInto(grad, d.wT.Of(d.W), dx)
+	return dx
 }
 
 // Params returns W and b.
@@ -41,7 +62,8 @@ func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 
 // Replicate returns a worker-private copy for data-parallel training: it
 // shares d's weight values through shadow params (see Param.Shadow) but
-// owns its own gradient buffers and activation cache.
+// owns its own gradient buffers, activation cache and transpose cache.
+// The caller assigns the replica's Scratch arena.
 func (d *Dense) Replicate() *Dense {
 	return &Dense{W: d.W.Shadow(), B: d.B.Shadow()}
 }

@@ -25,6 +25,8 @@ type LSTM struct {
 	xs              *tensor.Matrix
 	hs, cs          []*tensor.Matrix // length T+1, index 0 is the zero state
 	is, fs, gs, os_ []*tensor.Matrix
+
+	whT, wxT TransposeCache
 }
 
 // NewLSTM creates an LSTM with Xavier-initialized weights and the forget
@@ -92,8 +94,8 @@ func (l *LSTM) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	dxs := tensor.New(T, l.InputDim)
 	dhNext := tensor.New(1, h)
 	dcNext := tensor.New(1, h)
-	whT := tensor.Transpose(l.Wh.Value)
-	wxT := tensor.Transpose(l.Wx.Value)
+	whT := l.whT.Of(l.Wh)
+	wxT := l.wxT.Of(l.Wx)
 
 	for t := T - 1; t >= 0; t-- {
 		dh := tensor.New(1, h)

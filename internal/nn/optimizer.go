@@ -47,10 +47,10 @@ func (s *SGD) Step(params []*Param) {
 				p.Value.Data[i] -= s.LR * v.Data[i]
 			}
 		} else {
-			for i := range g.Data {
-				p.Value.Data[i] -= s.LR * g.Data[i]
-			}
+			// x - lr·g == x + (-lr)·g bit for bit (IEEE negation is exact).
+			tensor.AddScaledInto(p.Value, p.Value, g, -s.LR)
 		}
+		p.Bump()
 		p.ZeroGrad()
 	}
 }
@@ -109,6 +109,7 @@ func (a *Adam) Step(params []*Param) {
 			vHat := v.Data[i] / bc2
 			p.Value.Data[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
 		}
+		p.Bump()
 		p.ZeroGrad()
 	}
 }

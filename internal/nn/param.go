@@ -22,20 +22,88 @@ type Param struct {
 	Name  string
 	Value *tensor.Matrix
 	Grad  *tensor.Matrix
+
+	// rev counts in-place mutations of Value (optimizer steps). Shadows
+	// and rebound replicas share the pointer, so a master's Bump
+	// invalidates every replica's derived caches (see TransposeCache).
+	rev *uint64
 }
 
 // NewParam allocates a parameter with a zero gradient buffer.
 func NewParam(name string, value *tensor.Matrix) *Param {
-	return &Param{Name: name, Value: value, Grad: tensor.New(value.Rows, value.Cols)}
+	return &Param{Name: name, Value: value, Grad: tensor.New(value.Rows, value.Cols), rev: new(uint64)}
 }
 
-// Shadow returns a parameter that shares p's Value storage but owns a
-// fresh zero Grad buffer. Data-parallel training workers run their model
-// replicas through shadow params: forward passes read the shared weights,
-// backward passes accumulate into the private grad, and the trainer
-// reduces the shadows into the master grads in a fixed order.
+// Shadow returns a parameter that shares p's Value storage (and revision
+// counter) but owns a fresh zero Grad buffer. Data-parallel training
+// workers run their model replicas through shadow params: forward passes
+// read the shared weights, backward passes accumulate into the private
+// grad, and the trainer reduces the shadows into the master grads in a
+// fixed order.
 func (p *Param) Shadow() *Param {
-	return &Param{Name: p.Name, Value: p.Value, Grad: tensor.New(p.Value.Rows, p.Value.Cols)}
+	return &Param{Name: p.Name, Value: p.Value, Grad: tensor.New(p.Value.Rows, p.Value.Cols), rev: p.rev}
+}
+
+// Rebind makes p read src's weights: it shares src's Value storage and
+// revision counter while keeping p's own Grad buffer. Replicas built by
+// reconstructing a layer stack (gnn.DGCNN.Replicate) use this to attach
+// to the master's weights.
+func (p *Param) Rebind(src *Param) {
+	p.Value = src.Value
+	p.rev = src.rev
+}
+
+// Bump records an in-place mutation of Value. Everything that writes
+// Value.Data without replacing the Value pointer — the optimizers, or any
+// manual weight surgery after the first forward pass — must call it so
+// derived caches (cached weight transposes) notice. It must only be
+// called while no forward/backward pass is running on a shadow of p,
+// which the trainers guarantee by stepping at batch boundaries.
+func (p *Param) Bump() {
+	if p.rev == nil { // zero-value Param, no caches can exist
+		return
+	}
+	*p.rev++
+}
+
+// Rev returns the current revision of Value's contents. A cache keyed on
+// (Value pointer, Rev) stays valid exactly as long as the weights are
+// unchanged: in-place updates bump the revision and reloads (LoadParams)
+// replace the pointer.
+func (p *Param) Rev() uint64 {
+	if p.rev == nil {
+		return 0
+	}
+	return *p.rev
+}
+
+// TransposeCache memoizes the transpose of a parameter's Value, the
+// backward-pass operand every matmul layer needs (dX = grad·Wᵀ). The
+// cache recomputes only when the weights actually changed — detected by
+// the (Value pointer, revision) pair — instead of re-transposing on every
+// backward call. Each layer (and each replica) owns its cache, so there
+// is no cross-goroutine sharing; recomputation reuses one buffer and is
+// allocation-free after the first call.
+type TransposeCache struct {
+	t   *tensor.Matrix
+	of  *tensor.Matrix
+	rev uint64
+}
+
+// Of returns pᵀ, recomputing it only if p.Value changed since the last
+// call. The returned matrix is owned by the cache and must be treated as
+// read-only.
+func (c *TransposeCache) Of(p *Param) *tensor.Matrix {
+	v := p.Value
+	if c.t != nil && c.of == v && c.rev == p.Rev() {
+		return c.t
+	}
+	if c.t == nil || c.t.Rows != v.Cols || c.t.Cols != v.Rows {
+		c.t = tensor.New(v.Cols, v.Rows)
+	}
+	tensor.TransposeInto(v, c.t)
+	c.of, c.rev = v, p.Rev()
+	return c.t
 }
 
 // ZeroGrad clears the accumulated gradient.

@@ -1,0 +1,76 @@
+package tensor
+
+// Arena is a free-list scratch allocator for the per-sample matrices a
+// model's forward/backward pass churns through. Get hands out a zeroed
+// matrix (recycling a previously returned buffer of the same element
+// count when one is free), and Reset reclaims every matrix handed out
+// since the last Reset. After one warm-up pass over a sample, a model
+// that funnels all its scratch through one arena runs allocation-free in
+// steady state.
+//
+// Lifecycle rules (see docs/performance.md):
+//
+//   - One arena per model replica. Arenas are NOT safe for concurrent
+//     use; data-parallel replicas each own a private arena.
+//   - The model calls Reset exactly once per sample, at the start of its
+//     forward pass. Everything Get returns stays valid through the
+//     matching backward pass.
+//   - Callers outside the model may read a returned matrix (logits, the
+//     penultimate vector) only until the model's next forward; holding a
+//     buffer across samples requires Clone.
+//
+// A nil *Arena is valid and falls back to plain heap allocation, so
+// layers can support both arena-backed and standalone use with one code
+// path.
+type Arena struct {
+	free map[int][]*Matrix // element count -> reusable buffers
+	used []*Matrix         // handed out since the last Reset
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{free: make(map[int][]*Matrix)}
+}
+
+// Get returns a zeroed rows x cols matrix owned by the arena until the
+// next Reset. On a nil arena it simply heap-allocates.
+func (a *Arena) Get(rows, cols int) *Matrix {
+	if a == nil {
+		return New(rows, cols)
+	}
+	n := rows * cols
+	var m *Matrix
+	if list := a.free[n]; len(list) > 0 {
+		m = list[len(list)-1]
+		a.free[n] = list[:len(list)-1]
+		m.Rows, m.Cols = rows, cols
+		for i := range m.Data {
+			m.Data[i] = 0
+		}
+	} else {
+		m = New(rows, cols)
+	}
+	a.used = append(a.used, m)
+	return m
+}
+
+// Reset reclaims every matrix handed out since the last Reset. The caller
+// must no longer hold references into them. No-op on a nil arena.
+func (a *Arena) Reset() {
+	if a == nil {
+		return
+	}
+	for i, m := range a.used {
+		a.free[len(m.Data)] = append(a.free[len(m.Data)], m)
+		a.used[i] = nil
+	}
+	a.used = a.used[:0]
+}
+
+// Live returns how many matrices are currently handed out (test hook).
+func (a *Arena) Live() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.used)
+}

@@ -167,49 +167,105 @@ func (m *Matrix) ScaleInPlace(s float64) {
 // Apply returns f applied elementwise.
 func Apply(a *Matrix, f func(float64) float64) *Matrix {
 	c := New(a.Rows, a.Cols)
+	ApplyInto(a, f, c)
+	return c
+}
+
+// ApplyInto computes c = f(a) elementwise, overwriting c. c may alias a
+// (in-place application).
+func ApplyInto(a *Matrix, f func(float64) float64, c *Matrix) {
+	assertSameShape("ApplyInto", a, c)
 	for i := range a.Data {
 		c.Data[i] = f(a.Data[i])
 	}
-	return c
+}
+
+// assertNoAlias panics if dst and src share the same backing array. It
+// detects exact sharing (same first element), which covers every arena
+// and FromSlice reuse pattern in this repo; partially overlapping
+// subslices are the caller's responsibility.
+func assertNoAlias(op string, dst, src *Matrix) {
+	if len(dst.Data) > 0 && len(src.Data) > 0 && &dst.Data[0] == &src.Data[0] {
+		panic("tensor: " + op + " destination aliases an input")
+	}
 }
 
 // Transpose returns aᵀ.
 func Transpose(a *Matrix) *Matrix {
 	c := New(a.Cols, a.Rows)
+	TransposeInto(a, c)
+	return c
+}
+
+// TransposeInto computes c = aᵀ, overwriting c. c must not alias a.
+func TransposeInto(a, c *Matrix) {
+	if c.Rows != a.Cols || c.Cols != a.Rows {
+		panic(fmt.Sprintf("tensor: TransposeInto dst %dx%d for src %dx%d", c.Rows, c.Cols, a.Rows, a.Cols))
+	}
+	assertNoAlias("TransposeInto", c, a)
 	for i := 0; i < a.Rows; i++ {
 		row := a.Row(i)
 		for j, v := range row {
 			c.Data[j*a.Rows+i] = v
 		}
 	}
-	return c
+}
+
+// AddScaledInto computes c = a + s·b elementwise, overwriting c. c may
+// alias a or b (axpy-style updates run in place).
+func AddScaledInto(c, a, b *Matrix, s float64) {
+	assertSameShape("AddScaledInto", a, b)
+	assertSameShape("AddScaledInto", a, c)
+	for i := range a.Data {
+		c.Data[i] = a.Data[i] + s*b.Data[i]
+	}
 }
 
 // AddRowVec adds the 1 x Cols row vector v to every row of a.
 func AddRowVec(a, v *Matrix) *Matrix {
+	c := New(a.Rows, a.Cols)
+	AddRowVecInto(a, v, c)
+	return c
+}
+
+// AddRowVecInto computes c = a with the 1 x Cols row vector v added to
+// every row, overwriting c. c may alias a.
+func AddRowVecInto(a, v, c *Matrix) {
 	if v.Rows != 1 || v.Cols != a.Cols {
 		panic(fmt.Sprintf("tensor: AddRowVec vector shape %dx%d for matrix %dx%d", v.Rows, v.Cols, a.Rows, a.Cols))
 	}
-	c := New(a.Rows, a.Cols)
+	assertSameShape("AddRowVecInto", a, c)
 	for i := 0; i < a.Rows; i++ {
 		ar, cr := a.Row(i), c.Row(i)
 		for j := range ar {
 			cr[j] = ar[j] + v.Data[j]
 		}
 	}
-	return c
 }
 
 // SumRows returns the 1 x Cols column-wise sum of a (used for bias grads).
 func SumRows(a *Matrix) *Matrix {
 	c := New(1, a.Cols)
+	SumRowsInto(a, c)
+	return c
+}
+
+// SumRowsInto computes the 1 x Cols column-wise sum of a, overwriting c.
+// c must not alias a.
+func SumRowsInto(a, c *Matrix) {
+	if c.Rows != 1 || c.Cols != a.Cols {
+		panic(fmt.Sprintf("tensor: SumRowsInto dst %dx%d, want 1x%d", c.Rows, c.Cols, a.Cols))
+	}
+	assertNoAlias("SumRowsInto", c, a)
+	for i := range c.Data {
+		c.Data[i] = 0
+	}
 	for i := 0; i < a.Rows; i++ {
 		row := a.Row(i)
 		for j, v := range row {
 			c.Data[j] += v
 		}
 	}
-	return c
 }
 
 // Sum returns the sum of all elements.
@@ -256,15 +312,38 @@ func MatMul(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	c := New(a.Rows, b.Cols)
+	matMulDispatch(a, b, c)
+	return c
+}
+
+// MatMulInto computes c = a x b, overwriting c. c must not alias a or b
+// (the kernel accumulates into c while reading both). Same pooled
+// dispatch and bit-identical results as MatMul; below the parallel
+// threshold the call is allocation-free.
+func MatMulInto(a, b, c *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulInto inner dimension mismatch %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulInto dst %dx%d, want %dx%d", c.Rows, c.Cols, a.Rows, b.Cols))
+	}
+	assertNoAlias("MatMulInto", c, a)
+	assertNoAlias("MatMulInto", c, b)
+	for i := range c.Data {
+		c.Data[i] = 0
+	}
+	matMulDispatch(a, b, c)
+}
+
+func matMulDispatch(a, b, c *Matrix) {
 	work := a.Rows * a.Cols * b.Cols
 	if work < parallelThreshold || runtime.GOMAXPROCS(0) == 1 || a.Rows == 1 {
 		matMulRange(a, b, c, 0, a.Rows)
-		return c
+		return
 	}
 	pool.For(a.Rows, func(lo, hi int) {
 		matMulRange(a, b, c, lo, hi)
 	})
-	return c
 }
 
 // matMulRange computes rows [lo, hi) of c = a x b with an ikj loop order
@@ -339,11 +418,24 @@ func Concat(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: Concat row mismatch %d vs %d", a.Rows, b.Rows))
 	}
 	c := New(a.Rows, a.Cols+b.Cols)
+	ConcatInto(a, b, c)
+	return c
+}
+
+// ConcatInto computes c = [a | b], overwriting c. c must not alias a or b.
+func ConcatInto(a, b, c *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: Concat row mismatch %d vs %d", a.Rows, b.Rows))
+	}
+	if c.Rows != a.Rows || c.Cols != a.Cols+b.Cols {
+		panic(fmt.Sprintf("tensor: ConcatInto dst %dx%d, want %dx%d", c.Rows, c.Cols, a.Rows, a.Cols+b.Cols))
+	}
+	assertNoAlias("ConcatInto", c, a)
+	assertNoAlias("ConcatInto", c, b)
 	for i := 0; i < a.Rows; i++ {
 		copy(c.Row(i)[:a.Cols], a.Row(i))
 		copy(c.Row(i)[a.Cols:], b.Row(i))
 	}
-	return c
 }
 
 // SplitCols splits a into the first nLeft columns and the rest, undoing
@@ -379,44 +471,59 @@ func ApproxEqual(a, b *Matrix, tol float64) bool {
 // a stable ordering).
 func Argsort(vals []float64) []int {
 	idx := make([]int, len(vals))
-	for i := range idx {
-		idx[i] = i
-	}
-	// Insertion-friendly stable sort over indices.
-	sortStableByValue(idx, vals)
+	ArgsortInto(vals, idx, make([]int, len(vals)))
 	return idx
 }
 
-func sortStableByValue(idx []int, vals []float64) {
-	// Merge sort for stability without pulling in sort.SliceStable closures
-	// in a hot path.
-	if len(idx) < 2 {
-		return
+// ArgsortInto fills idx with the stable ascending argsort of vals,
+// using scratch as merge workspace so the call itself allocates nothing.
+// idx and scratch must each have len(vals) elements. A stable sort's
+// output permutation is unique, so the result is identical to Argsort's.
+func ArgsortInto(vals []float64, idx, scratch []int) {
+	n := len(vals)
+	if len(idx) != n || len(scratch) != n {
+		panic(fmt.Sprintf("tensor: ArgsortInto buffers %d/%d for %d values", len(idx), len(scratch), n))
 	}
-	mid := len(idx) / 2
-	left := append([]int(nil), idx[:mid]...)
-	right := append([]int(nil), idx[mid:]...)
-	sortStableByValue(left, vals)
-	sortStableByValue(right, vals)
-	i, j, k := 0, 0, 0
-	for i < len(left) && j < len(right) {
-		if vals[left[i]] <= vals[right[j]] {
-			idx[k] = left[i]
-			i++
-		} else {
-			idx[k] = right[j]
-			j++
+	for i := range idx {
+		idx[i] = i
+	}
+	// Bottom-up stable merge sort between idx and scratch.
+	src, dst := idx, scratch
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := lo + width
+			if mid > n {
+				mid = n
+			}
+			hi := lo + 2*width
+			if hi > n {
+				hi = n
+			}
+			i, j, k := lo, mid, lo
+			for i < mid && j < hi {
+				if vals[src[i]] <= vals[src[j]] {
+					dst[k] = src[i]
+					i++
+				} else {
+					dst[k] = src[j]
+					j++
+				}
+				k++
+			}
+			for i < mid {
+				dst[k] = src[i]
+				i++
+				k++
+			}
+			for j < hi {
+				dst[k] = src[j]
+				j++
+				k++
+			}
 		}
-		k++
+		src, dst = dst, src
 	}
-	for i < len(left) {
-		idx[k] = left[i]
-		i++
-		k++
-	}
-	for j < len(right) {
-		idx[k] = right[j]
-		j++
-		k++
+	if n > 0 && &src[0] != &idx[0] {
+		copy(idx, src)
 	}
 }

@@ -1,0 +1,134 @@
+package tensor
+
+import "fmt"
+
+// Sparse is a compressed-sparse-row (CSR) matrix: row i's nonzero entries
+// are ColIdx[RowPtr[i]:RowPtr[i+1]] with values Val at the same offsets.
+// The sub-PEG adjacencies the GNN propagates through have O(V+E) entries,
+// not O(V²), so CSR turns each graph-conv aggregation from a dense matrix
+// multiply into a walk over the stored edges.
+//
+// Entry order inside each row is part of the type's contract: SpMM
+// accumulates each output element strictly in stored-entry order, so two
+// Sparse matrices with the same entries in the same order produce
+// bit-identical products. Builders that need bitwise reproducibility
+// (gnn.Encode) store entries in ascending column order, which matches the
+// ascending-k accumulation of the dense MatMul kernel — making the sparse
+// and dense paths bit-identical, not just approximately equal.
+type Sparse struct {
+	Rows, Cols int
+	RowPtr     []int     // len Rows+1, monotone, RowPtr[0] == 0
+	ColIdx     []int     // len NNZ, each in [0, Cols)
+	Val        []float64 // len NNZ
+}
+
+// NewCSR wraps the given CSR arrays (not copied) after validating the
+// invariants: RowPtr has Rows+1 monotone entries starting at 0, and every
+// column index is in range.
+func NewCSR(rows, cols int, rowPtr, colIdx []int, val []float64) *Sparse {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: NewCSR(%d, %d) with negative dimension", rows, cols))
+	}
+	if len(rowPtr) != rows+1 {
+		panic(fmt.Sprintf("tensor: NewCSR rowPtr length %d, want %d", len(rowPtr), rows+1))
+	}
+	if rowPtr[0] != 0 {
+		panic(fmt.Sprintf("tensor: NewCSR rowPtr[0] = %d", rowPtr[0]))
+	}
+	for i := 0; i < rows; i++ {
+		if rowPtr[i+1] < rowPtr[i] {
+			panic(fmt.Sprintf("tensor: NewCSR rowPtr not monotone at row %d", i))
+		}
+	}
+	nnz := rowPtr[rows]
+	if len(colIdx) != nnz || len(val) != nnz {
+		panic(fmt.Sprintf("tensor: NewCSR nnz %d but %d col indices, %d values", nnz, len(colIdx), len(val)))
+	}
+	for _, j := range colIdx {
+		if j < 0 || j >= cols {
+			panic(fmt.Sprintf("tensor: NewCSR column index %d out of range [0, %d)", j, cols))
+		}
+	}
+	return &Sparse{Rows: rows, Cols: cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}
+
+// NNZ returns the number of stored entries.
+func (s *Sparse) NNZ() int { return s.RowPtr[s.Rows] }
+
+// Transposed returns the CSR form of sᵀ, with each output row's entries in
+// ascending column order (the counting-sort transpose visits s's rows in
+// order, so ties cannot occur and the order is deterministic).
+func (s *Sparse) Transposed() *Sparse {
+	nnz := s.NNZ()
+	rowPtr := make([]int, s.Cols+1)
+	for _, j := range s.ColIdx {
+		rowPtr[j+1]++
+	}
+	for j := 0; j < s.Cols; j++ {
+		rowPtr[j+1] += rowPtr[j]
+	}
+	colIdx := make([]int, nnz)
+	val := make([]float64, nnz)
+	next := make([]int, s.Cols)
+	copy(next, rowPtr[:s.Cols])
+	for i := 0; i < s.Rows; i++ {
+		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+			j := s.ColIdx[k]
+			colIdx[next[j]] = i
+			val[next[j]] = s.Val[k]
+			next[j]++
+		}
+	}
+	return &Sparse{Rows: s.Cols, Cols: s.Rows, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}
+
+// Dense materializes the sparse matrix as a dense Matrix (duplicate
+// entries accumulate). Used by tests and the dense reference path that
+// pins SpMM's bit-identity.
+func (s *Sparse) Dense() *Matrix {
+	m := New(s.Rows, s.Cols)
+	for i := 0; i < s.Rows; i++ {
+		row := m.Row(i)
+		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+			row[s.ColIdx[k]] += s.Val[k]
+		}
+	}
+	return m
+}
+
+// SpMM returns s x h, the sparse-dense product.
+func SpMM(s *Sparse, h *Matrix) *Matrix {
+	out := New(s.Rows, h.Cols)
+	SpMMInto(s, h, out)
+	return out
+}
+
+// SpMMInto computes out = s x h, overwriting out. Each output row
+// accumulates its terms in stored-entry order, so the result is
+// deterministic and — for matrices whose rows store columns in ascending
+// order — bit-identical to MatMul against the dense form (whose kernel
+// also accumulates over k ascending, skipping zeros). out must not alias
+// h. The kernel is serial: the graphs this serves have tens of nodes, far
+// below any profitable fan-out threshold.
+func SpMMInto(s *Sparse, h *Matrix, out *Matrix) {
+	if s.Cols != h.Rows {
+		panic(fmt.Sprintf("tensor: SpMM inner dimension mismatch %dx%d x %dx%d", s.Rows, s.Cols, h.Rows, h.Cols))
+	}
+	if out.Rows != s.Rows || out.Cols != h.Cols {
+		panic(fmt.Sprintf("tensor: SpMMInto dst %dx%d, want %dx%d", out.Rows, out.Cols, s.Rows, h.Cols))
+	}
+	assertNoAlias("SpMMInto", out, h)
+	for i := range out.Data {
+		out.Data[i] = 0
+	}
+	for i := 0; i < s.Rows; i++ {
+		dst := out.Row(i)
+		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+			w := s.Val[k]
+			src := h.Row(s.ColIdx[k])
+			for j, v := range src {
+				dst[j] += w * v
+			}
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomCSR builds a random sparse matrix with rows storing columns in
+// ascending order (the order gnn.Encode guarantees).
+func randomCSR(rows, cols int, density float64, rng *rand.Rand) *Sparse {
+	rowPtr := make([]int, rows+1)
+	var colIdx []int
+	var val []float64
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				colIdx = append(colIdx, j)
+				val = append(val, rng.NormFloat64())
+			}
+		}
+		rowPtr[i+1] = len(colIdx)
+	}
+	return NewCSR(rows, cols, rowPtr, colIdx, val)
+}
+
+func TestNewCSRValidates(t *testing.T) {
+	// Valid 2x3 with two entries.
+	s := NewCSR(2, 3, []int{0, 1, 2}, []int{2, 0}, []float64{5, 7})
+	if s.NNZ() != 2 {
+		t.Fatalf("NNZ = %d", s.NNZ())
+	}
+	for _, bad := range []func(){
+		func() { NewCSR(2, 3, []int{0, 1}, []int{2}, []float64{5}) },          // short rowPtr
+		func() { NewCSR(2, 3, []int{0, 2, 1}, []int{0, 1}, []float64{1, 2}) }, // non-monotone
+		func() { NewCSR(2, 3, []int{0, 1, 2}, []int{3, 0}, []float64{1, 2}) }, // col out of range
+		func() { NewCSR(2, 3, []int{0, 1, 2}, []int{0}, []float64{1, 2}) },    // nnz mismatch
+		func() { NewCSR(-1, 3, []int{0}, nil, nil) },                          // negative dim
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+// SpMM must equal dense MatMul bit for bit when CSR rows store columns
+// ascending: both kernels accumulate each output element over the same
+// nonzeros in the same order (MatMul skips zero a-entries).
+func TestSpMMBitIdenticalToDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dims := range [][2]int{{1, 1}, {5, 5}, {17, 9}, {40, 40}} {
+		s := randomCSR(dims[0], dims[1], 0.3, rng)
+		h := Randn(dims[1], 7, 1, rng)
+		got := SpMM(s, h)
+		want := MatMul(s.Dense(), h)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("%dx%d: SpMM differs from dense at %d: %g vs %g",
+					dims[0], dims[1], i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestSpMMShapePanics(t *testing.T) {
+	s := randomCSR(3, 4, 0.5, rand.New(rand.NewSource(1)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SpMM(s, New(5, 2))
+}
+
+func TestSpMMIntoRejectsAliasAndShape(t *testing.T) {
+	s := randomCSR(3, 3, 0.5, rand.New(rand.NewSource(2)))
+	h := New(3, 2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected shape panic")
+			}
+		}()
+		SpMMInto(s, h, New(2, 2))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected alias panic")
+			}
+		}()
+		SpMMInto(s, h, h)
+	}()
+}
+
+func TestSparseTransposed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := randomCSR(6, 9, 0.4, rng)
+	st := s.Transposed()
+	if st.Rows != 9 || st.Cols != 6 || st.NNZ() != s.NNZ() {
+		t.Fatalf("transpose shape %dx%d nnz %d", st.Rows, st.Cols, st.NNZ())
+	}
+	want := Transpose(s.Dense())
+	if !ApproxEqual(st.Dense(), want, 0) {
+		t.Fatal("Transposed().Dense() != Dense() transposed")
+	}
+	// Rows of the transpose must store columns ascending, preserving the
+	// determinism contract for the backward pass.
+	for i := 0; i < st.Rows; i++ {
+		for k := st.RowPtr[i] + 1; k < st.RowPtr[i+1]; k++ {
+			if st.ColIdx[k] <= st.ColIdx[k-1] {
+				t.Fatalf("transpose row %d columns not ascending", i)
+			}
+		}
+	}
+}
+
+// Property: <Sx, y> == <x, Sᵀy> within tolerance, on random sparse shapes.
+func TestSparseAdjointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(10), 1+rng.Intn(10)
+		s := randomCSR(rows, cols, 0.4, rng)
+		x := Randn(cols, 3, 1, rng)
+		y := Randn(rows, 3, 1, rng)
+		sx := SpMM(s, x)
+		sty := SpMM(s.Transposed(), y)
+		lhs, rhs := 0.0, 0.0
+		for i := range sx.Data {
+			lhs += sx.Data[i] * y.Data[i]
+		}
+		for i := range x.Data {
+			rhs += x.Data[i] * sty.Data[i]
+		}
+		return abs(lhs-rhs) < 1e-9*(1+abs(lhs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Empty and degenerate shapes must round-trip without panicking.
+func TestSparseEdgeShapes(t *testing.T) {
+	empty := NewCSR(0, 0, []int{0}, nil, nil)
+	if out := SpMM(empty, New(0, 4)); out.Rows != 0 || out.Cols != 4 {
+		t.Fatalf("empty SpMM shape %dx%d", out.Rows, out.Cols)
+	}
+	if tr := empty.Transposed(); tr.Rows != 0 || tr.NNZ() != 0 {
+		t.Fatal("empty transpose wrong")
+	}
+
+	// Single-node graph with a self loop: 1x1 CSR.
+	one := NewCSR(1, 1, []int{0, 1}, []int{0}, []float64{1})
+	h := FromRows([][]float64{{2, 3}})
+	out := SpMM(one, h)
+	if out.At(0, 0) != 2 || out.At(0, 1) != 3 {
+		t.Fatalf("1x1 SpMM = %v", out)
+	}
+
+	// Rows with no entries produce zero output rows.
+	holes := NewCSR(3, 2, []int{0, 0, 1, 1}, []int{1}, []float64{4})
+	out = SpMM(holes, FromRows([][]float64{{1}, {10}}))
+	if out.At(0, 0) != 0 || out.At(1, 0) != 40 || out.At(2, 0) != 0 {
+		t.Fatalf("holey SpMM = %v", out)
+	}
+}
