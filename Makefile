@@ -5,7 +5,7 @@
 # gnn's data-parallel trainer, dataset's parallel Build).
 GO ?= go
 
-.PHONY: all build lint test test-race bench benchcmp fuzz verify
+.PHONY: all build lint test test-race bench benchcmp benchgate fuzz verify
 
 # How long `make fuzz` mutates the MiniC parser (CI uses 10s).
 FUZZTIME ?= 30s
@@ -21,6 +21,16 @@ BENCHTIME ?= 1x
 BENCHOLD ?= BENCH_3.json
 BENCHNEW ?= BENCH_4.json
 
+# `make benchgate` settings: which benchmarks the regression gate covers
+# (the allocation-sensitive hot paths), how many iterations to average
+# over, and which snapshot is the baseline. The fresh run lands in
+# BENCH_PR.json (gitignored) so the checked-in baseline never gets
+# clobbered by a gate run.
+GATEBENCH ?= TrainStepAllocs|SpMM
+GATETIME ?= 3x
+BENCHBASE ?= BENCH_4.json
+BENCHPR ?= BENCH_PR.json
+
 all: verify
 
 build:
@@ -31,7 +41,7 @@ lint:
 
 test: build
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs/... ./internal/pool/... ./internal/tensor/... ./internal/gnn/... ./internal/dataset/...
+	$(GO) test -race ./internal/obs/... ./internal/pool/... ./internal/tensor/... ./internal/gnn/... ./internal/dataset/... ./internal/serve/...
 
 test-race:
 	$(GO) test -race ./...
@@ -42,6 +52,13 @@ bench:
 
 benchcmp:
 	$(GO) run ./cmd/benchcmp $(BENCHOLD) $(BENCHNEW)
+
+# Fails (exit 1) when a gated benchmark regresses past the limits:
+# >25% ns/op, or any allocs/op growth at all. CI runs this as the
+# bench-regression job.
+benchgate:
+	$(GO) test -json -bench='$(GATEBENCH)' -benchmem -benchtime=$(GATETIME) -run='^$$' . > $(BENCHPR)
+	$(GO) run ./cmd/benchcmp -gate -gate-bench '$(GATEBENCH)' -max-time-pct 25 -max-allocs-pct 0 $(BENCHBASE) $(BENCHPR)
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/minic/

@@ -9,13 +9,21 @@
 // has no third-party dependencies and tolerates logs from different
 // machines: it compares only benchmarks that ran in both, listing the
 // rest as added/removed.
+//
+// With -gate it turns into the CI regression gate (`make benchgate`):
+// benchmarks whose name matches -gate-bench must not regress ns/op past
+// -max-time-pct nor allocs/op past -max-allocs-pct, and a gated benchmark
+// present in the old log must still exist in the new one. Any violation
+// is listed and the tool exits 1.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -132,17 +140,67 @@ func fmtMetric(v float64) string {
 	return strconv.FormatFloat(v, 'f', -1, 64)
 }
 
+// gate checks every old-log benchmark matching pattern against the new
+// log and returns the violations: missing from the new log, ns/op up by
+// more than maxTimePct, or allocs/op up by more than maxAllocsPct
+// (allocs are integers per op, so with the default 0 any increase at all
+// fails). Benchmarks only in the new log are additions, never
+// violations.
+func gate(oldRes, newRes map[string]result, pattern *regexp.Regexp, maxTimePct, maxAllocsPct float64) []string {
+	var names []string
+	for n := range oldRes {
+		if pattern.MatchString(n) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var violations []string
+	for _, n := range names {
+		o := oldRes[n]
+		nw, ok := newRes[n]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: gated benchmark missing from new log", n))
+			continue
+		}
+		if o.nsOp > 0 && nw.nsOp > 0 {
+			if pct := 100 * (nw.nsOp - o.nsOp) / o.nsOp; pct > maxTimePct {
+				violations = append(violations, fmt.Sprintf(
+					"%s: ns/op regressed %.1f%% (%.6g -> %.6g, limit +%.0f%%)",
+					n, pct, o.nsOp, nw.nsOp, maxTimePct))
+			}
+		}
+		if o.allocsOp >= 0 && nw.allocsOp > o.allocsOp {
+			overPct := o.allocsOp > 0 && 100*(nw.allocsOp-o.allocsOp)/o.allocsOp > maxAllocsPct
+			if o.allocsOp == 0 || overPct {
+				violations = append(violations, fmt.Sprintf(
+					"%s: allocs/op regressed %s -> %s (limit +%.0f%%)",
+					n, fmtMetric(o.allocsOp), fmtMetric(nw.allocsOp), maxAllocsPct))
+			}
+		}
+	}
+	return violations
+}
+
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintf(os.Stderr, "usage: %s OLD.json NEW.json\n", os.Args[0])
+	gateMode := flag.Bool("gate", false, "fail (exit 1) when a gated benchmark regresses")
+	gateBench := flag.String("gate-bench", "TrainStepAllocs|SpMM", "regexp of benchmark names the gate applies to")
+	maxTimePct := flag.Float64("max-time-pct", 25, "max allowed ns/op regression, percent")
+	maxAllocsPct := flag.Float64("max-allocs-pct", 0, "max allowed allocs/op regression, percent")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] OLD.json NEW.json\n", os.Args[0])
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	oldRes, err := parseLog(os.Args[1])
+	oldRes, err := parseLog(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
 		os.Exit(1)
 	}
-	newRes, err := parseLog(os.Args[2])
+	newRes, err := parseLog(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
 		os.Exit(1)
@@ -180,5 +238,24 @@ func main() {
 				n, fmtMetric(o.nsOp), fmtMetric(nw.nsOp), delta(o.nsOp, nw.nsOp),
 				fmtMetric(o.allocsOp), fmtMetric(nw.allocsOp), delta(o.allocsOp, nw.allocsOp))
 		}
+	}
+	w.Flush()
+
+	if *gateMode {
+		re, err := regexp.Compile(*gateBench)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcmp: bad -gate-bench pattern: %v\n", err)
+			os.Exit(2)
+		}
+		violations := gate(oldRes, newRes, re, *maxTimePct, *maxAllocsPct)
+		if len(violations) > 0 {
+			fmt.Fprintf(os.Stderr, "\nbenchgate: %d regression(s):\n", len(violations))
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "  %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("\nbenchgate: ok (pattern %q, limits: time +%.0f%%, allocs +%.0f%%)\n",
+			*gateBench, *maxTimePct, *maxAllocsPct)
 	}
 }

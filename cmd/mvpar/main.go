@@ -21,8 +21,11 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
+	"syscall"
+	"time"
 
 	"mvpar/internal/bench"
 	"mvpar/internal/core"
@@ -39,6 +42,7 @@ import (
 	"mvpar/internal/peg"
 	"mvpar/internal/pool"
 	"mvpar/internal/sched"
+	"mvpar/internal/serve"
 	"mvpar/internal/tools"
 	"mvpar/internal/walks"
 )
@@ -93,6 +97,8 @@ func main() {
 		err = cmdTrain(ctx, args)
 	case "classify":
 		err = cmdClassify(ctx, args)
+	case "serve":
+		err = cmdServe(ctx, args)
 	case "corpus":
 		err = cmdCorpus(args)
 	case "speedup":
@@ -147,6 +153,10 @@ commands:
   tools    <file.mc>           per-loop decisions of Pluto/AutoPar/DiscoPoP emulators
   train    [-model FILE]       train the MV-GNN on the built-in corpus
   classify [-quick] <file.mc>  train, then classify the file's loops
+  serve    [-model FILE] [-addr :8080]
+                               long-lived HTTP inference service with request
+                               batching (POST /v1/classify, /healthz, /readyz,
+                               /metrics); see mvpar serve -h and docs/serving.md
   corpus   [-dump DIR]         print (or dump) the generated benchmark corpus
   speedup  <file.mc> [threads] simulate parallel execution of every loop
   dataset  [-out FILE]         build the corpus dataset and export it as JSON
@@ -355,6 +365,70 @@ func cmdClassify(ctx context.Context, args []string) error {
 			p.LoopID, p.Func, p.Line, yn(p.Parallel), p.Proba, yn(p.Oracle))
 	}
 	return nil
+}
+
+// cmdServe trains (or loads) a model once, then serves it behind the
+// long-lived batching HTTP service of internal/serve until SIGINT or
+// SIGTERM, draining in-flight requests before exiting.
+func cmdServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	modelPath := fs.String("model", "", "load model parameters from this file (written by `mvpar train -model`\nwith the same -quick setting) instead of training at startup")
+	quick := fs.Bool("quick", true, "use the fast training/encoding configuration")
+	maxBatch := fs.Int("max-batch", 8, "max requests coalesced into one dispatch")
+	batchWindow := fs.Duration("batch-window", 2*time.Millisecond, "how long a dispatch waits for batchmates after the first request")
+	maxQueue := fs.Int("max-queue", 64, "admission queue bound; requests past it are shed with 429")
+	workers := fs.Int("workers", 0, "batch execution concurrency (0 = the --jobs / NumCPU default)")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request classification deadline")
+	cacheSize := fs.Int("cache-size", 128, "LRU entries for repeat submissions (-1 disables)")
+	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "graceful shutdown bound")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
+	}
+	pl := core.NewPipeline(trainOptions(*quick))
+	if *modelPath != "" {
+		fmt.Fprintln(os.Stderr, "serve: building encoder state...")
+		if err := pl.PrepareContext(ctx, bench.Corpus()); err != nil {
+			return err
+		}
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pl.LoadModel(f); err != nil {
+			return fmt.Errorf("serve: loading %s (was it trained with -quick=%v?): %w", *modelPath, *quick, err)
+		}
+		fmt.Fprintln(os.Stderr, "serve: model loaded from", *modelPath)
+	} else {
+		fmt.Fprintln(os.Stderr, "serve: no -model given, training on the built-in corpus...")
+		report, err := pl.TrainOnContext(ctx, bench.Corpus())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "serve: trained, test acc %.1f%%\n", 100*report.TestAcc)
+	}
+	cls, err := pl.Classifier()
+	if err != nil {
+		return err
+	}
+	srv := serve.New(cls, serve.Config{
+		Addr:           *addr,
+		MaxBatch:       *maxBatch,
+		BatchWindow:    *batchWindow,
+		MaxQueue:       *maxQueue,
+		Workers:        *workers,
+		RequestTimeout: *reqTimeout,
+		CacheSize:      *cacheSize,
+		DrainTimeout:   *drainTimeout,
+	})
+	sctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "serve: listening on %s (SIGINT/SIGTERM drains and exits)\n", *addr)
+	return srv.ListenAndServe(sctx)
 }
 
 func cmdSpeedup(ctx context.Context, args []string) error {

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"mvpar/internal/bench"
+	"mvpar/internal/dataset"
+	"mvpar/internal/gnn"
+	"mvpar/internal/minic"
+	"mvpar/internal/obs"
+)
+
+// Classifier is a reusable inference handle over a trained pipeline. It
+// pins the encoder state a classification needs — the inst2vec embedding,
+// the anonymous-walk space and the encode configuration — together with
+// the trained model, so repeated Classify calls rebuild no vocabulary or
+// walk space per invocation (the per-call cost is profiling and encoding
+// the submitted program only).
+//
+// Unlike Pipeline, a Classifier is safe for concurrent use: every call
+// borrows a worker-private model replica (shared weights, private
+// activation caches — see gnn.MVGNN.Replicate) from an internal free
+// list, so the inference server can fan a batch of requests out across
+// workers and still produce results bit-identical to serial
+// Pipeline.ClassifySource.
+type Classifier struct {
+	cfg   dataset.Config // frozen single-program encode config
+	model *gnn.MVGNN     // prototype; calls run on replicas
+
+	mu       sync.Mutex
+	replicas []*gnn.MVGNN // free list of idle replicas
+}
+
+// Classifier returns an inference handle bound to the pipeline's current
+// model and encoder state. The pipeline must have been trained (or
+// prepared and loaded) first. Handles are snapshots: after retraining or
+// LoadModel (which replaces the weight storage replicas are bound to),
+// take a new handle.
+func (p *Pipeline) Classifier() (*Classifier, error) {
+	if p.Model == nil || p.Dataset == nil {
+		return nil, fmt.Errorf("core: pipeline is untrained")
+	}
+	// Encode with the pipeline's settings, reusing the trained inst2vec
+	// space and walk space so the features live in the model's input
+	// geometry and no encoder state is rebuilt per call. Always strict:
+	// errors in the user's one program must surface, not quarantine into
+	// an empty prediction list.
+	cfg := p.Opts.Data
+	cfg.Variants = 1
+	cfg.Embedding = p.Dataset.Embedding
+	cfg.Space = p.Dataset.Space
+	cfg.Strict = true
+	cfg.Ctx = nil
+	return &Classifier{cfg: cfg, model: p.Model}, nil
+}
+
+// acquire pops an idle model replica, creating one when the list is empty.
+func (c *Classifier) acquire() *gnn.MVGNN {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := len(c.replicas); n > 0 {
+		r := c.replicas[n-1]
+		c.replicas = c.replicas[:n-1]
+		return r
+	}
+	return c.model.Replicate()
+}
+
+// release returns a replica to the free list.
+func (c *Classifier) release(m *gnn.MVGNN) {
+	c.mu.Lock()
+	c.replicas = append(c.replicas, m)
+	c.mu.Unlock()
+}
+
+// Classify profiles a MiniC program (entry function main) and classifies
+// every loop with the trained model.
+func (c *Classifier) Classify(name, src string) ([]LoopPrediction, error) {
+	return c.ClassifyContext(context.Background(), name, src)
+}
+
+// ClassifyContext is Classify with cancellation: ctx flows into the
+// interpreter's stride check during profiling, so a request deadline
+// aborts a runaway program within milliseconds. Loops whose structural
+// view could not be sampled (walk budget exceeded) are not dropped: they
+// get a node-view-only prediction — the paper's Static-GNN geometry —
+// with Degraded set, the causes recorded in Reasons, and the event
+// counted by mvpar_degraded_predictions_total.
+func (c *Classifier) ClassifyContext(ctx context.Context, name, src string) ([]LoopPrediction, error) {
+	model := c.acquire()
+	defer c.release(model)
+	cfg := c.cfg
+	cfg.Ctx = ctx
+	app := bench.App{Name: name, Suite: "user", Source: src}
+	d, _, err := dataset.Build([]bench.App{app}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ast, err := minic.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	loopInfo := map[int]minic.LoopInfo{}
+	for _, l := range ast.Loops() {
+		loopInfo[l.ID] = l
+	}
+	var preds []LoopPrediction
+	for _, rec := range d.Records {
+		sample := rec.Sample
+		var pred int
+		var proba float64
+		if len(rec.Degraded) > 0 {
+			pred = model.PredictNodeView(sample)
+			proba = model.PredictProbaNodeView(sample)
+			obs.GetCounter("mvpar_degraded_predictions_total").Inc()
+			obs.Warn("classify.degraded", "program", name, "loop", rec.Meta.LoopID,
+				"reasons", fmt.Sprint(rec.Degraded))
+		} else {
+			pred = model.Predict(sample)
+			proba = model.PredictProba(sample)
+		}
+		lp := LoopPrediction{
+			LoopID:   rec.Meta.LoopID,
+			Parallel: pred == 1,
+			Proba:    proba,
+			Oracle:   rec.Verdict.Parallelizable,
+			Reasons:  rec.Verdict.Reasons,
+		}
+		if len(rec.Degraded) > 0 {
+			lp.Degraded = true
+			lp.Reasons = append(append([]string(nil), lp.Reasons...), rec.Degraded...)
+			lp.Reasons = append(lp.Reasons, "prediction from node view only")
+		}
+		// A record can carry a loop ID absent from the parsed source (e.g.
+		// if lowering and parsing ever disagree about loop identity); a
+		// silent zero-value lookup would fabricate empty provenance, so
+		// annotate the prediction and warn instead.
+		if info, ok := loopInfo[rec.Meta.LoopID]; ok {
+			lp.Func = info.Func
+			lp.Line = info.Line
+		} else {
+			lp.Func = "(unknown)"
+			lp.Reasons = append(lp.Reasons, fmt.Sprintf("no source loop info for loop %d", rec.Meta.LoopID))
+			obs.Warn("classify.missing_loop_info", "program", name, "loop", rec.Meta.LoopID)
+		}
+		preds = append(preds, lp)
+	}
+	return preds, nil
+}

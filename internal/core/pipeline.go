@@ -48,6 +48,10 @@ type Pipeline struct {
 	Opts    Options
 	Dataset *dataset.Dataset
 	Model   *gnn.MVGNN
+
+	// cls is the classifier handle ClassifySource reuses across calls; it
+	// is refreshed whenever the model or encoder state changes.
+	cls *Classifier
 }
 
 // NewPipeline creates an untrained pipeline.
@@ -144,6 +148,10 @@ type LoopPrediction struct {
 	Parallel bool    // model prediction
 	Proba    float64 // P(parallelizable)
 	Oracle   bool    // dynamic oracle ground truth
+	// Degraded marks a prediction made from the node view only because
+	// the loop's structural view could not be sampled; the causes are
+	// appended to Reasons.
+	Degraded bool
 	Reasons  []string
 }
 
@@ -154,80 +162,39 @@ func (p *Pipeline) ClassifySource(name, src string) ([]LoopPrediction, error) {
 	return p.ClassifySourceContext(context.Background(), name, src)
 }
 
-// ClassifySourceContext is ClassifySource with cancellation. Loops whose
-// structural view could not be sampled (walk budget exceeded) are not
-// dropped: they get a node-view-only prediction — the paper's Static-GNN
-// geometry — with the degradation recorded in Reasons and counted by
-// mvpar_degraded_predictions_total.
+// ClassifySourceContext is ClassifySource with cancellation. It
+// delegates to a Classifier handle (cached across calls, refreshed when
+// the model or dataset changes), so repeat classifications share encoder
+// state instead of rebuilding it; see Classifier for the degraded-loop
+// semantics. Pipeline methods are not safe for concurrent use — callers
+// that fan requests out take a Classifier handle directly.
 func (p *Pipeline) ClassifySourceContext(ctx context.Context, name, src string) ([]LoopPrediction, error) {
-	if p.Model == nil || p.Dataset == nil {
-		return nil, fmt.Errorf("core: pipeline is untrained")
+	if p.cls == nil || p.Dataset == nil || p.cls.model != p.Model || p.cls.cfg.Embedding != p.Dataset.Embedding {
+		c, err := p.Classifier()
+		if err != nil {
+			return nil, err
+		}
+		p.cls = c
 	}
-	app := bench.App{Name: name, Suite: "user", Source: src}
-	// Encode with the pipeline's settings, reusing the trained inst2vec
-	// space so the node features live in the model's input geometry.
-	// Always strict: errors in the user's one program must surface, not
-	// quarantine into an empty prediction list.
+	return p.cls.ClassifyContext(ctx, name, src)
+}
+
+// PrepareContext builds the dataset — the encoder state: inst2vec space,
+// walk space, input dimensions — without training a model, so LoadModel
+// can restore parameters trained by an earlier run (mvpar train -model)
+// into the right shape. The build must use the same Options the model was
+// trained with.
+func (p *Pipeline) PrepareContext(ctx context.Context, apps []bench.App) error {
 	cfg := p.Opts.Data
-	cfg.Variants = 1
-	cfg.Embedding = p.Dataset.Embedding
-	cfg.Strict = true
 	if cfg.Ctx == nil {
 		cfg.Ctx = ctx
 	}
-	d, _, err := dataset.Build([]bench.App{app}, cfg)
+	d, _, err := dataset.Build(apps, cfg)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	var preds []LoopPrediction
-	ast, err := minic.Parse(name, src)
-	if err != nil {
-		return nil, err
-	}
-	loopInfo := map[int]minic.LoopInfo{}
-	for _, l := range ast.Loops() {
-		loopInfo[l.ID] = l
-	}
-	for _, rec := range d.Records {
-		sample := rec.Sample
-		var pred int
-		var proba float64
-		if len(rec.Degraded) > 0 {
-			pred = p.Model.PredictNodeView(sample)
-			proba = p.Model.PredictProbaNodeView(sample)
-			obs.GetCounter("mvpar_degraded_predictions_total").Inc()
-			obs.Warn("classify.degraded", "program", name, "loop", rec.Meta.LoopID,
-				"reasons", fmt.Sprint(rec.Degraded))
-		} else {
-			pred = p.Model.Predict(sample)
-			proba = p.Model.PredictProba(sample)
-		}
-		lp := LoopPrediction{
-			LoopID:   rec.Meta.LoopID,
-			Parallel: pred == 1,
-			Proba:    proba,
-			Oracle:   rec.Verdict.Parallelizable,
-			Reasons:  rec.Verdict.Reasons,
-		}
-		if len(rec.Degraded) > 0 {
-			lp.Reasons = append(append([]string(nil), lp.Reasons...), rec.Degraded...)
-			lp.Reasons = append(lp.Reasons, "prediction from node view only")
-		}
-		// A record can carry a loop ID absent from the parsed source (e.g.
-		// if lowering and parsing ever disagree about loop identity); a
-		// silent zero-value lookup would fabricate empty provenance, so
-		// annotate the prediction and warn instead.
-		if info, ok := loopInfo[rec.Meta.LoopID]; ok {
-			lp.Func = info.Func
-			lp.Line = info.Line
-		} else {
-			lp.Func = "(unknown)"
-			lp.Reasons = append(lp.Reasons, fmt.Sprintf("no source loop info for loop %d", rec.Meta.LoopID))
-			obs.Warn("classify.missing_loop_info", "program", name, "loop", rec.Meta.LoopID)
-		}
-		preds = append(preds, lp)
-	}
-	return preds, nil
+	p.Dataset = d
+	return nil
 }
 
 // SaveModel writes the trained model parameters.
@@ -247,6 +214,11 @@ func (p *Pipeline) LoadModel(r io.Reader) error {
 	if p.Model == nil {
 		p.Model = gnn.NewMVGNN(p.Dataset.NodeDim, p.Dataset.StructDim, p.Opts.Seed)
 	}
+	// LoadParams replaces each Param's Value pointer, so replicas bound
+	// before the reload — including the cached classifier's — would keep
+	// reading the stale weights. Drop the handle; the next classify call
+	// takes a fresh one.
+	p.cls = nil
 	return nn.LoadParams(r, p.Model.Params())
 }
 

@@ -75,6 +75,13 @@ type Config struct {
 	// inst2vec space — required when encoding new programs for a model
 	// trained elsewhere (tokens are canonical, so spaces transfer).
 	Embedding *inst2vec.Embedding
+	// Space, when non-nil, is reused instead of re-enumerating the
+	// anonymous-walk space (it overrides WalkLen). Long-lived callers —
+	// core.Classifier, the inference server — set both Embedding and
+	// Space so repeat builds rebuild no encoder state at all; the
+	// mvpar_inst2vec_vocab_builds_total and mvpar_walks_space_builds_total
+	// counters track how often either is reconstructed.
+	Space *walks.Space
 	// LabelNoise flips each loop's label with this probability,
 	// deterministically per (program, loop) so all IR variants stay
 	// consistent. It models the imperfect expert OpenMP annotations the
@@ -253,10 +260,15 @@ func Build(apps []bench.App, cfg Config) (*Dataset, *BuildReport, error) {
 	emb := cfg.Embedding
 	if emb == nil {
 		embedSpan := obs.Start("dataset.embed")
+		obs.GetCounter("mvpar_inst2vec_vocab_builds_total").Inc()
 		emb = inst2vec.Train(irProgs, cfg.EmbedCfg)
 		embedSpan.End()
 	}
-	space := walks.NewSpace(cfg.WalkLen)
+	space := cfg.Space
+	if space == nil {
+		obs.GetCounter("mvpar_walks_space_builds_total").Inc()
+		space = walks.NewSpace(cfg.WalkLen)
+	}
 	d := &Dataset{
 		Embedding: emb,
 		Space:     space,

@@ -1,0 +1,16 @@
+package obs
+
+import "net/http"
+
+// Handler returns an http.Handler serving the registry's sorted text dump
+// (the same format Dump writes, span aggregates included) — the /metrics
+// endpoint of the inference server.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.Dump(w)
+	})
+}
+
+// Handler returns the default registry's /metrics handler.
+func Handler() http.Handler { return defaultRegistry.Handler() }

@@ -28,6 +28,18 @@ type Gauge struct{ bits atomic.Uint64 }
 // Set stores v as the gauge's current value.
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
+// Add atomically adds delta to the gauge — the in-flight/queue-depth
+// idiom (Add(1) on entry, Add(-1) on exit) of the HTTP serving layer.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Value returns the gauge's current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 

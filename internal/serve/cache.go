@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"mvpar/internal/core"
+)
+
+// cacheKey derives the LRU key for one submission: a hash over both the
+// program name and its source (the name reaches prediction provenance, so
+// two submissions differing only in name must not collide).
+func cacheKey(name, src string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d\x00%s\x00", len(name), name)
+	h.Write([]byte(src))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// lruCache memoizes successful classifications keyed on source hash, so
+// repeat submissions — editors re-sending a file, CI re-checking a
+// commit — skip the profile→encode→predict pipeline entirely. Entries
+// are immutable once stored: readers share the prediction slice and must
+// not mutate it.
+type lruCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type lruEntry struct {
+	key   string
+	preds []core.LoopPrediction
+}
+
+// newLRUCache returns a cache holding up to capacity entries, or nil when
+// capacity <= 0 (caching disabled; callers nil-check).
+func newLRUCache(capacity int) *lruCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &lruCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+func (c *lruCache) get(key string) ([]core.LoopPrediction, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).preds, true
+}
+
+func (c *lruCache) put(key string, preds []core.LoopPrediction) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).preds = preds
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, preds: preds})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"mvpar/internal/core"
+	"mvpar/internal/faults"
+	"mvpar/internal/interp"
+	"mvpar/internal/obs"
+)
+
+// ClassifyRequest is the POST /v1/classify body.
+type ClassifyRequest struct {
+	// Name labels the program in predictions, logs and the cache key.
+	Name string `json:"name"`
+	// Source is the MiniC program (entry function main).
+	Source string `json:"source"`
+}
+
+// Prediction is one loop's classification in the wire format.
+type Prediction struct {
+	LoopID   int      `json:"loop_id"`
+	Func     string   `json:"func"`
+	Line     int      `json:"line"`
+	Parallel bool     `json:"parallel"`
+	Proba    float64  `json:"proba"`
+	Oracle   bool     `json:"oracle"`
+	Degraded bool     `json:"degraded,omitempty"`
+	Reasons  []string `json:"reasons,omitempty"`
+}
+
+// ClassifyResponse is the POST /v1/classify success body.
+type ClassifyResponse struct {
+	Name        string       `json:"name"`
+	Predictions []Prediction `json:"predictions"`
+	// Degraded is true when any loop's prediction fell back to the node
+	// view only (per-loop detail in Predictions[i].Degraded/Reasons).
+	Degraded bool `json:"degraded"`
+	// Cached is true when the response was served from the LRU without
+	// re-running the pipeline.
+	Cached bool `json:"cached"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Reasons carries quarantine-style context: the failing stage and
+	// the captured cause for 500s, retry hints for 429/503.
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// writeJSON answers with one JSON document and a status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// toResponse converts predictions to the wire format.
+func toResponse(name string, preds []core.LoopPrediction, cached bool) ClassifyResponse {
+	resp := ClassifyResponse{Name: name, Predictions: make([]Prediction, 0, len(preds)), Cached: cached}
+	for _, p := range preds {
+		resp.Predictions = append(resp.Predictions, Prediction{
+			LoopID:   p.LoopID,
+			Func:     p.Func,
+			Line:     p.Line,
+			Parallel: p.Parallel,
+			Proba:    p.Proba,
+			Oracle:   p.Oracle,
+			Degraded: p.Degraded,
+			Reasons:  p.Reasons,
+		})
+		if p.Degraded {
+			resp.Degraded = true
+		}
+	}
+	return resp
+}
+
+// handleClassify is POST /v1/classify: admission (readiness, body
+// bounds), cache lookup, batched execution with a per-request deadline,
+// and error mapping (429 shed, 503 not-ready/draining, 504 deadline, 500
+// captured panic, 422 programs the pipeline rejects).
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "use POST"})
+		return
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server draining"})
+		return
+	}
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+			Error:   "model not ready",
+			Reasons: []string{"warm-up classification has not completed; poll /readyz"},
+		})
+		return
+	}
+	var req ClassifyRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		code := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if req.Source == "" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "empty source"})
+		return
+	}
+	if req.Name == "" {
+		req.Name = "unnamed"
+	}
+
+	var key string
+	if s.cache != nil {
+		key = cacheKey(req.Name, req.Source)
+		if preds, ok := s.cache.get(key); ok {
+			obs.GetCounter("mvpar_http_cache_hits_total").Inc()
+			writeJSON(w, http.StatusOK, toResponse(req.Name, preds, true))
+			return
+		}
+		obs.GetCounter("mvpar_http_cache_misses_total").Inc()
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	breq := &batchRequest{
+		ctx:  ctx,
+		name: req.Name,
+		src:  req.Source,
+		key:  key,
+		done: make(chan batchResult, 1),
+	}
+	if err := s.bat.submit(breq); err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+				Error:   "server overloaded",
+				Reasons: []string{fmt.Sprintf("admission queue holds %d requests; retry with backoff", s.cfg.MaxQueue)},
+			})
+		default:
+			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server draining"})
+		}
+		return
+	}
+	select {
+	case res := <-breq.done:
+		s.writeResult(w, req.Name, res)
+	case <-ctx.Done():
+		// The batch job observes the same ctx and aborts at the
+		// interpreter's stride check; the handler answers immediately.
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{
+			Error: fmt.Sprintf("classification exceeded the request deadline (%s)", s.cfg.RequestTimeout),
+		})
+	}
+}
+
+// writeResult maps one execution outcome to its HTTP answer.
+func (s *Server) writeResult(w http.ResponseWriter, name string, res batchResult) {
+	err := res.err
+	if err == nil {
+		writeJSON(w, http.StatusOK, toResponse(name, res.preds, false))
+		return
+	}
+	var pe *faults.PanicError
+	var se *faults.StageError
+	switch {
+	case errors.As(err, &pe):
+		// Quarantine-style isolation: the panicking request dies with a
+		// reasoned 500, the process and its batchmates live on.
+		reasons := []string{pe.Error()}
+		if errors.As(err, &se) {
+			reasons = append(reasons, fmt.Sprintf("stage: %s", se.Stage))
+		}
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{
+			Error:   "classification panicked; request quarantined",
+			Reasons: reasons,
+		})
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, interp.ErrCancelled):
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{
+			Error: fmt.Sprintf("classification exceeded the request deadline (%s)", s.cfg.RequestTimeout),
+		})
+	default:
+		// The pipeline rejected the program itself (parse/lower/profile
+		// error): the request, not the server, is at fault.
+		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error()})
+	}
+}
+
+// handleHealthz is liveness: 200 as long as the process serves.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+// handleReadyz is readiness: 200 only when the model is loaded, the
+// warm-up classification passed, and the server is not draining.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	ready := s.ready.Load() && !s.draining.Load()
+	code := http.StatusOK
+	if !ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]bool{"ready": ready})
+}

@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"mvpar/internal/obs"
+)
+
+// statusWriter records the response code a handler chose (200 when it
+// never called WriteHeader explicitly).
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a route with the mvpar_http_* metric families:
+// request counters (total, per route, per status class), a latency
+// histogram (total and per route, seconds), and the in-flight gauge.
+func instrument(route string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		obs.GetCounter("mvpar_http_requests_total").Inc()
+		obs.GetCounter("mvpar_http_requests_" + route + "_total").Inc()
+		inflight := obs.GetGauge("mvpar_http_inflight_requests")
+		inflight.Add(1)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			inflight.Add(-1)
+			elapsed := time.Since(start).Seconds()
+			obs.GetHistogram("mvpar_http_request_seconds").Observe(elapsed)
+			obs.GetHistogram("mvpar_http_request_" + route + "_seconds").Observe(elapsed)
+			obs.GetCounter(fmt.Sprintf("mvpar_http_responses_%dxx_total", sw.code/100)).Inc()
+		}()
+		h.ServeHTTP(sw, r)
+	})
+}

@@ -1,0 +1,238 @@
+// Package serve is the long-lived inference layer: it exposes a trained
+// multi-view classifier behind a stdlib-only HTTP service (`mvpar serve`)
+// so downstream consumers — editors, CI gates, build systems — classify
+// loops without paying model-load and encoder-build costs per request.
+//
+// The request path is a micro-batching admission pipeline:
+//
+//	POST /v1/classify → LRU cache → bounded queue (429 past MaxQueue)
+//	  → batcher (coalesce ≤ MaxBatch within BatchWindow)
+//	  → shared worker pool (bounded concurrency, panic isolation)
+//	  → per-request context deadline into the interpreter's stride check
+//
+// plus /healthz (liveness), /readyz (model loaded and a warm-up classify
+// passed), and /metrics (the internal/obs registry, extended with the
+// mvpar_http_* request/batch/cache families). Results are bit-identical
+// to serial core.Pipeline.ClassifySource at every concurrency level —
+// the same determinism contract the training pool upholds. Shutdown is
+// graceful: draining finishes every admitted request before the
+// dispatcher exits.
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"mvpar/internal/core"
+	"mvpar/internal/faults"
+	"mvpar/internal/obs"
+)
+
+// Inference is the model dependency of the server; *core.Classifier is
+// the production implementation. Implementations must be safe for
+// concurrent use.
+type Inference interface {
+	ClassifyContext(ctx context.Context, name, src string) ([]core.LoopPrediction, error)
+}
+
+// Config tunes the server. Zero values take the documented defaults.
+type Config struct {
+	// Addr is the listen address, default ":8080".
+	Addr string
+	// MaxBatch caps how many requests one dispatch coalesces; default 8.
+	MaxBatch int
+	// BatchWindow is how long the dispatcher waits for batchmates after
+	// the first request arrives; default 2ms. Zero keeps the default;
+	// negative disables coalescing (every request dispatches alone).
+	BatchWindow time.Duration
+	// MaxQueue bounds the admission queue; requests beyond it are shed
+	// with 429. Default 64.
+	MaxQueue int
+	// Workers bounds batch-execution concurrency; 0 uses the shared
+	// pool default (NumCPU or the --jobs override).
+	Workers int
+	// RequestTimeout is the per-request classification deadline (flows
+	// into the interpreter's stride check); default 30s.
+	RequestTimeout time.Duration
+	// CacheSize is the LRU capacity for repeat submissions, keyed on a
+	// hash of (name, source); default 128, negative disables caching.
+	CacheSize int
+	// MaxBodyBytes bounds the request body; default 1 MiB.
+	MaxBodyBytes int64
+	// DrainTimeout bounds graceful shutdown; default 15s.
+	DrainTimeout time.Duration
+}
+
+// withDefaults resolves zero fields to their documented defaults.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.BatchWindow < 0 {
+		c.BatchWindow = 0
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 15 * time.Second
+	}
+	return c
+}
+
+// Server is one inference service instance.
+type Server struct {
+	cfg   Config
+	inf   Inference
+	cache *lruCache
+	bat   *batcher
+	hs    *http.Server
+
+	ready    atomic.Bool
+	draining atomic.Bool
+}
+
+// New builds a server around inf and starts its dispatcher. The server
+// is not ready until Warmup succeeds; use Handler for in-process tests
+// or ListenAndServe for the full lifecycle.
+func New(inf Inference, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		inf:   inf,
+		cache: newLRUCache(cfg.CacheSize),
+	}
+	s.bat = newBatcher(cfg.MaxBatch, cfg.BatchWindow, cfg.MaxQueue, cfg.Workers, s.execute)
+	mux := http.NewServeMux()
+	mux.Handle("/v1/classify", instrument("classify", http.HandlerFunc(s.handleClassify)))
+	mux.Handle("/healthz", instrument("healthz", http.HandlerFunc(s.handleHealthz)))
+	mux.Handle("/readyz", instrument("readyz", http.HandlerFunc(s.handleReadyz)))
+	mux.Handle("/metrics", instrument("metrics", obs.Handler()))
+	s.hs = &http.Server{
+		Addr:              cfg.Addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	s.bat.start()
+	return s
+}
+
+// Handler exposes the routed handler for httptest-style embedding.
+func (s *Server) Handler() http.Handler { return s.hs.Handler }
+
+// warmupSource is the program Warmup classifies: small enough to finish
+// in milliseconds, but a real loop so the full profile→PEG→two-view
+// path (and every lazily built piece of encoder state) runs once before
+// the server reports ready.
+const warmupSource = `
+float warm[4];
+void main() { for (int i = 0; i < 4; i++) { warm[i] = warm[i] * 2.0; } }
+`
+
+// Warmup runs one classification through the model and marks the server
+// ready on success. Until it returns nil, /readyz and /v1/classify answer
+// 503.
+func (s *Server) Warmup(ctx context.Context) error {
+	start := time.Now()
+	preds, err := s.inf.ClassifyContext(ctx, "warmup", warmupSource)
+	if err == nil && len(preds) == 0 {
+		err = errors.New("serve: warm-up classify returned no predictions")
+	}
+	if err != nil {
+		obs.GetCounter("mvpar_http_warmup_failures_total").Inc()
+		obs.Error("serve.warmup", "err", err)
+		return err
+	}
+	s.ready.Store(true)
+	obs.Info("serve.ready", "warmup_seconds", time.Since(start).Seconds())
+	return nil
+}
+
+// Ready reports whether the warm-up classification has passed.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// execute runs one admitted request against the model. Panics anywhere in
+// the parse/profile/encode/predict stack are captured into the result —
+// the request answers 500 with a quarantine-style reason instead of
+// killing the process — and successes populate the LRU.
+func (s *Server) execute(r *batchRequest) {
+	var preds []core.LoopPrediction
+	err := faults.Capture(func() error {
+		var cerr error
+		preds, cerr = s.inf.ClassifyContext(r.ctx, r.name, r.src)
+		return cerr
+	})
+	if err == nil && s.cache != nil && r.key != "" {
+		s.cache.put(r.key, preds)
+	}
+	var pe *faults.PanicError
+	if errors.As(err, &pe) {
+		obs.GetCounter("mvpar_http_panics_total").Inc()
+		obs.Error("serve.panic", "program", r.name, "err", err)
+	}
+	r.done <- batchResult{preds: preds, err: err}
+}
+
+// ListenAndServe binds cfg.Addr, serves until ctx is cancelled (the CLI
+// passes a SIGINT/SIGTERM-bound context), then drains gracefully within
+// cfg.DrainTimeout. Warm-up runs in the background so the listener is up
+// immediately; readiness flips once it passes.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	obs.Info("serve.listen", "addr", ln.Addr().String())
+	errc := make(chan error, 1)
+	go func() {
+		if serr := s.hs.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+			errc <- serr
+		}
+	}()
+	go func() {
+		if werr := s.Warmup(ctx); werr != nil {
+			obs.Error("serve.warmup_failed", "err", werr)
+		}
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	return s.Shutdown(dctx)
+}
+
+// Shutdown drains the server: readiness drops (load balancers stop
+// routing), the HTTP layer stops accepting and waits for in-flight
+// handlers, then the batcher finishes every admitted request and stops
+// its dispatcher. Requests arriving mid-drain answer 503.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	herr := s.hs.Shutdown(ctx)
+	berr := s.bat.drain(ctx)
+	if herr != nil {
+		return herr
+	}
+	return berr
+}
