@@ -25,9 +25,15 @@ BENCHNEW ?= BENCH_4.json
 # (the allocation-sensitive hot paths), how many iterations to average
 # over, and which snapshot is the baseline. The fresh run lands in
 # BENCH_PR.json (gitignored) so the checked-in baseline never gets
-# clobbered by a gate run.
+# clobbered by a gate run. GATETIMEPCT is negative by default: the
+# baseline was recorded on different hardware than the CI runner, so
+# ns/op comparisons are advisory (warn past 25%, never fail) while
+# allocs/op — deterministic across machines — stays the hard gate. Set
+# GATETIMEPCT=25 for a hard time gate when old and new logs come from
+# the same machine.
 GATEBENCH ?= TrainStepAllocs|SpMM
-GATETIME ?= 3x
+GATETIME ?= 5x
+GATETIMEPCT ?= -25
 BENCHBASE ?= BENCH_4.json
 BENCHPR ?= BENCH_PR.json
 
@@ -53,12 +59,13 @@ bench:
 benchcmp:
 	$(GO) run ./cmd/benchcmp $(BENCHOLD) $(BENCHNEW)
 
-# Fails (exit 1) when a gated benchmark regresses past the limits:
-# >25% ns/op, or any allocs/op growth at all. CI runs this as the
-# bench-regression job.
+# Fails (exit 1) when a gated benchmark regresses past the limits: any
+# allocs/op growth at all, plus ns/op past GATETIMEPCT when it is
+# positive (negative = advisory warnings only; see above). CI runs this
+# as the bench-regression job.
 benchgate:
 	$(GO) test -json -bench='$(GATEBENCH)' -benchmem -benchtime=$(GATETIME) -run='^$$' . > $(BENCHPR)
-	$(GO) run ./cmd/benchcmp -gate -gate-bench '$(GATEBENCH)' -max-time-pct 25 -max-allocs-pct 0 $(BENCHBASE) $(BENCHPR)
+	$(GO) run ./cmd/benchcmp -gate -gate-bench '$(GATEBENCH)' -max-time-pct $(GATETIMEPCT) -max-allocs-pct 0 $(BENCHBASE) $(BENCHPR)
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/minic/

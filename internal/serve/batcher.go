@@ -92,12 +92,17 @@ func (b *batcher) submit(r *batchRequest) error {
 	if !b.accepting {
 		return ErrDraining
 	}
+	// Register before the send: the dispatcher may pull the request and
+	// call Done the instant it lands on the queue, so an Add after a
+	// successful send could run after that Done and drive the counter
+	// negative. The shed path undoes the registration.
+	b.inflight.Add(1)
 	select {
 	case b.queue <- r:
-		b.inflight.Add(1)
 		obs.GetGauge("mvpar_http_queue_depth").Set(float64(len(b.queue)))
 		return nil
 	default:
+		b.inflight.Done()
 		obs.GetCounter("mvpar_http_shed_total").Inc()
 		return ErrQueueFull
 	}

@@ -22,9 +22,10 @@ func cacheKey(name, src string) string {
 
 // lruCache memoizes successful classifications keyed on source hash, so
 // repeat submissions — editors re-sending a file, CI re-checking a
-// commit — skip the profile→encode→predict pipeline entirely. Entries
-// are immutable once stored: readers share the prediction slice and must
-// not mutate it.
+// commit — skip the profile→encode→predict pipeline entirely. put and
+// get deep-copy the predictions (they are a handful of small structs),
+// so no caller ever shares backing arrays with the cache: appending to
+// a returned slice or a Reasons slice cannot corrupt cached responses.
 type lruCache struct {
 	mu  sync.Mutex
 	cap int
@@ -46,6 +47,20 @@ func newLRUCache(capacity int) *lruCache {
 	return &lruCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
 }
 
+// clonePreds deep-copies predictions, including the per-loop Reasons
+// slices (nil stays nil so omitempty marshalling is unchanged).
+func clonePreds(preds []core.LoopPrediction) []core.LoopPrediction {
+	if preds == nil {
+		return nil
+	}
+	out := make([]core.LoopPrediction, len(preds))
+	copy(out, preds)
+	for i := range out {
+		out[i].Reasons = append([]string(nil), out[i].Reasons...)
+	}
+	return out
+}
+
 func (c *lruCache) get(key string) ([]core.LoopPrediction, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -54,10 +69,11 @@ func (c *lruCache) get(key string) ([]core.LoopPrediction, bool) {
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).preds, true
+	return clonePreds(el.Value.(*lruEntry).preds), true
 }
 
 func (c *lruCache) put(key string, preds []core.LoopPrediction) {
+	preds = clonePreds(preds)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {

@@ -22,6 +22,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net"
 	"net/http"
 	"sync/atomic"
@@ -188,14 +189,32 @@ func (s *Server) execute(r *batchRequest) {
 	if errors.As(err, &pe) {
 		obs.GetCounter("mvpar_http_panics_total").Inc()
 		obs.Error("serve.panic", "program", r.name, "err", err)
+		// Attribute the panic to a pipeline stage unless a nested
+		// boundary already did, so the 500 body can name it.
+		var se *faults.StageError
+		if !errors.As(err, &se) {
+			err = &faults.StageError{Program: r.name, Stage: "classify", Err: err}
+		}
 	}
 	r.done <- batchResult{preds: preds, err: err}
 }
 
+// Warm-up retry policy for ListenAndServe: a transient failure (model
+// file still syncing, page cache cold) gets retried with doubling
+// backoff; a persistent one (bad -model) must surface as a non-zero
+// exit so orchestration restarts or the operator notices, instead of a
+// permanently not-ready process answering 503 forever.
+var (
+	warmupAttempts     = 3
+	warmupBackoffStart = time.Second
+)
+
 // ListenAndServe binds cfg.Addr, serves until ctx is cancelled (the CLI
 // passes a SIGINT/SIGTERM-bound context), then drains gracefully within
 // cfg.DrainTimeout. Warm-up runs in the background so the listener is up
-// immediately; readiness flips once it passes.
+// immediately; readiness flips once it passes. If warm-up still fails
+// after warmupAttempts tries, the server shuts down and the warm-up
+// error is returned.
 func (s *Server) ListenAndServe(ctx context.Context) error {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
@@ -208,19 +227,45 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 			errc <- serr
 		}
 	}()
+	warmc := make(chan error, 1)
 	go func() {
-		if werr := s.Warmup(ctx); werr != nil {
-			obs.Error("serve.warmup_failed", "err", werr)
+		backoff := warmupBackoffStart
+		var werr error
+		for attempt := 1; attempt <= warmupAttempts; attempt++ {
+			if werr = s.Warmup(ctx); werr == nil {
+				return
+			}
+			obs.Error("serve.warmup_failed", "attempt", attempt, "err", werr)
+			if attempt == warmupAttempts {
+				break
+			}
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return
+			}
+			backoff *= 2
 		}
+		// A failure during normal shutdown is not fatal — the ctx.Done
+		// arm below handles that drain.
+		if ctx.Err() != nil {
+			return
+		}
+		warmc <- fmt.Errorf("serve: warm-up failed after %d attempt(s): %w", warmupAttempts, werr)
 	}()
+	var fatal error
 	select {
 	case err := <-errc:
 		return err
+	case fatal = <-warmc:
 	case <-ctx.Done():
 	}
 	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
-	return s.Shutdown(dctx)
+	if serr := s.Shutdown(dctx); fatal == nil {
+		return serr
+	}
+	return fatal
 }
 
 // Shutdown drains the server: readiness drops (load balancers stop

@@ -356,14 +356,20 @@ func TestServerCapturesPanics(t *testing.T) {
 	if !strings.Contains(errResp.Error, "quarantined") {
 		t.Fatalf("500 body = %+v, want quarantine-style reason", errResp)
 	}
-	found := false
+	var foundCause, foundStage bool
 	for _, r := range errResp.Reasons {
 		if strings.Contains(r, "encoder exploded") {
-			found = true
+			foundCause = true
+		}
+		if strings.Contains(r, "stage:") {
+			foundStage = true
 		}
 	}
-	if !found {
+	if !foundCause {
 		t.Fatalf("500 reasons %v missing the panic cause", errResp.Reasons)
+	}
+	if !foundStage {
+		t.Fatalf("500 reasons %v missing the stage attribution", errResp.Reasons)
 	}
 
 	// The process survived: the next request succeeds.
@@ -430,5 +436,64 @@ func TestBatcherCoalesces(t *testing.T) {
 	defer mu.Unlock()
 	if len(seen) != 4 {
 		t.Fatalf("executed %d requests, want 4", len(seen))
+	}
+}
+
+// TestCacheCopiesAreDefensive locks in that neither the slice handed to
+// put nor the one returned by get shares backing arrays with the cache:
+// mutating either must not corrupt later cache reads.
+func TestCacheCopiesAreDefensive(t *testing.T) {
+	c := newLRUCache(4)
+	stored := []core.LoopPrediction{
+		{LoopID: 1, Func: "main", Parallel: true, Reasons: []string{"a"}},
+	}
+	c.put("k", stored)
+	stored[0].Parallel = false
+	stored[0].Reasons[0] = "mutated-after-put"
+
+	got, ok := c.get("k")
+	if !ok {
+		t.Fatal("cached entry missing")
+	}
+	if !got[0].Parallel || got[0].Reasons[0] != "a" {
+		t.Fatalf("put did not copy: cached entry = %+v", got[0])
+	}
+
+	got[0].Parallel = false
+	got[0].Reasons[0] = "mutated-after-get"
+	_ = append(got, core.LoopPrediction{LoopID: 99})
+
+	again, _ := c.get("k")
+	if !again[0].Parallel || again[0].Reasons[0] != "a" || len(again) != 1 {
+		t.Fatalf("get did not copy: cached entry = %+v (len %d)", again[0], len(again))
+	}
+}
+
+// failingInference always errors, warm-up included.
+type failingInference struct{}
+
+func (failingInference) ClassifyContext(context.Context, string, string) ([]core.LoopPrediction, error) {
+	return nil, fmt.Errorf("model file corrupt")
+}
+
+// TestListenAndServeWarmupFailurePropagates pins down the dead-but-
+// running fix: when warm-up keeps failing, ListenAndServe must return
+// the warm-up error (so the CLI exits non-zero and orchestration
+// restarts) instead of serving 503 forever.
+func TestListenAndServeWarmupFailurePropagates(t *testing.T) {
+	oldAttempts, oldBackoff := warmupAttempts, warmupBackoffStart
+	warmupAttempts, warmupBackoffStart = 2, time.Millisecond
+	defer func() { warmupAttempts, warmupBackoffStart = oldAttempts, oldBackoff }()
+
+	s := New(failingInference{}, Config{Addr: "127.0.0.1:0", DrainTimeout: 5 * time.Second})
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndServe(context.Background()) }()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "warm-up failed after 2 attempt(s)") {
+			t.Fatalf("ListenAndServe returned %v, want propagated warm-up failure", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ListenAndServe did not return after persistent warm-up failure")
 	}
 }
