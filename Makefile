@@ -31,7 +31,7 @@ BENCHNEW ?= BENCH_4.json
 # allocs/op — deterministic across machines — stays the hard gate. Set
 # GATETIMEPCT=25 for a hard time gate when old and new logs come from
 # the same machine.
-GATEBENCH ?= TrainStepAllocs|SpMM
+GATEBENCH ?= TrainStepAllocs|SpMM|ClassifyTracingDisabled
 GATETIME ?= 5x
 GATETIMEPCT ?= -25
 BENCHBASE ?= BENCH_4.json

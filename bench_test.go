@@ -9,6 +9,7 @@ package mvpar_test
 // ReportMetric, and the regenerated rows via Logf.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -510,6 +511,53 @@ func BenchmarkRobustnessKFold(b *testing.B) {
 	}
 	b.ReportMetric(100*res.Mean, "acc_mean")
 	b.ReportMetric(100*res.Std, "acc_std")
+}
+
+// BenchmarkClassifyTracingDisabled measures the serving-path
+// classification — Classifier.ClassifyContext, the exact call the
+// inference server's batch executor makes — on an untraced context. The
+// request-tracing layer (internal/obs/trace) promises that every span
+// call is a free no-op when no trace rides the context, so this
+// benchmark's allocs/op is the tracing-disabled baseline: the benchgate
+// holds it to zero growth, catching any change that makes the disabled
+// path allocate. Serial encode (Parallelism 1) keeps the count exact.
+func BenchmarkClassifyTracingDisabled(b *testing.B) {
+	b.ReportAllocs()
+	all := bench.Corpus()
+	opts := core.Options{
+		Data: dataset.Config{
+			Variants:    2,
+			WalkParams:  walks.Params{Length: 4, Gamma: 8},
+			WalkLen:     4,
+			EmbedCfg:    inst2vec.Config{Dim: 8, Window: 2, Negatives: 2, Epochs: 2, LR: 0.05, Seed: 1},
+			Seed:        1,
+			Parallelism: 1,
+		},
+		Train: gnn.TrainConfig{Epochs: 2, LR: 0.005, Temperature: 0.5, ClipNorm: 5, Seed: 1},
+		Seed:  1,
+	}
+	pl := core.NewPipeline(opts)
+	if _, err := pl.TrainOn([]bench.App{all[3], all[4], all[9]}); err != nil {
+		b.Fatal(err)
+	}
+	cls, err := pl.Classifier()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const src = `
+float x[8]; float y[8];
+void main() { for (int i = 0; i < 8; i++) { y[i] = x[i] * 3.0; } }
+`
+	ctx := context.Background()
+	if _, err := cls.ClassifyContext(ctx, "bench", src); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cls.ClassifyContext(ctx, "bench", src); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkSpMM compares the CSR propagation kernel against the dense

@@ -22,6 +22,8 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	rtpprof "runtime/pprof"
 	"sort"
 	"strconv"
 	"syscall"
@@ -156,7 +158,10 @@ commands:
   serve    [-model FILE] [-addr :8080]
                                long-lived HTTP inference service with request
                                batching (POST /v1/classify, /healthz, /readyz,
-                               /metrics); see mvpar serve -h and docs/serving.md
+                               /metrics, /debug/traces; -trace-slow, -pprof,
+                               -cpuprofile/-memprofile for telemetry); see
+                               mvpar serve -h, docs/serving.md and
+                               docs/observability.md
   corpus   [-dump DIR]         print (or dump) the generated benchmark corpus
   speedup  <file.mc> [threads] simulate parallel execution of every loop
   dataset  [-out FILE]         build the corpus dataset and export it as JSON
@@ -382,11 +387,53 @@ func cmdServe(ctx context.Context, args []string) error {
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request classification deadline")
 	cacheSize := fs.Int("cache-size", 128, "LRU entries for repeat submissions (-1 disables)")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "graceful shutdown bound")
+	traceSlow := fs.Duration("trace-slow", 0, "trace every request and retain those slower than this\nthreshold at /debug/traces (e.g. 250ms; 0 disables capture)")
+	traceRing := fs.Int("trace-ring", 64, "how many slow-request traces /debug/traces retains (-1 disables retention)")
+	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the serve mux")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the serving run to this file on shutdown")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := rtpprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("serve: starting CPU profile: %w", err)
+		}
+		defer func() {
+			rtpprof.StopCPUProfile()
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "serve: cpuprofile:", cerr)
+			} else {
+				fmt.Fprintln(os.Stderr, "serve: CPU profile written to", *cpuProfile)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "serve: memprofile:", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile reflects live objects
+			if err := rtpprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "serve: memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "serve: memprofile:", err)
+			} else {
+				fmt.Fprintln(os.Stderr, "serve: heap profile written to", path)
+			}
+		}()
 	}
 	pl := core.NewPipeline(trainOptions(*quick))
 	if *modelPath != "" {
@@ -424,6 +471,9 @@ func cmdServe(ctx context.Context, args []string) error {
 		RequestTimeout: *reqTimeout,
 		CacheSize:      *cacheSize,
 		DrainTimeout:   *drainTimeout,
+		TraceSlow:      *traceSlow,
+		TraceRing:      *traceRing,
+		EnablePprof:    *enablePprof,
 	})
 	sctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()

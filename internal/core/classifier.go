@@ -10,6 +10,7 @@ import (
 	"mvpar/internal/gnn"
 	"mvpar/internal/minic"
 	"mvpar/internal/obs"
+	"mvpar/internal/obs/trace"
 )
 
 // Classifier is a reusable inference handle over a trained pipeline. It
@@ -91,14 +92,27 @@ func (c *Classifier) Classify(name, src string) ([]LoopPrediction, error) {
 func (c *Classifier) ClassifyContext(ctx context.Context, name, src string) ([]LoopPrediction, error) {
 	model := c.acquire()
 	defer c.release(model)
+	// Request tracing: when ctx carries a trace (the serving path started
+	// one), the per-loop stages below append spans to it; on an untraced
+	// context every trace call is free — no allocations, no branches past
+	// one context lookup — so the bit-identical batch path is unchanged.
+	ctx, cspan := trace.StartSpan(ctx, "classify")
+	if cspan != nil {
+		cspan.SetAttr("program", name)
+		defer cspan.End()
+	}
 	cfg := c.cfg
-	cfg.Ctx = ctx
 	app := bench.App{Name: name, Suite: "user", Source: src}
+	bctx, bspan := trace.StartSpan(ctx, "dataset.build")
+	cfg.Ctx = bctx
 	d, _, err := dataset.Build([]bench.App{app}, cfg)
+	bspan.End()
 	if err != nil {
 		return nil, err
 	}
+	_, pspan := trace.StartSpan(ctx, "minic.parse")
 	ast, err := minic.Parse(name, src)
+	pspan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -112,14 +126,12 @@ func (c *Classifier) ClassifyContext(ctx context.Context, name, src string) ([]L
 		var pred int
 		var proba float64
 		if len(rec.Degraded) > 0 {
-			pred = model.PredictNodeView(sample)
-			proba = model.PredictProbaNodeView(sample)
+			pred, proba = model.PredictWithProbaNodeViewContext(ctx, sample)
 			obs.GetCounter("mvpar_degraded_predictions_total").Inc()
 			obs.Warn("classify.degraded", "program", name, "loop", rec.Meta.LoopID,
 				"reasons", fmt.Sprint(rec.Degraded))
 		} else {
-			pred = model.Predict(sample)
-			proba = model.PredictProba(sample)
+			pred, proba = model.PredictWithProbaContext(ctx, sample)
 		}
 		lp := LoopPrediction{
 			LoopID:   rec.Meta.LoopID,

@@ -28,6 +28,7 @@ import (
 	"mvpar/internal/ir"
 	"mvpar/internal/minic"
 	"mvpar/internal/obs"
+	"mvpar/internal/obs/trace"
 	"mvpar/internal/peg"
 	"mvpar/internal/pool"
 	"mvpar/internal/tensor"
@@ -205,6 +206,12 @@ func Build(apps []bench.App, cfg Config) (*Dataset, *BuildReport, error) {
 		p   *profiled
 		err *faults.StageError
 	}
+	// Stage spans are recorded twice when a request trace rides cfg.Ctx:
+	// once into the process-global obs aggregates (every build), and once
+	// as request-scoped trace spans (serving-path builds only; free
+	// no-ops otherwise). The trace spans give one slow request its
+	// profile/encode breakdown without touching the global registry.
+	_, tProfile := trace.StartSpan(cfg.Ctx, "dataset.profile")
 	profileSpan := obs.Start("dataset.profile")
 	pcfg := pool.Config{Workers: cfg.Parallelism, Ctx: cfg.Ctx}
 	outs, perr := pool.Map(pcfg, len(apps), func(i int) (profileOut, error) {
@@ -239,6 +246,7 @@ func Build(apps []bench.App, cfg Config) (*Dataset, *BuildReport, error) {
 		return profileOut{p: &profiled{app: app, base: base, res: res, static: tools.AnalyzeStatic(src)}}, nil
 	})
 	profileSpan.End()
+	tProfile.End()
 	if perr != nil {
 		return nil, report, fmt.Errorf("dataset: %w", perr)
 	}
@@ -290,6 +298,7 @@ func Build(apps []bench.App, cfg Config) (*Dataset, *BuildReport, error) {
 		err  *faults.StageError
 	}
 	nv := cfg.Variants
+	_, tEncode := trace.StartSpan(cfg.Ctx, "dataset.encode")
 	encodeSpan := obs.Start("dataset.encode")
 	eouts, eerr := pool.Map(pool.Config{Workers: cfg.Parallelism, Ctx: cfg.Ctx}, len(progs)*nv, func(j int) (encodeOut, error) {
 		p := progs[j/nv]
@@ -314,6 +323,7 @@ func Build(apps []bench.App, cfg Config) (*Dataset, *BuildReport, error) {
 		return encodeOut{recs: recs, degs: degs}, nil
 	})
 	encodeSpan.End()
+	tEncode.End()
 	if eerr != nil {
 		return nil, report, fmt.Errorf("dataset: %w", eerr)
 	}

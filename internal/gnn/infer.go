@@ -1,0 +1,63 @@
+package gnn
+
+import (
+	"context"
+
+	"mvpar/internal/nn"
+	"mvpar/internal/obs/trace"
+	"mvpar/internal/tensor"
+)
+
+// PredictWithProba returns the predicted class and P(class=1) for one
+// sample from a single forward pass of the head selected during
+// training. It is bit-identical to calling Predict and PredictProba
+// separately (the forward pass is deterministic, so both read the same
+// logits) at half the inference cost — the pairing every serving-path
+// classification wants.
+func (m *MVGNN) PredictWithProba(s Sample) (int, float64) {
+	switch m.predictMode {
+	case 1:
+		return classFrom(m.NodeView.Forward(s.Node))
+	case 2:
+		return classFrom(m.StructView.Forward(s.Struct))
+	}
+	return classFrom(m.Forward(s))
+}
+
+// PredictWithProbaNodeView is PredictWithProba restricted to the node
+// view's own head — the degraded-prediction path used when a sample has
+// no usable structural view (the paper's Static-GNN geometry).
+func (m *MVGNN) PredictWithProbaNodeView(s Sample) (int, float64) {
+	return classFrom(m.NodeView.Forward(s.Node))
+}
+
+// PredictWithProbaContext is PredictWithProba under a request trace: if
+// ctx carries one, the forward pass is recorded as a "gnn.forward" span
+// annotated with the sample's loop ID. On an untraced context the span
+// calls are free (no allocations, one context lookup), so the
+// bit-identical batch path pays nothing.
+func (m *MVGNN) PredictWithProbaContext(ctx context.Context, s Sample) (int, float64) {
+	_, sp := trace.StartSpan(ctx, "gnn.forward")
+	if sp != nil {
+		sp.SetAttrInt("loop", int64(s.Meta.LoopID))
+		defer sp.End()
+	}
+	return m.PredictWithProba(s)
+}
+
+// PredictWithProbaNodeViewContext is the traced degraded-path variant;
+// the span carries view=node so a trace shows which head answered.
+func (m *MVGNN) PredictWithProbaNodeViewContext(ctx context.Context, s Sample) (int, float64) {
+	_, sp := trace.StartSpan(ctx, "gnn.forward")
+	if sp != nil {
+		sp.SetAttrInt("loop", int64(s.Meta.LoopID))
+		sp.SetAttr("view", "node")
+		defer sp.End()
+	}
+	return m.PredictWithProbaNodeView(s)
+}
+
+// classFrom reduces one logits row to (argmax class, P(class=1)).
+func classFrom(logits *tensor.Matrix) (int, float64) {
+	return nn.Predict(logits)[0], nn.Probabilities(logits).At(0, 1)
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -89,6 +90,86 @@ func (h *Histogram) Snapshot() (count int64, sum, min, max float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.count, h.sum, h.min, h.max
+}
+
+// Bucket is one cumulative histogram bucket: the count of observations
+// ≤ UpperBound. The last bucket's bound is +Inf, so its count equals the
+// histogram's total count.
+type Bucket struct {
+	UpperBound float64
+	Count      int64
+}
+
+// Buckets returns the cumulative bucket snapshot (Prometheus `le`
+// semantics), always ending in the +Inf bucket. The bounds are the
+// fixed exponential ladder every Histogram shares (1e-6 doubling to
+// ~67, seconds-friendly), so quantiles are derivable offline from any
+// dump that includes these lines.
+func (h *Histogram) Buckets() []Bucket {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Bucket, len(histBuckets)+1)
+	var cum int64
+	for i := range out {
+		if h.buckets != nil {
+			cum += h.buckets[i]
+		}
+		bound := math.Inf(1)
+		if i < len(histBuckets) {
+			bound = histBuckets[i]
+		}
+		out[i] = Bucket{UpperBound: bound, Count: cum}
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the cumulative
+// buckets, interpolating linearly inside the bucket that crosses the
+// target rank — the same estimator Prometheus's histogram_quantile
+// uses — and clamping to the observed [min, max] so the exponential
+// bucket edges never report a value outside the data. Returns NaN for
+// an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	count, min, max := h.count, h.min, h.max
+	var buckets []int64
+	if h.buckets != nil {
+		buckets = append([]int64(nil), h.buckets...)
+	}
+	h.mu.Unlock()
+	if count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return min
+	}
+	if q >= 1 {
+		return max
+	}
+	rank := q * float64(count)
+	var cum int64
+	for i, c := range buckets {
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = histBuckets[i-1]
+			}
+			hi := max
+			if i < len(histBuckets) {
+				hi = histBuckets[i]
+			}
+			// Position of the target rank inside this bucket.
+			frac := (rank - float64(cum)) / float64(c)
+			v := lo + (hi-lo)*frac
+			return math.Min(math.Max(v, min), max)
+		}
+		cum += c
+	}
+	return max
 }
 
 // Registry is a set of named metrics. The zero value is not usable; use
@@ -184,6 +265,18 @@ func (r *Registry) Dump(w io.Writer) error {
 		if count > 0 {
 			lines = append(lines, fmt.Sprintf("%s_min %.6g", name, min))
 			lines = append(lines, fmt.Sprintf("%s_max %.6g", name, max))
+			// Cumulative buckets (Prometheus le semantics), so quantiles
+			// are derivable offline from the dump alone. Buckets the data
+			// never reached are elided; a reader treats a missing bound as
+			// "same cumulative count as the previous line".
+			var prev int64
+			for _, b := range h.Buckets() {
+				if b.Count == prev {
+					continue
+				}
+				prev = b.Count
+				lines = append(lines, fmt.Sprintf("%s_bucket{le=%q} %d", name, formatLe(b.UpperBound), b.Count))
+			}
 		}
 	}
 	r.mu.Unlock()
@@ -193,6 +286,14 @@ func (r *Registry) Dump(w io.Writer) error {
 	sort.Strings(lines)
 	_, err := io.WriteString(w, strings.Join(lines, "\n")+"\n")
 	return err
+}
+
+// formatLe renders a bucket upper bound as a Prometheus le label value.
+func formatLe(bound float64) string {
+	if math.IsInf(bound, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(bound, 'g', -1, 64)
 }
 
 // DumpString returns Dump's output as a string.

@@ -204,6 +204,8 @@ func TestDumpGolden(t *testing.T) {
 		"mvpar_empty_hist_count 0",
 		"mvpar_empty_hist_sum 0",
 		"mvpar_interp_steps_total 1234",
+		`mvpar_peg_nodes_bucket{le="16.777216"} 1`,
+		`mvpar_peg_nodes_bucket{le="33.554432"} 2`,
 		"mvpar_peg_nodes_count 2",
 		"mvpar_peg_nodes_max 30",
 		"mvpar_peg_nodes_min 10",

@@ -1,0 +1,52 @@
+package trace
+
+import "sync"
+
+// Ring retains the most recent N finished traces — the in-memory store
+// behind /debug/traces. Adding past capacity evicts the oldest entry, so
+// memory stays bounded no matter how many slow requests a server sees.
+// Safe for concurrent use.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []*Trace
+	next  int
+	total uint64
+}
+
+// NewRing returns a ring holding up to capacity traces (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]*Trace, capacity)}
+}
+
+// Add retains t, evicting the oldest retained trace once full.
+func (r *Ring) Add(t *Trace) {
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total reports how many traces were ever added (including evicted ones).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot returns the retained traces, newest first.
+func (r *Ring) Snapshot() []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, 0, len(r.buf))
+	for i := 0; i < len(r.buf); i++ {
+		idx := (r.next - 1 - i + 2*len(r.buf)) % len(r.buf)
+		if t := r.buf[idx]; t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}

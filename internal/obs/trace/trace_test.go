@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanTreeLineage checks parent/child wiring, attributes and the
+// shared trace ID across a three-level tree.
+func TestSpanTreeLineage(t *testing.T) {
+	ctx, tr := New(context.Background(), "handler")
+	tr.Root().SetAttr("program", "p1")
+	bctx, bspan := StartSpan(ctx, "batcher")
+	rctx, rspan := StartSpan(bctx, "replica")
+	_, fspan := StartSpan(rctx, "gnn.forward")
+	fspan.SetAttrInt("loop", 3)
+	fspan.End()
+	rspan.End()
+	bspan.End()
+	tr.Finish()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	byName := map[string]SpanData{}
+	for _, sp := range spans {
+		if sp.TraceID != tr.ID() {
+			t.Errorf("span %s trace ID %s, want %s", sp.Name, sp.TraceID, tr.ID())
+		}
+		if sp.Unfinished {
+			t.Errorf("span %s unfinished after End", sp.Name)
+		}
+		byName[sp.Name] = sp
+	}
+	if byName["handler"].Parent != 0 {
+		t.Errorf("root has parent %d", byName["handler"].Parent)
+	}
+	if byName["batcher"].Parent != byName["handler"].Span {
+		t.Errorf("batcher parent = %d, want %d", byName["batcher"].Parent, byName["handler"].Span)
+	}
+	if byName["replica"].Parent != byName["batcher"].Span {
+		t.Errorf("replica parent = %d, want %d", byName["replica"].Parent, byName["batcher"].Span)
+	}
+	if byName["gnn.forward"].Parent != byName["replica"].Span {
+		t.Errorf("forward parent = %d, want %d", byName["gnn.forward"].Parent, byName["replica"].Span)
+	}
+	if got := byName["gnn.forward"].Attrs; len(got) != 1 || got[0].Key != "loop" || got[0].Value != "3" {
+		t.Errorf("forward attrs = %v", got)
+	}
+}
+
+// TestUntracedContextIsFree pins the zero-allocation contract of the
+// disabled path: StartSpan on a context with no trace, plus every
+// nil-span method, must not allocate.
+func TestUntracedContextIsFree(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c2, sp := StartSpan(ctx, "stage")
+		sp.SetAttr("k", "v")
+		sp.SetAttrInt("n", 7)
+		sp.End()
+		if c2 != ctx {
+			t.Fatal("untraced StartSpan must return the input context")
+		}
+		if FromContext(c2) != nil {
+			t.Fatal("untraced context carries a trace")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestConcurrentSpansNoCrossContamination runs many goroutines each
+// opening spans on its own trace; every trace must see exactly its own
+// spans (run under -race by make test).
+func TestConcurrentSpansNoCrossContamination(t *testing.T) {
+	const n = 16
+	var wg sync.WaitGroup
+	traces := make([]*Trace, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, tr := New(context.Background(), "req")
+			traces[i] = tr
+			var inner sync.WaitGroup
+			for j := 0; j < 8; j++ {
+				inner.Add(1)
+				go func(j int) {
+					defer inner.Done()
+					_, sp := StartSpan(ctx, "work")
+					sp.SetAttrInt("j", int64(j))
+					sp.End()
+				}(j)
+			}
+			inner.Wait()
+			tr.Finish()
+		}(i)
+	}
+	wg.Wait()
+	ids := map[string]bool{}
+	for _, tr := range traces {
+		if ids[tr.ID()] {
+			t.Fatalf("duplicate trace ID %s", tr.ID())
+		}
+		ids[tr.ID()] = true
+		if got := len(tr.Spans()); got != 9 {
+			t.Fatalf("trace %s has %d spans, want 9", tr.ID(), got)
+		}
+	}
+}
+
+// TestSpanCap bounds runaway traces.
+func TestSpanCap(t *testing.T) {
+	ctx, tr := New(context.Background(), "big")
+	for i := 0; i < maxSpans+100; i++ {
+		_, sp := StartSpan(ctx, "s")
+		sp.End()
+	}
+	if got := len(tr.Spans()); got != maxSpans {
+		t.Fatalf("retained %d spans, want cap %d", got, maxSpans)
+	}
+	if tr.Dropped() != 101 {
+		t.Fatalf("dropped = %d, want 101", tr.Dropped())
+	}
+}
+
+// TestRing checks bounded retention and newest-first snapshots.
+func TestRing(t *testing.T) {
+	r := NewRing(3)
+	var last *Trace
+	for i := 0; i < 5; i++ {
+		_, tr := New(context.Background(), "t")
+		tr.Finish()
+		r.Add(tr)
+		last = tr
+	}
+	got := r.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("snapshot has %d traces, want 3", len(got))
+	}
+	if got[0] != last {
+		t.Fatal("snapshot not newest-first")
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d, want 5", r.Total())
+	}
+}
+
+// TestExporters checks both serializations round-trip as valid JSON with
+// the fields the consumers need.
+func TestExporters(t *testing.T) {
+	ctx, tr := New(context.Background(), "handler")
+	cctx, c1 := StartSpan(ctx, "child")
+	time.Sleep(time.Millisecond)
+	_, g := StartSpan(cctx, "grandchild")
+	g.End()
+	c1.End()
+	tr.Finish()
+
+	var jsonl bytes.Buffer
+	if err := tr.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(jsonl.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("JSONL has %d lines, want 3", len(lines))
+	}
+	for _, line := range lines {
+		var sd SpanData
+		if err := json.Unmarshal([]byte(line), &sd); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if sd.TraceID != tr.ID() || sd.Name == "" {
+			t.Fatalf("incomplete span %+v", sd)
+		}
+	}
+
+	var chrome bytes.Buffer
+	if err := tr.WriteChromeTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(chrome.Bytes(), &events); err != nil {
+		t.Fatalf("chrome export is not a JSON array: %v", err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("chrome export has %d events, want 3", len(events))
+	}
+	for _, ev := range events {
+		if ev["ph"] != "X" {
+			t.Fatalf("event phase %v, want X", ev["ph"])
+		}
+		for _, k := range []string{"name", "ts", "dur", "pid", "tid"} {
+			if _, ok := ev[k]; !ok {
+				t.Fatalf("event missing %q: %v", k, ev)
+			}
+		}
+	}
+	// The child span slept ≥1ms; its exported duration must reflect it.
+	var childDur float64
+	for _, ev := range events {
+		if ev["name"] == "child" {
+			childDur = ev["dur"].(float64)
+		}
+	}
+	if childDur < 1000 {
+		t.Fatalf("child dur = %v µs, want >= 1000", childDur)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"mvpar/internal/core"
 	"mvpar/internal/obs"
+	"mvpar/internal/obs/trace"
 	"mvpar/internal/pool"
 )
 
@@ -30,6 +31,10 @@ type batchRequest struct {
 	src  string
 	key  string // cache key, "" when caching is off
 	done chan batchResult
+	// span is the request's "batcher" trace span (nil when untraced):
+	// opened at admission, ended when execution starts, so its duration
+	// is queue wait plus the coalesce window.
+	span *trace.Span
 }
 
 // batchResult is the outcome delivered back to the waiting handler.

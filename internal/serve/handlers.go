@@ -11,6 +11,7 @@ import (
 	"mvpar/internal/faults"
 	"mvpar/internal/interp"
 	"mvpar/internal/obs"
+	"mvpar/internal/obs/trace"
 )
 
 // ClassifyRequest is the POST /v1/classify body.
@@ -19,6 +20,11 @@ type ClassifyRequest struct {
 	Name string `json:"name"`
 	// Source is the MiniC program (entry function main).
 	Source string `json:"source"`
+	// Timings asks for the per-request latency breakdown: the response
+	// gains trace_id and a timings span tree (handler → batcher →
+	// replica → dataset stages → per-loop GNN forwards). Cache hits skip
+	// the pipeline and therefore return no breakdown.
+	Timings bool `json:"timings,omitempty"`
 }
 
 // Prediction is one loop's classification in the wire format.
@@ -43,6 +49,12 @@ type ClassifyResponse struct {
 	// Cached is true when the response was served from the LRU without
 	// re-running the pipeline.
 	Cached bool `json:"cached"`
+	// TraceID and Timings are set only when the request asked for a
+	// timings breakdown (ClassifyRequest.Timings) and the pipeline ran:
+	// the request's trace ID and its span tree, offsets in microseconds
+	// relative to the handler span's start.
+	TraceID string           `json:"trace_id,omitempty"`
+	Timings []trace.SpanData `json:"timings,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx JSON answer.
@@ -132,14 +144,28 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		obs.GetCounter("mvpar_http_cache_misses_total").Inc()
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	// Request tracing: in slow-capture mode (TraceSlow set) every request
+	// is traced so any of them can be retained when it crosses the
+	// threshold; otherwise only requests asking for a timings breakdown
+	// pay for a trace. Untraced requests see zero overhead — every span
+	// call downstream is a no-op on their context.
+	tctx := r.Context()
+	var tr *trace.Trace
+	if s.cfg.TraceSlow > 0 || req.Timings {
+		tctx, tr = trace.New(tctx, "handler")
+		tr.Root().SetAttr("program", req.Name)
+		defer s.finishTrace(tr, req.Name)
+	}
+	ctx, cancel := context.WithTimeout(tctx, s.cfg.RequestTimeout)
 	defer cancel()
+	bctx, bspan := trace.StartSpan(ctx, "batcher")
 	breq := &batchRequest{
-		ctx:  ctx,
+		ctx:  bctx,
 		name: req.Name,
 		src:  req.Source,
 		key:  key,
 		done: make(chan batchResult, 1),
+		span: bspan,
 	}
 	if err := s.bat.submit(breq); err != nil {
 		switch {
@@ -154,9 +180,13 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	var respTr *trace.Trace
+	if req.Timings {
+		respTr = tr
+	}
 	select {
 	case res := <-breq.done:
-		s.writeResult(w, req.Name, res)
+		s.writeResult(w, req.Name, res, respTr)
 	case <-ctx.Done():
 		// The batch job observes the same ctx and aborts at the
 		// interpreter's stride check; the handler answers immediately.
@@ -166,11 +196,17 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// writeResult maps one execution outcome to its HTTP answer.
-func (s *Server) writeResult(w http.ResponseWriter, name string, res batchResult) {
+// writeResult maps one execution outcome to its HTTP answer. tr is
+// non-nil only when the request asked for a timings breakdown; success
+// responses then carry the trace ID and span tree.
+func (s *Server) writeResult(w http.ResponseWriter, name string, res batchResult, tr *trace.Trace) {
 	err := res.err
 	if err == nil {
-		writeJSON(w, http.StatusOK, toResponse(name, res.preds, false))
+		resp := toResponse(name, res.preds, false)
+		if tr != nil {
+			resp.TraceID, resp.Timings = timingsPayload(tr)
+		}
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	var pe *faults.PanicError

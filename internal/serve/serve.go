@@ -11,8 +11,11 @@
 //	  → per-request context deadline into the interpreter's stride check
 //
 // plus /healthz (liveness), /readyz (model loaded and a warm-up classify
-// passed), and /metrics (the internal/obs registry, extended with the
-// mvpar_http_* request/batch/cache families). Results are bit-identical
+// passed), /metrics (the internal/obs registry — Prometheus exposition
+// under content negotiation — extended with the mvpar_http_*
+// request/batch/cache families), /debug/traces (retained slow-request
+// span trees, see internal/obs/trace) and, behind Config.EnablePprof,
+// the /debug/pprof/ profile endpoints. Results are bit-identical
 // to serial core.Pipeline.ClassifySource at every concurrency level —
 // the same determinism contract the training pool upholds. Shutdown is
 // graceful: draining finishes every admitted request before the
@@ -25,12 +28,14 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync/atomic"
 	"time"
 
 	"mvpar/internal/core"
 	"mvpar/internal/faults"
 	"mvpar/internal/obs"
+	"mvpar/internal/obs/trace"
 )
 
 // Inference is the model dependency of the server; *core.Classifier is
@@ -66,6 +71,22 @@ type Config struct {
 	MaxBodyBytes int64
 	// DrainTimeout bounds graceful shutdown; default 15s.
 	DrainTimeout time.Duration
+	// TraceSlow enables slow-request capture: every request is traced and
+	// any request slower than this threshold has its span tree retained
+	// in a bounded in-memory ring served at /debug/traces (plus a
+	// structured log line and mvpar_http_slow_requests_total). Zero
+	// disables capture; requests are then traced only when they ask for a
+	// timings breakdown.
+	TraceSlow time.Duration
+	// TraceRing caps how many slow-request traces the ring retains
+	// (oldest evicted first); default 64, negative disables retention
+	// (slow requests are still counted and logged).
+	TraceRing int
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/
+	// on the serve mux. Off by default: the profile endpoints can stall
+	// the process (30s CPU captures) and belong behind an operator's
+	// explicit flag.
+	EnablePprof bool
 }
 
 // withDefaults resolves zero fields to their documented defaults.
@@ -97,16 +118,20 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 15 * time.Second
 	}
+	if c.TraceRing == 0 {
+		c.TraceRing = 64
+	}
 	return c
 }
 
 // Server is one inference service instance.
 type Server struct {
-	cfg   Config
-	inf   Inference
-	cache *lruCache
-	bat   *batcher
-	hs    *http.Server
+	cfg    Config
+	inf    Inference
+	cache  *lruCache
+	bat    *batcher
+	hs     *http.Server
+	traces *trace.Ring // slow-request retention, nil when disabled
 
 	ready    atomic.Bool
 	draining atomic.Bool
@@ -122,12 +147,25 @@ func New(inf Inference, cfg Config) *Server {
 		inf:   inf,
 		cache: newLRUCache(cfg.CacheSize),
 	}
+	if cfg.TraceRing > 0 {
+		s.traces = trace.NewRing(cfg.TraceRing)
+	}
 	s.bat = newBatcher(cfg.MaxBatch, cfg.BatchWindow, cfg.MaxQueue, cfg.Workers, s.execute)
 	mux := http.NewServeMux()
 	mux.Handle("/v1/classify", instrument("classify", http.HandlerFunc(s.handleClassify)))
 	mux.Handle("/healthz", instrument("healthz", http.HandlerFunc(s.handleHealthz)))
 	mux.Handle("/readyz", instrument("readyz", http.HandlerFunc(s.handleReadyz)))
 	mux.Handle("/metrics", instrument("metrics", obs.Handler()))
+	mux.Handle("/debug/traces", instrument("debug_traces", http.HandlerFunc(s.handleDebugTraces)))
+	if cfg.EnablePprof {
+		// Registered explicitly (not via the package's DefaultServeMux
+		// side effects) so the endpoints exist only behind the flag.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.hs = &http.Server{
 		Addr:              cfg.Addr,
 		Handler:           mux,
@@ -176,12 +214,18 @@ func (s *Server) Ready() bool { return s.ready.Load() }
 // the request answers 500 with a quarantine-style reason instead of
 // killing the process — and successes populate the LRU.
 func (s *Server) execute(r *batchRequest) {
+	// Close the "batcher" span (queue wait + coalesce window) and open
+	// the "replica" span for the classification proper. Both are nil-safe
+	// no-ops on untraced requests, keeping this path allocation-free.
+	r.span.End()
+	cctx, rspan := trace.StartSpan(r.ctx, "replica")
 	var preds []core.LoopPrediction
 	err := faults.Capture(func() error {
 		var cerr error
-		preds, cerr = s.inf.ClassifyContext(r.ctx, r.name, r.src)
+		preds, cerr = s.inf.ClassifyContext(cctx, r.name, r.src)
 		return cerr
 	})
+	rspan.End()
 	if err == nil && s.cache != nil && r.key != "" {
 		s.cache.put(r.key, preds)
 	}
