@@ -14,6 +14,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -34,6 +35,7 @@ import (
 	"mvpar/internal/cu"
 	"mvpar/internal/dataset"
 	"mvpar/internal/deps"
+	"mvpar/internal/faults"
 	"mvpar/internal/features"
 	"mvpar/internal/gnn"
 	"mvpar/internal/inst2vec"
@@ -58,6 +60,27 @@ func main() {
 	flag.Usage = usage
 	flag.Parse()
 	pool.SetDefaultParallelism(*jobs)
+	// Chaos injection is armed only by explicit operator action: without
+	// $MVPAR_CHAOS every fault seam stays a no-op. The seed (default 1,
+	// $MVPAR_CHAOS_SEED to vary) makes a chaos run reproducible.
+	if spec := os.Getenv("MVPAR_CHAOS"); spec != "" {
+		seed := int64(1)
+		if s := os.Getenv("MVPAR_CHAOS_SEED"); s != "" {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mvpar: bad $MVPAR_CHAOS_SEED:", err)
+				os.Exit(2)
+			}
+			seed = v
+		}
+		inj, err := faults.ParseInjector(spec, seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mvpar:", err)
+			os.Exit(2)
+		}
+		faults.SetChaos(inj)
+		fmt.Fprintf(os.Stderr, "mvpar: CHAOS ARMED (sites %v) — not for production\n", inj.Sites())
+	}
 	if *logLevel != "" {
 		lvl, err := obs.ParseLevel(*logLevel)
 		if err != nil {
@@ -157,10 +180,13 @@ commands:
   classify [-quick] <file.mc>  train, then classify the file's loops
   serve    [-model FILE] [-addr :8080]
                                long-lived HTTP inference service with request
-                               batching (POST /v1/classify, /healthz, /readyz,
-                               /metrics, /debug/traces; -trace-slow, -pprof,
-                               -cpuprofile/-memprofile for telemetry); see
-                               mvpar serve -h, docs/serving.md and
+                               batching, circuit-breaking replicas, degraded-
+                               mode fallback and atomic model hot swap (POST
+                               /v1/classify, POST /v1/models/reload or SIGHUP,
+                               /healthz, /readyz, /metrics, /debug/traces;
+                               -trace-slow, -pprof, -cpuprofile/-memprofile
+                               for telemetry); see mvpar serve -h,
+                               docs/serving.md, docs/robustness.md and
                                docs/observability.md
   corpus   [-dump DIR]         print (or dump) the generated benchmark corpus
   speedup  <file.mc> [threads] simulate parallel execution of every loop
@@ -387,6 +413,12 @@ func cmdServe(ctx context.Context, args []string) error {
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request classification deadline")
 	cacheSize := fs.Int("cache-size", 128, "LRU entries for repeat submissions (-1 disables)")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "graceful shutdown bound")
+	drainGrace := fs.Duration("drain-grace", 0, "keep serving this long after SIGTERM while /readyz reports\n503 draining, so load balancers stop routing before the listener\ncloses (e.g. 2s)")
+	replicas := fs.Int("replicas", 4, "circuit-breaking model replica domains per generation")
+	maxRetries := fs.Int("max-retries", 2, "replicas a request is retried on after a replica fault (-1 disables)")
+	breakerThreshold := fs.Int("breaker-threshold", 3, "consecutive replica faults that trip a replica's circuit breaker")
+	breakerBackoff := fs.Duration("breaker-backoff", 500*time.Millisecond, "first open interval of a tripped breaker (doubles per failed probe)")
+	degradeHeadroom := fs.Duration("degrade-headroom", 0, "serve a degraded answer instead of starting a full classification\nwhen the request deadline is closer than this (0 disables)")
 	traceSlow := fs.Duration("trace-slow", 0, "trace every request and retain those slower than this\nthreshold at /debug/traces (e.g. 250ms; 0 disables capture)")
 	traceRing := fs.Int("trace-ring", 64, "how many slow-request traces /debug/traces retains (-1 disables retention)")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the serve mux")
@@ -458,27 +490,97 @@ func cmdServe(ctx context.Context, args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "serve: trained, test acc %.1f%%\n", 100*report.TestAcc)
 	}
-	cls, err := pl.Classifier()
+	snap, err := snapshotFromPipeline(pl, *replicas)
 	if err != nil {
 		return err
 	}
-	srv := serve.New(cls, serve.Config{
-		Addr:           *addr,
-		MaxBatch:       *maxBatch,
-		BatchWindow:    *batchWindow,
-		MaxQueue:       *maxQueue,
-		Workers:        *workers,
-		RequestTimeout: *reqTimeout,
-		CacheSize:      *cacheSize,
-		DrainTimeout:   *drainTimeout,
-		TraceSlow:      *traceSlow,
-		TraceRing:      *traceRing,
-		EnablePprof:    *enablePprof,
+	// Hot reload re-reads the checkpoint file; without -model there is no
+	// checkpoint to re-read, so /v1/models/reload answers 501.
+	var loader serve.Loader
+	if *modelPath != "" {
+		path := *modelPath
+		n := *replicas
+		loader = func(context.Context) (serve.Snapshot, error) {
+			if hit, _ := faults.ChaosFire(faults.SiteReloadFail); hit {
+				return serve.Snapshot{}, fmt.Errorf("chaos: injected loader failure")
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return serve.Snapshot{}, err
+			}
+			if hit, _ := faults.ChaosFire(faults.SiteReloadCorrupt); hit && len(data) > 0 {
+				data[len(data)/2] ^= 0xFF // CRC-checked load rejects this → rollback
+			}
+			if _, err := pl.ReloadModel(bytes.NewReader(data)); err != nil {
+				return serve.Snapshot{}, err
+			}
+			return snapshotFromPipeline(pl, n)
+		}
+	}
+	srv := serve.NewWithSnapshot(snap, serve.Config{
+		Addr:             *addr,
+		MaxBatch:         *maxBatch,
+		BatchWindow:      *batchWindow,
+		MaxQueue:         *maxQueue,
+		Workers:          *workers,
+		RequestTimeout:   *reqTimeout,
+		CacheSize:        *cacheSize,
+		DrainTimeout:     *drainTimeout,
+		DrainGrace:       *drainGrace,
+		Replicas:         *replicas,
+		MaxRetries:       *maxRetries,
+		BreakerThreshold: *breakerThreshold,
+		BreakerBackoff:   *breakerBackoff,
+		DegradeHeadroom:  *degradeHeadroom,
+		Loader:           loader,
+		Version:          buildVersion,
+		TraceSlow:        *traceSlow,
+		TraceRing:        *traceRing,
+		EnablePprof:      *enablePprof,
 	})
 	sctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Fprintf(os.Stderr, "serve: listening on %s (SIGINT/SIGTERM drains and exits)\n", *addr)
+	// SIGHUP triggers the same atomic hot swap as POST /v1/models/reload.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			res, rerr := srv.Reload(sctx)
+			if rerr != nil {
+				fmt.Fprintln(os.Stderr, "serve: reload:", rerr)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "serve: reloaded, now generation %d (%s)\n", res.Generation, res.Fingerprint)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "serve: listening on %s (SIGINT/SIGTERM drains and exits, SIGHUP hot-swaps -model)\n", *addr)
 	return srv.ListenAndServe(sctx)
+}
+
+// buildVersion labels mvpar_build_info; override at link time with
+// -ldflags "-X main.buildVersion=v1.2.3".
+var buildVersion = "dev"
+
+// snapshotFromPipeline takes n classifier handles off the pipeline, one
+// per circuit-breaking failure domain. The handles share weight storage
+// (cheap) but keep independent replica free lists.
+func snapshotFromPipeline(pl *core.Pipeline, n int) (serve.Snapshot, error) {
+	if n <= 0 {
+		n = 1
+	}
+	var snap serve.Snapshot
+	for i := 0; i < n; i++ {
+		cls, err := pl.Classifier()
+		if err != nil {
+			return serve.Snapshot{}, err
+		}
+		if i == 0 {
+			snap.Fingerprint = cls.Fingerprint()
+		}
+		snap.Replicas = append(snap.Replicas, cls)
+	}
+	return snap, nil
 }
 
 func cmdSpeedup(ctx context.Context, args []string) error {

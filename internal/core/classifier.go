@@ -2,13 +2,17 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"sync"
 
 	"mvpar/internal/bench"
 	"mvpar/internal/dataset"
 	"mvpar/internal/gnn"
 	"mvpar/internal/minic"
+	"mvpar/internal/nn"
 	"mvpar/internal/obs"
 	"mvpar/internal/obs/trace"
 )
@@ -90,6 +94,44 @@ func (c *Classifier) Classify(name, src string) ([]LoopPrediction, error) {
 // with Degraded set, the causes recorded in Reasons, and the event
 // counted by mvpar_degraded_predictions_total.
 func (c *Classifier) ClassifyContext(ctx context.Context, name, src string) ([]LoopPrediction, error) {
+	return c.classifyWith(ctx, c.cfg, name, src)
+}
+
+// ClassifyDegradedContext is the serving layer's degradation-ladder
+// rung: it classifies every loop from the node view only, skipping
+// structural-view walk sampling entirely. A one-sample walk budget
+// forces every loop's structural view over budget, so dataset.Build
+// keeps the loops with the all-zero structural fallback and
+// Record.Degraded set — the paper's Static-GNN geometry — and the
+// shared classify path marks each prediction Degraded with the cause.
+// It is substantially cheaper than a full classification (no sampling,
+// no structural forward work of consequence), which is what makes it a
+// usable fallback when replicas are unhealthy or the request deadline
+// is nearly spent.
+func (c *Classifier) ClassifyDegradedContext(ctx context.Context, name, src string) ([]LoopPrediction, error) {
+	cfg := c.cfg
+	cfg.WalkParams.MaxSamples = 1
+	obs.GetCounter("mvpar_degraded_mode_classifications_total").Inc()
+	return c.classifyWith(ctx, cfg, name, src)
+}
+
+// Fingerprint identifies this handle's model weights and encode
+// configuration: two classifiers with equal fingerprints answer
+// identically on every input. The serving layer keys its response cache
+// and generation identity on it, so a hot-swapped model can never serve
+// a prediction computed by the previous weights.
+func (c *Classifier) Fingerprint() string {
+	h := sha256.New()
+	io.WriteString(h, nn.FingerprintParams(c.model.Params()))
+	cfg := c.cfg
+	fmt.Fprintf(h, "|v%d|w%+v|l%d|e%+v|s%d|t%d|n%d",
+		cfg.Variants, cfg.WalkParams, cfg.WalkLen, cfg.EmbedCfg, cfg.Seed, cfg.MaxSteps, cfg.MaxTokens)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// classifyWith is the shared classify body: profile and encode the
+// program under cfg, then predict every loop on a borrowed replica.
+func (c *Classifier) classifyWith(ctx context.Context, cfg dataset.Config, name, src string) ([]LoopPrediction, error) {
 	model := c.acquire()
 	defer c.release(model)
 	// Request tracing: when ctx carries a trace (the serving path started
@@ -101,7 +143,6 @@ func (c *Classifier) ClassifyContext(ctx context.Context, name, src string) ([]L
 		cspan.SetAttr("program", name)
 		defer cspan.End()
 	}
-	cfg := c.cfg
 	app := bench.App{Name: name, Suite: "user", Source: src}
 	bctx, bspan := trace.StartSpan(ctx, "dataset.build")
 	cfg.Ctx = bctx

@@ -222,6 +222,28 @@ func (p *Pipeline) LoadModel(r io.Reader) error {
 	return nn.LoadParams(r, p.Model.Params())
 }
 
+// ReloadModel loads a checkpoint into a FRESH model and adopts it only
+// after the load fully succeeds, returning the new model's weight
+// fingerprint. Unlike LoadModel — which loads into the live model and on
+// a corrupt stream can leave it half-replaced — ReloadModel never
+// touches the serving weights: classifier handles taken before the
+// reload keep answering from the old generation's storage for as long
+// as they live, which is exactly the hot-swap-with-drain contract the
+// serving layer builds on. On any load error the pipeline is unchanged
+// and the previous model keeps serving.
+func (p *Pipeline) ReloadModel(r io.Reader) (string, error) {
+	if p.Dataset == nil {
+		return "", fmt.Errorf("core: reload requires a built dataset for dimensions")
+	}
+	m := gnn.NewMVGNN(p.Dataset.NodeDim, p.Dataset.StructDim, p.Opts.Seed)
+	if err := nn.LoadParams(r, m.Params()); err != nil {
+		return "", err
+	}
+	p.Model = m
+	p.cls = nil
+	return nn.FingerprintParams(m.Params()), nil
+}
+
 // ProfileSource profiles a program and returns its dependence result —
 // the library's DiscoPoP-phase-1 entry point for users who want raw
 // dependences rather than model predictions.

@@ -55,6 +55,17 @@ type PanicError struct {
 // Error implements error.
 func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
 
+// Unwrap exposes a panicked error value to errors.Is/As, so a nested
+// boundary that re-panicked a *StageError (or any error) keeps its
+// attribution visible through the capture: errors.As(err, &se) works on
+// the *PanicError a replica goroutine's Capture produced.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // Capture runs fn and converts a panic into a *PanicError, so one
 // malformed input cannot take down the whole process. Runtime stack
 // exhaustion and out-of-memory are not recoverable and still abort.

@@ -1,0 +1,171 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mvpar/internal/obs"
+)
+
+// Canonical chaos sites. An Injector accepts arbitrary site names; these
+// are the seams the serving layer consults (see internal/serve and
+// docs/robustness.md).
+const (
+	SiteReplicaPanic  = "replica.panic"  // panic inside a replica's classify
+	SiteReplicaSlow   = "replica.slow"   // added latency inside a replica
+	SiteReloadCorrupt = "reload.corrupt" // corrupt the checkpoint bytes a reload reads
+	SiteReloadFail    = "reload.fail"    // fail the model loader outright
+)
+
+// chaosSite is one armed injection point.
+type chaosSite struct {
+	prob  float64
+	delay time.Duration
+}
+
+// Injector is the chaos-injection harness: a set of named sites, each
+// armed with a firing probability and an optional delay, rolled against
+// a seeded deterministic RNG. Production code asks the package-level
+// ChaosFire at its fault seams; with no injector installed (the default,
+// and the only state a build reaches without MVPAR_CHAOS or an explicit
+// SetChaos) every call is a two-instruction no-op. Every hit increments
+// mvpar_chaos_injections_total and a per-site counter, so a chaos run's
+// injected fault count is observable next to the faults it caused.
+//
+// An Injector is safe for concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	sites map[string]chaosSite
+}
+
+// NewInjector returns a disarmed injector whose rolls derive from seed.
+func NewInjector(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), sites: map[string]chaosSite{}}
+}
+
+// Arm sets site to fire with probability p (clamped to [0,1]); delay is
+// the latency a hit asks the caller to inject (zero for instantaneous
+// faults like panics).
+func (in *Injector) Arm(site string, p float64, delay time.Duration) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	in.mu.Lock()
+	in.sites[site] = chaosSite{prob: p, delay: delay}
+	in.mu.Unlock()
+}
+
+// Disarm removes site; subsequent Fire calls for it never hit.
+func (in *Injector) Disarm(site string) {
+	in.mu.Lock()
+	delete(in.sites, site)
+	in.mu.Unlock()
+}
+
+// Fire rolls site once. A hit reports true plus the armed delay and is
+// counted; a miss (or an unarmed site) reports false.
+func (in *Injector) Fire(site string) (bool, time.Duration) {
+	in.mu.Lock()
+	s, ok := in.sites[site]
+	var roll float64
+	if ok && s.prob > 0 {
+		roll = in.rng.Float64()
+	}
+	in.mu.Unlock()
+	if !ok || s.prob <= 0 || roll >= s.prob {
+		return false, 0
+	}
+	obs.GetCounter("mvpar_chaos_injections_total").Inc()
+	obs.GetCounter("mvpar_chaos_" + sanitizeSite(site) + "_total").Inc()
+	return true, s.delay
+}
+
+// Sites returns the armed site names, sorted.
+func (in *Injector) Sites() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	names := make([]string, 0, len(in.sites))
+	for s := range in.sites {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// sanitizeSite maps a dotted site name onto the metric-name alphabet.
+func sanitizeSite(site string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, site)
+}
+
+// ParseInjector builds an injector from a spec of the form
+//
+//	site:prob[@delay][,site:prob[@delay]...]
+//
+// e.g. "replica.panic:0.05,replica.slow:0.2@5ms,reload.corrupt:1".
+// Probabilities are in [0,1]; delays use time.ParseDuration syntax.
+func ParseInjector(spec string, seed int64) (*Injector, error) {
+	in := NewInjector(seed)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		site, rest, ok := strings.Cut(part, ":")
+		if !ok || site == "" {
+			return nil, fmt.Errorf("faults: chaos spec %q: want site:prob[@delay]", part)
+		}
+		probStr, delayStr, hasDelay := strings.Cut(rest, "@")
+		p, err := strconv.ParseFloat(probStr, 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, fmt.Errorf("faults: chaos spec %q: bad probability %q", part, probStr)
+		}
+		var d time.Duration
+		if hasDelay {
+			d, err = time.ParseDuration(delayStr)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("faults: chaos spec %q: bad delay %q", part, delayStr)
+			}
+		}
+		in.Arm(site, p, d)
+	}
+	return in, nil
+}
+
+// chaos is the process-wide injector consulted by ChaosFire. It stays
+// nil — every seam a no-op — unless something explicitly arms it: the
+// CLI from $MVPAR_CHAOS, or a test via SetChaos. Production builds never
+// arm it on their own.
+var chaos atomic.Pointer[Injector]
+
+// SetChaos installs (or, with nil, removes) the process-wide injector.
+func SetChaos(in *Injector) { chaos.Store(in) }
+
+// ChaosEnabled reports whether a process-wide injector is installed.
+func ChaosEnabled() bool { return chaos.Load() != nil }
+
+// ChaosFire rolls site on the process-wide injector; with none installed
+// it is a no-op that always misses.
+func ChaosFire(site string) (bool, time.Duration) {
+	in := chaos.Load()
+	if in == nil {
+		return false, 0
+	}
+	return in.Fire(site)
+}

@@ -1,0 +1,174 @@
+package faults_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mvpar/internal/faults"
+	"mvpar/internal/obs"
+)
+
+func TestInjectorFireProbabilities(t *testing.T) {
+	obs.Reset()
+	in := faults.NewInjector(1)
+
+	// Unarmed sites never fire.
+	if hit, _ := in.Fire("never.armed"); hit {
+		t.Fatal("unarmed site fired")
+	}
+
+	// Probability 1 always fires and reports the armed delay.
+	in.Arm("always", 1, 5*time.Millisecond)
+	for i := 0; i < 10; i++ {
+		hit, d := in.Fire("always")
+		if !hit || d != 5*time.Millisecond {
+			t.Fatalf("p=1 site: hit=%v delay=%v", hit, d)
+		}
+	}
+
+	// Probability 0 never fires.
+	in.Arm("neverp", 0, 0)
+	for i := 0; i < 10; i++ {
+		if hit, _ := in.Fire("neverp"); hit {
+			t.Fatal("p=0 site fired")
+		}
+	}
+
+	// Disarm returns a site to the never-fires state.
+	in.Disarm("always")
+	if hit, _ := in.Fire("always"); hit {
+		t.Fatal("disarmed site fired")
+	}
+
+	// Every hit is counted globally and per site (dots sanitized).
+	if n := obs.GetCounter("mvpar_chaos_injections_total").Value(); n != 10 {
+		t.Fatalf("mvpar_chaos_injections_total = %d, want 10", n)
+	}
+	if n := obs.GetCounter("mvpar_chaos_always_total").Value(); n != 10 {
+		t.Fatalf("mvpar_chaos_always_total = %d, want 10", n)
+	}
+}
+
+// TestInjectorDeterministic pins that chaos runs are reproducible: two
+// injectors with the same seed roll identical hit sequences.
+func TestInjectorDeterministic(t *testing.T) {
+	a := faults.NewInjector(42)
+	b := faults.NewInjector(42)
+	a.Arm("s", 0.5, 0)
+	b.Arm("s", 0.5, 0)
+	for i := 0; i < 200; i++ {
+		ha, _ := a.Fire("s")
+		hb, _ := b.Fire("s")
+		if ha != hb {
+			t.Fatalf("roll %d diverged: %v vs %v", i, ha, hb)
+		}
+	}
+}
+
+func TestParseInjector(t *testing.T) {
+	in, err := faults.ParseInjector("replica.panic:0.05, replica.slow:0.2@5ms ,reload.corrupt:1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := in.Sites()
+	want := []string{faults.SiteReloadCorrupt, faults.SiteReplicaPanic, faults.SiteReplicaSlow}
+	if len(got) != len(want) {
+		t.Fatalf("Sites = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sites = %v, want %v", got, want)
+		}
+	}
+	if hit, d := in.Fire(faults.SiteReloadCorrupt); !hit || d != 0 {
+		t.Fatalf("p=1 site: hit=%v delay=%v", hit, d)
+	}
+
+	for _, bad := range []string{"nosite", "s:", "s:2", "s:-0.1", "s:0.5@", "s:0.5@-1ms", ":0.5"} {
+		if _, err := faults.ParseInjector(bad, 1); err == nil {
+			t.Errorf("ParseInjector(%q) accepted a malformed spec", bad)
+		}
+	}
+}
+
+// TestChaosGlobalDefaultsOff pins the production-safety contract: with
+// no injector installed every ChaosFire is a miss, and SetChaos(nil)
+// restores that state.
+func TestChaosGlobalDefaultsOff(t *testing.T) {
+	faults.SetChaos(nil)
+	if faults.ChaosEnabled() {
+		t.Fatal("ChaosEnabled with no injector installed")
+	}
+	if hit, _ := faults.ChaosFire(faults.SiteReplicaPanic); hit {
+		t.Fatal("ChaosFire hit with no injector installed")
+	}
+
+	in := faults.NewInjector(1)
+	in.Arm(faults.SiteReplicaPanic, 1, 0)
+	faults.SetChaos(in)
+	defer faults.SetChaos(nil)
+	if !faults.ChaosEnabled() {
+		t.Fatal("ChaosEnabled = false after SetChaos")
+	}
+	if hit, _ := faults.ChaosFire(faults.SiteReplicaPanic); !hit {
+		t.Fatal("installed p=1 injector did not fire")
+	}
+}
+
+// TestCaptureNestedGoroutinePanic is the replica-goroutine pattern the
+// serving layer relies on: a worker goroutine captures its own panic
+// into a *PanicError, the coordinating boundary re-panics it, and the
+// outer Capture must surface the SAME fault — errors.As reaches both
+// the inner PanicError and any StageError attribution through Unwrap,
+// so the 500 body still names the original stage.
+func TestCaptureNestedGoroutinePanic(t *testing.T) {
+	inner := &faults.StageError{Program: "p", Stage: faults.StageEncode, Err: errors.New("tensor shape mismatch")}
+
+	err := faults.Capture(func() error {
+		ch := make(chan error, 1)
+		go func() {
+			ch <- faults.Capture(func() error {
+				panic(inner)
+			})
+		}()
+		if werr := <-ch; werr != nil {
+			// The replica goroutine died; propagate its captured panic
+			// across the boundary by re-panicking it.
+			panic(werr)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("nested panic vanished")
+	}
+	var pe *faults.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %T (%v)", err, err)
+	}
+	var se *faults.StageError
+	if !errors.As(err, &se) || se.Stage != faults.StageEncode {
+		t.Fatalf("inner stage attribution lost through nested captures: %v", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("outer capture recorded no stack")
+	}
+}
+
+// TestCaptureNonErrorPanicHasNoUnwrap pins PanicError.Unwrap's contract
+// for plain panic values: no error inside means nothing to unwrap, and
+// errors.As must not loop or misfire.
+func TestCaptureNonErrorPanicHasNoUnwrap(t *testing.T) {
+	err := faults.Capture(func() error { panic("plain string") })
+	var pe *faults.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %T", err)
+	}
+	if pe.Unwrap() != nil {
+		t.Fatalf("Unwrap of non-error panic value = %v, want nil", pe.Unwrap())
+	}
+	var se *faults.StageError
+	if errors.As(err, &se) {
+		t.Fatal("errors.As fabricated a StageError from a string panic")
+	}
+}

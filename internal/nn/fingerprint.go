@@ -1,0 +1,29 @@
+package nn
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+)
+
+// FingerprintParams returns a short hex digest identifying a parameter
+// set exactly: names, shapes, and the bit patterns of every value. Two
+// models answer identically on every input only if their fingerprints
+// match, so the serving layer uses it as the generation identity — cache
+// keys, /healthz output and mvpar_build_info all carry it — and a hot
+// reload can prove the checkpoint it loaded is the checkpoint now
+// serving (the save→load→fingerprint parity check).
+func FingerprintParams(params []*Param) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, p := range params {
+		fmt.Fprintf(h, "%s:%dx%d:", p.Name, p.Value.Rows, p.Value.Cols)
+		for _, v := range p.Value.Data {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

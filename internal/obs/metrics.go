@@ -172,6 +172,12 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return max
 }
 
+// LabelPair is one rendered label of an info metric.
+type LabelPair struct {
+	Key   string
+	Value string
+}
+
 // Registry is a set of named metrics. The zero value is not usable; use
 // NewRegistry. All methods are safe for concurrent use.
 type Registry struct {
@@ -180,6 +186,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	spans    map[string]*spanStat
+	infos    map[string][]LabelPair
 }
 
 // NewRegistry creates an empty registry.
@@ -189,7 +196,33 @@ func NewRegistry() *Registry {
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
 		spans:    map[string]*spanStat{},
+		infos:    map[string][]LabelPair{},
 	}
+}
+
+// SetInfo registers (or replaces) an info metric: the Prometheus
+// `*_info` idiom of a constant-1 gauge whose labels carry identity —
+// build version, Go version, model generation. Labels are stored in
+// sorted key order so the exposition is stable across scrapes.
+func (r *Registry) SetInfo(name string, labels map[string]string) {
+	pairs := make([]LabelPair, 0, len(labels))
+	for k, v := range labels {
+		pairs = append(pairs, LabelPair{Key: k, Value: v})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
+	r.mu.Lock()
+	if r.infos == nil {
+		r.infos = map[string][]LabelPair{}
+	}
+	r.infos[name] = pairs
+	r.mu.Unlock()
+}
+
+// Info returns the labels of a registered info metric (nil if absent).
+func (r *Registry) Info(name string) []LabelPair {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]LabelPair(nil), r.infos[name]...)
 }
 
 var defaultRegistry = NewRegistry()
@@ -242,6 +275,7 @@ func (r *Registry) Reset() {
 	r.gauges = map[string]*Gauge{}
 	r.hists = map[string]*Histogram{}
 	r.spans = map[string]*spanStat{}
+	r.infos = map[string][]LabelPair{}
 }
 
 // Dump writes every metric in a stable, sorted, expvar-style text form:
@@ -257,6 +291,9 @@ func (r *Registry) Dump(w io.Writer) error {
 	}
 	for name, g := range r.gauges {
 		lines = append(lines, fmt.Sprintf("%s %.6g", name, g.Value()))
+	}
+	for name, pairs := range r.infos {
+		lines = append(lines, fmt.Sprintf("%s%s 1", name, renderLabels(pairs)))
 	}
 	for name, h := range r.hists {
 		count, sum, min, max := h.Snapshot()
@@ -288,6 +325,23 @@ func (r *Registry) Dump(w io.Writer) error {
 	return err
 }
 
+// renderLabels renders info label pairs as a Prometheus label set.
+func renderLabels(pairs []LabelPair) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.Key, p.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 // formatLe renders a bucket upper bound as a Prometheus le label value.
 func formatLe(bound float64) string {
 	if math.IsInf(bound, 1) {
@@ -313,6 +367,9 @@ func GetGauge(name string) *Gauge { return defaultRegistry.Gauge(name) }
 
 // GetHistogram returns the named histogram of the default registry.
 func GetHistogram(name string) *Histogram { return defaultRegistry.Histogram(name) }
+
+// SetInfo registers an info metric on the default registry.
+func SetInfo(name string, labels map[string]string) { defaultRegistry.SetInfo(name, labels) }
 
 // Reset clears the default registry (tests only).
 func Reset() { defaultRegistry.Reset() }

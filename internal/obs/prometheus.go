@@ -50,6 +50,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for name, h := range r.hists {
 		hists[name] = h
 	}
+	infos := make(map[string][]LabelPair, len(r.infos))
+	for name, pairs := range r.infos {
+		infos[name] = pairs
+	}
 	r.mu.Unlock()
 
 	bw := bufio.NewWriter(w)
@@ -62,6 +66,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(bw, "# HELP %s Gauge %s.\n", name, name)
 		fmt.Fprintf(bw, "# TYPE %s gauge\n", name)
 		fmt.Fprintf(bw, "%s %s\n", name, formatPromValue(gauges[name]))
+	}
+	// Info metrics: the Prometheus *_info idiom, a constant-1 gauge whose
+	// labels carry identity (build version, model generation, ...).
+	for _, name := range sortedKeys(infos) {
+		fmt.Fprintf(bw, "# HELP %s Info metric %s; identity is in the labels.\n", name, name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(bw, "%s%s 1\n", name, renderLabels(infos[name]))
 	}
 	for _, name := range sortedKeys(hists) {
 		h := hists[name]

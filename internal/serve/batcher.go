@@ -29,7 +29,12 @@ type batchRequest struct {
 	ctx  context.Context
 	name string
 	src  string
-	key  string // cache key, "" when caching is off
+	key  string // generation-scoped cache key, "" when caching is off
+	// gen is the model generation the request was pinned to at admission
+	// (it registered with gen.inflight); execution runs against this
+	// generation's replicas even if a hot swap lands mid-flight, and the
+	// executor releases the registration when the result is delivered.
+	gen  *generation
 	done chan batchResult
 	// span is the request's "batcher" trace span (nil when untraced):
 	// opened at admission, ended when execution starts, so its duration
@@ -41,6 +46,11 @@ type batchRequest struct {
 type batchResult struct {
 	preds []core.LoopPrediction
 	err   error
+	// gen is the generation that produced the answer.
+	gen uint64
+	// degraded names the degradation-ladder rung that answered (empty on
+	// the normal path).
+	degraded []string
 }
 
 // batcher is the micro-batching admission layer: requests enter a bounded

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mvpar/internal/obs"
+)
+
+// Breaker states, exported through the mvpar_replica_breaker_state_r<id>
+// gauges (and /readyz) with these numeric values.
+const (
+	breakerClosed   = 0 // healthy: requests flow
+	breakerOpen     = 1 // tripped: requests routed around until the backoff elapses
+	breakerHalfOpen = 2 // probing: exactly one request allowed through
+)
+
+// breakerConfig tunes a replica's circuit breaker.
+type breakerConfig struct {
+	threshold  int           // consecutive failures that trip the breaker
+	backoff    time.Duration // first open interval
+	maxBackoff time.Duration // exponential backoff cap
+	now        func() time.Time
+}
+
+func (c breakerConfig) withDefaults() breakerConfig {
+	if c.threshold <= 0 {
+		c.threshold = 3
+	}
+	if c.backoff <= 0 {
+		c.backoff = 500 * time.Millisecond
+	}
+	if c.maxBackoff <= 0 {
+		c.maxBackoff = 30 * time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// breaker is one replica's circuit breaker: `threshold` consecutive
+// replica faults (panics, deadline overruns) trip it open, the batcher
+// routes around it while open, and after an exponentially growing
+// backoff a single half-open probe decides between closing it again and
+// re-opening with doubled backoff. Program faults (a request the
+// pipeline rejects) never count — they are the request's fault, not the
+// replica's.
+type breaker struct {
+	cfg breakerConfig
+
+	mu       sync.Mutex
+	state    int
+	fails    int           // consecutive failures while closed
+	wait     time.Duration // current open interval
+	openedAt time.Time
+	gauge    *obs.Gauge // mvpar_replica_breaker_state_r<id>, nil in bare unit tests
+}
+
+func newBreaker(cfg breakerConfig, replicaID int) *breaker {
+	b := &breaker{
+		cfg:   cfg.withDefaults(),
+		gauge: obs.GetGauge(fmt.Sprintf("mvpar_replica_breaker_state_r%d", replicaID)),
+	}
+	b.gauge.Set(breakerClosed)
+	return b
+}
+
+// allow reports whether a request may run on this replica now. In the
+// half-open state it admits exactly one probe: the first allow after the
+// backoff elapses flips open→half-open and is admitted; concurrent
+// callers are refused until that probe reports success or failure.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.cfg.now().Sub(b.openedAt) >= b.wait {
+			b.setState(breakerHalfOpen)
+			obs.GetCounter("mvpar_replica_breaker_probes_total").Inc()
+			return true
+		}
+		return false
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// success reports a completed request: it resets the failure streak and
+// closes a half-open breaker (probe passed), resetting the backoff.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	if b.state != breakerClosed {
+		b.setState(breakerClosed)
+		b.wait = 0
+		obs.GetCounter("mvpar_replica_breaker_recoveries_total").Inc()
+	}
+}
+
+// failure reports a replica fault. While closed it counts toward the
+// trip threshold; in half-open the failed probe re-opens the breaker
+// with doubled (capped) backoff.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.threshold {
+			b.trip(b.cfg.backoff)
+		}
+	case breakerHalfOpen:
+		next := b.wait * 2
+		if next > b.cfg.maxBackoff {
+			next = b.cfg.maxBackoff
+		}
+		b.trip(next)
+	}
+}
+
+// trip opens the breaker for wait. Callers hold b.mu.
+func (b *breaker) trip(wait time.Duration) {
+	b.setState(breakerOpen)
+	b.wait = wait
+	b.openedAt = b.cfg.now()
+	b.fails = 0
+	obs.GetCounter("mvpar_replica_breaker_trips_total").Inc()
+}
+
+// setState transitions the state and mirrors it into the gauge. Callers
+// hold b.mu.
+func (b *breaker) setState(s int) {
+	b.state = s
+	if b.gauge != nil {
+		b.gauge.Set(float64(s))
+	}
+}
+
+// currentState returns the state for /readyz and tests.
+func (b *breaker) currentState() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

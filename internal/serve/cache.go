@@ -10,12 +10,16 @@ import (
 	"mvpar/internal/core"
 )
 
-// cacheKey derives the LRU key for one submission: a hash over both the
-// program name and its source (the name reaches prediction provenance, so
-// two submissions differing only in name must not collide).
-func cacheKey(name, src string) string {
+// cacheKey derives the LRU key for one submission: a hash over the
+// generation namespace (generation id + model fingerprint), the program
+// name and its source. The name reaches prediction provenance, so two
+// submissions differing only in name must not collide; the namespace
+// means a hot-swapped model starts with an effectively empty cache —
+// predictions computed by previous weights are unreachable, never
+// stale-served.
+func cacheKey(namespace, name, src string) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%d\x00%s\x00", len(name), name)
+	fmt.Fprintf(h, "%d\x00%s\x00%d\x00%s\x00", len(namespace), namespace, len(name), name)
 	h.Write([]byte(src))
 	return hex.EncodeToString(h.Sum(nil))
 }

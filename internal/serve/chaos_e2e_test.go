@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mvpar/internal/core"
+	"mvpar/internal/faults"
+	"mvpar/internal/nn"
+	"mvpar/internal/obs"
+	"mvpar/internal/tensor"
+)
+
+// chaosStub is the generation-tagged model the chaos harness serves:
+// every prediction names the generation that computed it (Func =
+// "gen-<n>"), so a response whose body disagrees with its generation
+// field is a cross-generation leak. It implements the degraded surface,
+// like core.Classifier, so the ladder can always answer.
+type chaosStub struct {
+	gen uint64
+}
+
+func (c *chaosStub) preds(proba float64) []core.LoopPrediction {
+	return []core.LoopPrediction{{
+		LoopID: 1, Func: fmt.Sprintf("gen-%d", c.gen), Line: 2,
+		Parallel: true, Proba: proba,
+	}}
+}
+
+func (c *chaosStub) ClassifyContext(ctx context.Context, name, src string) ([]core.LoopPrediction, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.preds(0.9), nil
+}
+
+func (c *chaosStub) ClassifyDegradedContext(ctx context.Context, name, src string) ([]core.LoopPrediction, error) {
+	p := c.preds(0.6)
+	p[0].Degraded = true
+	p[0].Reasons = []string{"prediction from node view only"}
+	return p, nil
+}
+
+func (c *chaosStub) Fingerprint() string { return fmt.Sprintf("chaos-fp-%d", c.gen) }
+
+// TestChaosSwapStormUnderInjectedFaults is the chaos e2e: sustained
+// client load over ≥5 hot swaps while the injector fires replica panics
+// and slowdowns. Invariants asserted on every single response:
+//
+//   - no failure statuses: every response is 200 (or 429 load shed) —
+//     injected faults are absorbed by retries, breakers and the
+//     degradation ladder, never surfaced to clients;
+//   - no cross-generation predictions: the prediction body names the
+//     generation that computed it, which must equal the response's
+//     generation field AND lie within [generation before send,
+//     generation after receive] — i.e. a model that was live while the
+//     request was in flight.
+//
+// CI runs this under -race with -count=2 (the `chaos` job).
+func TestChaosSwapStormUnderInjectedFaults(t *testing.T) {
+	inj := faults.NewInjector(7)
+	inj.Arm(faults.SiteReplicaPanic, 0.15, 0)
+	inj.Arm(faults.SiteReplicaSlow, 0.25, 2*time.Millisecond)
+	faults.SetChaos(inj)
+	t.Cleanup(func() { faults.SetChaos(nil) })
+
+	var genSeq atomic.Uint64
+	genSeq.Store(1)
+	loader := func(context.Context) (Snapshot, error) {
+		return snapshotOf(&chaosStub{gen: genSeq.Add(1)}, 3), nil
+	}
+	s, ts := newTestServer(t, &chaosStub{gen: 1}, Config{
+		CacheSize:        -1, // force every request through the replicas
+		Replicas:         3,
+		MaxRetries:       3,
+		BreakerThreshold: 2,
+		BreakerBackoff:   5 * time.Millisecond, // breakers recover within the test
+		MaxQueue:         256,
+		Loader:           loader,
+	})
+	if err := s.Warmup(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	injectionsBefore := obs.GetCounter("mvpar_chaos_injections_total").Value()
+
+	const (
+		clients    = 8
+		perClient  = 40
+		swapStorms = 2 // concurrent reloaders...
+		swapsEach  = 4 // ...each swapping this many times: 8 swaps total
+	)
+	var wg sync.WaitGroup
+	errs := make(chan string, clients*perClient+swapStorms*swapsEach)
+
+	// The swap storm: concurrent reloads serialized by the server.
+	swapsDone := make(chan struct{})
+	var swapOK atomic.Int64
+	var swapWG sync.WaitGroup
+	for i := 0; i < swapStorms; i++ {
+		swapWG.Add(1)
+		go func() {
+			defer swapWG.Done()
+			for j := 0; j < swapsEach; j++ {
+				if _, err := s.Reload(context.Background()); err != nil {
+					errs <- fmt.Sprintf("reload: %v", err)
+					return
+				}
+				swapOK.Add(1)
+				time.Sleep(2 * time.Millisecond) // let traffic land on the new generation
+			}
+		}()
+	}
+	go func() { swapWG.Wait(); close(swapsDone) }()
+
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				before := s.Generation()
+				code, resp := tryClassify(ts.URL, fmt.Sprintf("c%d-r%d", c, i), stubSource)
+				after := s.Generation()
+				switch code {
+				case 200:
+					if len(resp.Predictions) != 1 {
+						errs <- fmt.Sprintf("200 with %d predictions", len(resp.Predictions))
+						continue
+					}
+					// Body and envelope must agree on the producing model.
+					want := fmt.Sprintf("gen-%d", resp.Generation)
+					if resp.Predictions[0].Func != want {
+						errs <- fmt.Sprintf("cross-generation leak: envelope %d, body %q",
+							resp.Generation, resp.Predictions[0].Func)
+					}
+					// And that model must have been live during the request.
+					if resp.Generation < before || resp.Generation > after {
+						errs <- fmt.Sprintf("generation %d outside live window [%d,%d]",
+							resp.Generation, before, after)
+					}
+				case 429:
+					// Load shed is an allowed answer under overload.
+				default:
+					errs <- fmt.Sprintf("request failed with %d", code)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	<-swapsDone
+	close(errs)
+
+	var failures []string
+	for e := range errs {
+		failures = append(failures, e)
+	}
+	if len(failures) > 0 {
+		t.Fatalf("%d invariant violations under chaos, first few: %v",
+			len(failures), failures[:min(5, len(failures))])
+	}
+	if n := swapOK.Load(); n != swapStorms*swapsEach {
+		t.Fatalf("only %d/%d hot swaps succeeded", n, swapStorms*swapsEach)
+	}
+	if got, want := s.Generation(), uint64(1+swapStorms*swapsEach); got != want {
+		t.Fatalf("final generation = %d, want %d", got, want)
+	}
+	// The run must actually have been chaotic: the injector fired inside
+	// the serving path (panics and/or slowdowns).
+	if n := obs.GetCounter("mvpar_chaos_injections_total").Value(); n == injectionsBefore {
+		t.Fatal("chaos injector never fired; the storm tested nothing")
+	}
+}
+
+// TestChaosCorruptCheckpointRollsBack runs the real checkpoint path
+// under injected corruption: the loader serializes genuine nn params,
+// the armed reload.corrupt site flips a payload byte, and the
+// CRC-checked load must reject it — the reload rolls back and the old
+// generation keeps serving. Disarming the site makes the same loader
+// succeed.
+func TestChaosCorruptCheckpointRollsBack(t *testing.T) {
+	inj := faults.NewInjector(3)
+	inj.Arm(faults.SiteReloadCorrupt, 1, 0)
+	faults.SetChaos(inj)
+	t.Cleanup(func() { faults.SetChaos(nil) })
+
+	params := []*nn.Param{nn.NewParam("w", &tensor.Matrix{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}})}
+	var checkpoint bytes.Buffer
+	if err := nn.SaveParams(&checkpoint, params); err != nil {
+		t.Fatal(err)
+	}
+
+	var genSeq atomic.Uint64
+	genSeq.Store(1)
+	loader := func(context.Context) (Snapshot, error) {
+		data := append([]byte(nil), checkpoint.Bytes()...)
+		if hit, _ := faults.ChaosFire(faults.SiteReloadCorrupt); hit {
+			data[len(data)-1] ^= 0xFF // corrupt the gob payload tail
+		}
+		fresh := []*nn.Param{nn.NewParam("w", tensor.New(2, 2))}
+		if err := nn.LoadParams(bytes.NewReader(data), fresh); err != nil {
+			return Snapshot{}, err
+		}
+		return snapshotOf(&chaosStub{gen: genSeq.Add(1)}, 2), nil
+	}
+	s, ts := newTestServer(t, &chaosStub{gen: 1}, Config{CacheSize: -1, Loader: loader})
+	if err := s.Warmup(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := postReload(t, ts.URL)
+	if code != 500 || !strings.Contains(body, "rolled back") {
+		t.Fatalf("reload of corrupted checkpoint = %d %s, want 500 rollback", code, body)
+	}
+	if s.Generation() != 1 {
+		t.Fatalf("generation after corrupt reload = %d, want 1", s.Generation())
+	}
+	if code, ok, _ := postClassify(t, ts.URL, "p", stubSource); code != 200 ||
+		ok.Generation != 1 || ok.Predictions[0].Func != "gen-1" {
+		t.Fatalf("classify after rollback = %d %+v, want the old model serving", code, ok)
+	}
+
+	// With the corruption site disarmed the same loader hot-swaps fine.
+	inj.Disarm(faults.SiteReloadCorrupt)
+	if code, body := postReload(t, ts.URL); code != 200 {
+		t.Fatalf("clean reload = %d %s, want 200", code, body)
+	}
+	if code, ok, _ := postClassify(t, ts.URL, "p2", stubSource); code != 200 || ok.Generation != 2 {
+		t.Fatalf("classify after clean swap = %d %+v, want generation 2", code, ok)
+	}
+}

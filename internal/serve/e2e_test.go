@@ -84,7 +84,9 @@ func TestServerConcurrentBitIdentical(t *testing.T) {
 		if len(preds) == 0 {
 			t.Fatalf("serial ClassifySource(%s) returned no predictions", name)
 		}
-		serial[name] = toResponse(name, preds, false)
+		resp := toResponse(name, preds, false)
+		resp.Generation = 1 // the server's initial generation
+		serial[name] = resp
 	}
 
 	cls, err := pl.Classifier()

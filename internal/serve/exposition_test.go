@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"mvpar/internal/obs"
+)
+
+// TestServeMetricsExpositionConformance pins the serving layer's full
+// metric surface — including the resilience families this layer owns
+// (breaker state gauges, reload/rollback counters, degraded-response
+// counters, chaos counters, mvpar_build_info) — to the strict
+// Prometheus text-format checker that CI also runs against /metrics.
+func TestServeMetricsExpositionConformance(t *testing.T) {
+	s, ts := newTestServer(t, &genStub{gen: 1}, Config{Version: "test"})
+	if err := s.Warmup(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Touch every new counter family so the exposition carries them even
+	// when this test runs alone.
+	for _, name := range []string{
+		"mvpar_replica_breaker_trips_total",
+		"mvpar_replica_breaker_probes_total",
+		"mvpar_replica_breaker_recoveries_total",
+		"mvpar_replica_retries_total",
+		"mvpar_model_reloads_total",
+		"mvpar_model_reload_failures_total",
+		"mvpar_model_generations_drained_total",
+		"mvpar_http_degraded_responses_total",
+		"mvpar_chaos_injections_total",
+	} {
+		obs.GetCounter(name).Add(0)
+	}
+	if _, _, err := postClassifyRaw(ts.URL); err != nil {
+		t.Fatal(err)
+	}
+
+	req, _ := http.NewRequest("GET", ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain;version=0.0.4")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	if err := obs.Default().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := obs.CheckExposition(resp.Body); err != nil {
+		t.Fatalf("/metrics exposition fails conformance: %v", err)
+	}
+	if err := obs.CheckExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("registry exposition fails conformance: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE mvpar_build_info gauge",
+		`mvpar_build_info{`,
+		`generation="`,
+		`go_version="go`,
+		`version="test"`,
+		"# TYPE mvpar_model_generation gauge",
+		"# TYPE mvpar_replica_breaker_state_r0 gauge",
+		"# TYPE mvpar_replica_breaker_trips_total counter",
+		"# TYPE mvpar_model_reloads_total counter",
+		"# TYPE mvpar_model_reload_failures_total counter",
+		"# TYPE mvpar_http_degraded_responses_total counter",
+		"# TYPE mvpar_chaos_injections_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// postClassifyRaw sends one classify request without test assertions.
+func postClassifyRaw(url string) (int, string, error) {
+	code, resp := tryClassify(url, "expo", stubSource)
+	if code == 0 {
+		return 0, "", http.ErrServerClosed
+	}
+	return code, resp.Name, nil
+}

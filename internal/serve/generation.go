@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mvpar/internal/core"
+)
+
+// DegradedInference is the optional degraded-mode surface of an
+// Inference: a cheaper, node-view-only classification the server falls
+// back to when every replica is unhealthy or the request deadline is
+// nearly spent. *core.Classifier implements it.
+type DegradedInference interface {
+	ClassifyDegradedContext(ctx context.Context, name, src string) ([]core.LoopPrediction, error)
+}
+
+// Fingerprinter is the optional identity surface of an Inference; the
+// server keys caches and generation identity on it. *core.Classifier
+// implements it.
+type Fingerprinter interface {
+	Fingerprint() string
+}
+
+// Snapshot is one loaded model as the server sees it: the inference
+// handles requests fan out over (each one an independent
+// circuit-breaking failure domain) plus the identity of the weights and
+// encode configuration. A Loader produces one per reload.
+type Snapshot struct {
+	// Replicas are the inference handles of this model; len(Replicas)
+	// defines the generation's failure domains. They may share weight
+	// storage (core.Classifier replicas do) but must each be safe for
+	// concurrent use.
+	Replicas []Inference
+	// Fingerprint identifies the weights + encode config; it becomes part
+	// of every cache key so a swapped model can never serve predictions
+	// computed by previous weights. Empty is allowed (the generation id
+	// still separates cache namespaces).
+	Fingerprint string
+}
+
+// snapshotOf wraps a single Inference into an n-replica snapshot: the
+// slots share the handle but keep independent breakers, so a fault
+// streak on one slot routes traffic around it while the others probe.
+func snapshotOf(inf Inference, n int) Snapshot {
+	if n <= 0 {
+		n = 1
+	}
+	snap := Snapshot{Replicas: make([]Inference, n)}
+	for i := range snap.Replicas {
+		snap.Replicas[i] = inf
+	}
+	if fp, ok := inf.(Fingerprinter); ok {
+		snap.Fingerprint = fp.Fingerprint()
+	}
+	return snap
+}
+
+// replica is one circuit-breaking failure domain of a generation.
+type replica struct {
+	id  int
+	inf Inference
+	br  *breaker
+}
+
+// generation is one live model: an immutable replica set plus the
+// in-flight accounting that lets a hot swap drain it. Requests are
+// pinned to the generation that was current when they were admitted and
+// execute against it even if a swap lands mid-flight; the old
+// generation's drain completes when its last pinned request finishes.
+type generation struct {
+	id   uint64
+	fp   string
+	reps []*replica
+
+	// inflight counts requests pinned to this generation (admitted but
+	// not yet answered). The swap path waits on it to declare the
+	// generation drained.
+	inflight sync.WaitGroup
+	// rr is the round-robin cursor of acquire.
+	rr atomic.Uint64
+}
+
+func newGeneration(id uint64, snap Snapshot, bcfg breakerConfig) *generation {
+	g := &generation{id: id, fp: snap.Fingerprint}
+	for i, inf := range snap.Replicas {
+		g.reps = append(g.reps, &replica{id: i, inf: inf, br: newBreaker(bcfg, i)})
+	}
+	return g
+}
+
+// key is the generation's cache-key namespace: id plus fingerprint, so
+// neither a reload (new id) nor a changed config (new fingerprint) can
+// ever surface a prediction computed by other weights.
+func (g *generation) key() string {
+	return fmt.Sprintf("g%d:%s", g.id, g.fp)
+}
+
+// acquire picks the next replica whose breaker admits a request,
+// scanning round-robin from a shared cursor. It reports false when every
+// breaker refuses — the all-unhealthy state the degradation ladder
+// handles.
+func (g *generation) acquire() (*replica, bool) {
+	start := g.rr.Add(1)
+	for i := 0; i < len(g.reps); i++ {
+		rep := g.reps[(start+uint64(i))%uint64(len(g.reps))]
+		if rep.br.allow() {
+			return rep, true
+		}
+	}
+	return nil, false
+}
+
+// healthy counts replicas whose breaker is not open.
+func (g *generation) healthy() int {
+	n := 0
+	for _, rep := range g.reps {
+		if rep.br.currentState() != breakerOpen {
+			n++
+		}
+	}
+	return n
+}
+
+// degrader returns the first replica implementing the degraded-mode
+// surface, breaker state ignored: degraded classification skips the
+// expensive path that was failing, so even a tripped replica may serve
+// it as a last resort.
+func (g *generation) degrader() (DegradedInference, bool) {
+	for _, rep := range g.reps {
+		if d, ok := rep.inf.(DegradedInference); ok {
+			return d, true
+		}
+	}
+	return nil, false
+}

@@ -43,9 +43,19 @@ type Prediction struct {
 type ClassifyResponse struct {
 	Name        string       `json:"name"`
 	Predictions []Prediction `json:"predictions"`
+	// Generation is the model generation that produced the answer (1 for
+	// the initially loaded model, +1 per hot swap). Clients comparing
+	// results across a reload can tell which weights answered.
+	Generation uint64 `json:"generation"`
 	// Degraded is true when any loop's prediction fell back to the node
-	// view only (per-loop detail in Predictions[i].Degraded/Reasons).
+	// view only (per-loop detail in Predictions[i].Degraded/Reasons) or
+	// the whole response came from a degradation-ladder rung
+	// (DegradedReasons then says which and why).
 	Degraded bool `json:"degraded"`
+	// DegradedReasons names the degradation-ladder rung that served the
+	// response and why, e.g. "cache-only answer: all model replicas
+	// unhealthy". Empty on the normal path.
+	DegradedReasons []string `json:"degraded_reasons,omitempty"`
 	// Cached is true when the response was served from the LRU without
 	// re-running the pipeline.
 	Cached bool `json:"cached"`
@@ -94,9 +104,11 @@ func toResponse(name string, preds []core.LoopPrediction, cached bool) ClassifyR
 }
 
 // handleClassify is POST /v1/classify: admission (readiness, body
-// bounds), cache lookup, batched execution with a per-request deadline,
-// and error mapping (429 shed, 503 not-ready/draining, 504 deadline, 500
-// captured panic, 422 programs the pipeline rejects).
+// bounds, generation pinning), generation-scoped cache lookup, batched
+// execution with a per-request deadline against the pinned generation's
+// replicas, and error mapping (429 shed, 503 not-ready/draining/
+// no-replicas, 504 deadline, 500 captured panic, 422 programs the
+// pipeline rejects).
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -133,12 +145,21 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		req.Name = "unnamed"
 	}
 
+	// Pin the request to the current model generation: it registers with
+	// the generation's in-flight count here and executes against that
+	// generation's replicas even if a hot swap lands while it waits. The
+	// registration is released on every exit path — cache hit and submit
+	// rejection below, or by the executor once it delivers a result.
+	gen := s.admit()
 	var key string
 	if s.cache != nil {
-		key = cacheKey(req.Name, req.Source)
+		key = cacheKey(gen.key(), req.Name, req.Source)
 		if preds, ok := s.cache.get(key); ok {
+			gen.inflight.Done()
 			obs.GetCounter("mvpar_http_cache_hits_total").Inc()
-			writeJSON(w, http.StatusOK, toResponse(req.Name, preds, true))
+			resp := toResponse(req.Name, preds, true)
+			resp.Generation = gen.id
+			writeJSON(w, http.StatusOK, resp)
 			return
 		}
 		obs.GetCounter("mvpar_http_cache_misses_total").Inc()
@@ -164,10 +185,12 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		name: req.Name,
 		src:  req.Source,
 		key:  key,
+		gen:  gen,
 		done: make(chan batchResult, 1),
 		span: bspan,
 	}
 	if err := s.bat.submit(breq); err != nil {
+		gen.inflight.Done()
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			w.Header().Set("Retry-After", "1")
@@ -189,7 +212,9 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		s.writeResult(w, req.Name, res, respTr)
 	case <-ctx.Done():
 		// The batch job observes the same ctx and aborts at the
-		// interpreter's stride check; the handler answers immediately.
+		// interpreter's stride check; the handler answers immediately
+		// (the executor still releases the generation registration when
+		// the abandoned job finishes).
 		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{
 			Error: fmt.Sprintf("classification exceeded the request deadline (%s)", s.cfg.RequestTimeout),
 		})
@@ -203,6 +228,11 @@ func (s *Server) writeResult(w http.ResponseWriter, name string, res batchResult
 	err := res.err
 	if err == nil {
 		resp := toResponse(name, res.preds, false)
+		resp.Generation = res.gen
+		if len(res.degraded) > 0 {
+			resp.Degraded = true
+			resp.DegradedReasons = res.degraded
+		}
 		if tr != nil {
 			resp.TraceID, resp.Timings = timingsPayload(tr)
 		}
@@ -212,6 +242,12 @@ func (s *Server) writeResult(w http.ResponseWriter, name string, res batchResult
 	var pe *faults.PanicError
 	var se *faults.StageError
 	switch {
+	case errors.Is(err, ErrNoReplicas):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+			Error:   "all model replicas unhealthy",
+			Reasons: []string{"circuit breakers open and no degraded answer available; retry with backoff"},
+		})
 	case errors.As(err, &pe):
 		// Quarantine-style isolation: the panicking request dies with a
 		// reasoned 500, the process and its batchmates live on.
@@ -234,19 +270,70 @@ func (s *Server) writeResult(w http.ResponseWriter, name string, res batchResult
 	}
 }
 
-// handleHealthz is liveness: 200 as long as the process serves.
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.Write([]byte("ok\n"))
+// handleReload is POST /v1/models/reload: one atomic hot swap through
+// Server.Reload. 200 with the new generation on success, 500 with the
+// rollback cause on failure (the previous model keeps serving), 501
+// when the server was built without a Loader.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "use POST"})
+		return
+	}
+	res, err := s.Reload(r.Context())
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, res)
+	case errors.Is(err, ErrNoLoader):
+		writeJSON(w, http.StatusNotImplemented, ErrorResponse{
+			Error:   "no model loader configured",
+			Reasons: []string{"start the server with a model checkpoint (-model) to enable hot reload"},
+		})
+	default:
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{
+			Error:   "reload rolled back; previous model still serving",
+			Reasons: []string{err.Error(), fmt.Sprintf("serving generation %d", s.Generation())},
+		})
+	}
 }
 
-// handleReadyz is readiness: 200 only when the model is loaded, the
-// warm-up classification passed, and the server is not draining.
+// handleHealthz is liveness: 200 as long as the process serves, with
+// the live generation's identity so operators can confirm which model a
+// replica runs without a classify round-trip.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	gen := s.gen.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":          true,
+		"generation":  gen.id,
+		"fingerprint": gen.fp,
+	})
+}
+
+// handleReadyz is readiness with a state machine: "starting" (503)
+// until the warm-up classification passes, "draining" (503) once
+// Shutdown begins — the signal load balancers key on during the drain
+// grace window — "degraded" (200: still routable, the degradation
+// ladder answers) while every replica breaker is open, and "ready"
+// (200) otherwise. The body always carries the generation and healthy
+// replica count.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	ready := s.ready.Load() && !s.draining.Load()
+	gen := s.gen.Load()
+	healthy := gen.healthy()
+	state := "ready"
 	code := http.StatusOK
-	if !ready {
-		code = http.StatusServiceUnavailable
+	switch {
+	case s.draining.Load():
+		state, code = "draining", http.StatusServiceUnavailable
+	case !s.ready.Load():
+		state, code = "starting", http.StatusServiceUnavailable
+	case healthy == 0:
+		state = "degraded"
 	}
-	writeJSON(w, code, map[string]bool{"ready": ready})
+	writeJSON(w, code, map[string]any{
+		"ready":            code == http.StatusOK,
+		"state":            state,
+		"generation":       gen.id,
+		"healthy_replicas": healthy,
+		"replicas":         len(gen.reps),
+	})
 }

@@ -5,21 +5,31 @@
 //
 // The request path is a micro-batching admission pipeline:
 //
-//	POST /v1/classify → LRU cache → bounded queue (429 past MaxQueue)
+//	POST /v1/classify → generation pin → LRU cache (generation-keyed)
+//	  → bounded queue (429 past MaxQueue)
 //	  → batcher (coalesce ≤ MaxBatch within BatchWindow)
-//	  → shared worker pool (bounded concurrency, panic isolation)
+//	  → circuit-breaking replica routing (retry around faults)
 //	  → per-request context deadline into the interpreter's stride check
+//	  → degradation ladder (cache-only → node-view-only) when replicas
+//	    are unhealthy or the deadline is nearly spent
 //
-// plus /healthz (liveness), /readyz (model loaded and a warm-up classify
-// passed), /metrics (the internal/obs registry — Prometheus exposition
-// under content negotiation — extended with the mvpar_http_*
-// request/batch/cache families), /debug/traces (retained slow-request
-// span trees, see internal/obs/trace) and, behind Config.EnablePprof,
-// the /debug/pprof/ profile endpoints. Results are bit-identical
-// to serial core.Pipeline.ClassifySource at every concurrency level —
-// the same determinism contract the training pool upholds. Shutdown is
-// graceful: draining finishes every admitted request before the
-// dispatcher exits.
+// plus /healthz (liveness + generation identity), /readyz (warm, not
+// draining; reports "degraded" while the ladder is active), /metrics
+// (the internal/obs registry — Prometheus exposition under content
+// negotiation — extended with the mvpar_http_* / mvpar_replica_* /
+// mvpar_model_* families), POST /v1/models/reload (atomic model hot
+// swap: load → warm → parity-check → swap, with the old generation
+// draining in flight and automatic rollback on failure), /debug/traces
+// (retained slow-request span trees, see internal/obs/trace) and,
+// behind Config.EnablePprof, the /debug/pprof/ profile endpoints.
+// Results are bit-identical to serial core.Pipeline.ClassifySource at
+// every concurrency level — the same determinism contract the training
+// pool upholds. Shutdown is graceful: draining finishes every admitted
+// request before the dispatcher exits.
+//
+// The resilience model (swap/drain/rollback state machine, breaker
+// states, degradation ladder, chaos harness) is documented in
+// docs/robustness.md.
 package serve
 
 import (
@@ -29,21 +39,31 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"mvpar/internal/core"
 	"mvpar/internal/faults"
+	"mvpar/internal/interp"
 	"mvpar/internal/obs"
 	"mvpar/internal/obs/trace"
 )
 
 // Inference is the model dependency of the server; *core.Classifier is
 // the production implementation. Implementations must be safe for
-// concurrent use.
+// concurrent use. Implementations may additionally provide the
+// DegradedInference and Fingerprinter surfaces (core.Classifier does).
 type Inference interface {
 	ClassifyContext(ctx context.Context, name, src string) ([]core.LoopPrediction, error)
 }
+
+// Loader produces a fresh model snapshot for a hot reload — typically
+// by re-reading a checkpoint file and taking new classifier handles.
+// It runs under the reload lock (never concurrently with itself).
+type Loader func(ctx context.Context) (Snapshot, error)
 
 // Config tunes the server. Zero values take the documented defaults.
 type Config struct {
@@ -65,12 +85,46 @@ type Config struct {
 	// into the interpreter's stride check); default 30s.
 	RequestTimeout time.Duration
 	// CacheSize is the LRU capacity for repeat submissions, keyed on a
-	// hash of (name, source); default 128, negative disables caching.
+	// hash of (generation, name, source); default 128, negative disables
+	// caching.
 	CacheSize int
 	// MaxBodyBytes bounds the request body; default 1 MiB.
 	MaxBodyBytes int64
 	// DrainTimeout bounds graceful shutdown; default 15s.
 	DrainTimeout time.Duration
+	// DrainGrace is how long the server keeps answering (with /readyz
+	// reporting 503 draining) after Shutdown begins, before the listener
+	// closes — the readiness-propagation window load balancers need to
+	// stop routing here. Default 0 (close immediately; set it in
+	// production, e.g. 2s).
+	DrainGrace time.Duration
+	// Replicas is how many circuit-breaking failure domains a generation
+	// fans requests over; default 4. When the server is built from a
+	// single Inference the domains share it; a Loader may supply
+	// genuinely distinct handles.
+	Replicas int
+	// MaxRetries is how many additional replicas a request is retried on
+	// after a replica fault (panic, deadline overrun) before falling to
+	// the degradation ladder; default 2, negative disables retries.
+	MaxRetries int
+	// BreakerThreshold is the consecutive-fault count that trips a
+	// replica's breaker open; default 3.
+	BreakerThreshold int
+	// BreakerBackoff is the first open interval of a tripped breaker
+	// (doubling on each failed half-open probe); default 500ms.
+	BreakerBackoff time.Duration
+	// BreakerMaxBackoff caps the exponential backoff; default 30s.
+	BreakerMaxBackoff time.Duration
+	// DegradeHeadroom, when positive, short-circuits a request straight
+	// to the degradation ladder if its deadline is closer than this when
+	// execution starts — a queue-delayed request gets a fast degraded
+	// answer instead of a doomed full classification. Default 0 (off).
+	DegradeHeadroom time.Duration
+	// Loader, when set, enables POST /v1/models/reload and SIGHUP-driven
+	// hot swaps. Without it reload requests answer 501.
+	Loader Loader
+	// Version labels mvpar_build_info; default "dev".
+	Version string
 	// TraceSlow enables slow-request capture: every request is traced and
 	// any request slower than this threshold has its span tree retained
 	// in a bounded in-memory ring served at /debug/traces (plus a
@@ -118,41 +172,86 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 15 * time.Second
 	}
+	if c.DrainGrace < 0 {
+		c.DrainGrace = 0
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 4
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.Version == "" {
+		c.Version = "dev"
+	}
 	if c.TraceRing == 0 {
 		c.TraceRing = 64
 	}
 	return c
 }
 
+// breakerCfg derives the per-replica breaker configuration.
+func (c Config) breakerCfg() breakerConfig {
+	return breakerConfig{
+		threshold:  c.BreakerThreshold,
+		backoff:    c.BreakerBackoff,
+		maxBackoff: c.BreakerMaxBackoff,
+	}.withDefaults()
+}
+
+// ErrNoReplicas reports that every replica's breaker refused a request
+// and no degradation rung could answer it (503).
+var ErrNoReplicas = errors.New("serve: all model replicas unhealthy")
+
+// ErrNoLoader reports a reload request against a server built without a
+// Loader (501).
+var ErrNoLoader = errors.New("serve: no model loader configured")
+
 // Server is one inference service instance.
 type Server struct {
 	cfg    Config
-	inf    Inference
 	cache  *lruCache
 	bat    *batcher
 	hs     *http.Server
 	traces *trace.Ring // slow-request retention, nil when disabled
 
+	// gen is the live model generation; genSeq issues generation ids.
+	// reloadMu serializes hot swaps (concurrent reload requests queue).
+	gen      atomic.Pointer[generation]
+	genSeq   atomic.Uint64
+	reloadMu sync.Mutex
+
 	ready    atomic.Bool
 	draining atomic.Bool
 }
 
-// New builds a server around inf and starts its dispatcher. The server
+// New builds a server around a single Inference (fanned over
+// cfg.Replicas breaker domains) and starts its dispatcher. The server
 // is not ready until Warmup succeeds; use Handler for in-process tests
 // or ListenAndServe for the full lifecycle.
 func New(inf Inference, cfg Config) *Server {
+	return NewWithSnapshot(snapshotOf(inf, cfg.withDefaults().Replicas), cfg)
+}
+
+// NewWithSnapshot is New for callers that already hold a multi-replica
+// snapshot (e.g. one core.Classifier handle per failure domain).
+func NewWithSnapshot(snap Snapshot, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
-		inf:   inf,
 		cache: newLRUCache(cfg.CacheSize),
 	}
 	if cfg.TraceRing > 0 {
 		s.traces = trace.NewRing(cfg.TraceRing)
 	}
+	s.install(snap)
 	s.bat = newBatcher(cfg.MaxBatch, cfg.BatchWindow, cfg.MaxQueue, cfg.Workers, s.execute)
 	mux := http.NewServeMux()
 	mux.Handle("/v1/classify", instrument("classify", http.HandlerFunc(s.handleClassify)))
+	mux.Handle("/v1/models/reload", instrument("reload", http.HandlerFunc(s.handleReload)))
 	mux.Handle("/healthz", instrument("healthz", http.HandlerFunc(s.handleHealthz)))
 	mux.Handle("/readyz", instrument("readyz", http.HandlerFunc(s.handleReadyz)))
 	mux.Handle("/metrics", instrument("metrics", obs.Handler()))
@@ -178,7 +277,51 @@ func New(inf Inference, cfg Config) *Server {
 // Handler exposes the routed handler for httptest-style embedding.
 func (s *Server) Handler() http.Handler { return s.hs.Handler }
 
-// warmupSource is the program Warmup classifies: small enough to finish
+// Generation returns the live generation's id (1 for the initial model,
+// +1 per successful hot swap).
+func (s *Server) Generation() uint64 { return s.gen.Load().id }
+
+// install makes snap the live generation and starts draining the old
+// one: in-flight requests pinned to it finish against its replicas, and
+// once the last of them completes the generation is declared drained.
+func (s *Server) install(snap Snapshot) *generation {
+	id := s.genSeq.Add(1)
+	gen := newGeneration(id, snap, s.cfg.breakerCfg())
+	old := s.gen.Swap(gen)
+	obs.GetGauge("mvpar_model_generation").Set(float64(id))
+	obs.SetInfo("mvpar_build_info", map[string]string{
+		"version":    s.cfg.Version,
+		"go_version": runtime.Version(),
+		"generation": strconv.FormatUint(id, 10),
+		"model":      gen.fp,
+	})
+	if old != nil {
+		go func() {
+			old.inflight.Wait()
+			obs.GetCounter("mvpar_model_generations_drained_total").Inc()
+			obs.Info("serve.generation_drained", "generation", old.id)
+		}()
+	}
+	return gen
+}
+
+// admit pins the caller to the current generation by registering with
+// its in-flight count. The re-check closes the swap race: if a swap
+// landed between the load and the Add, the registration is undone and
+// retried on the new generation, so a drain wait can never miss a
+// pinned request.
+func (s *Server) admit() *generation {
+	for {
+		gen := s.gen.Load()
+		gen.inflight.Add(1)
+		if s.gen.Load() == gen {
+			return gen
+		}
+		gen.inflight.Done()
+	}
+}
+
+// warmupSource is the program warm-up classifies: small enough to finish
 // in milliseconds, but a real loop so the full profile→PEG→two-view
 // path (and every lazily built piece of encoder state) runs once before
 // the server reports ready.
@@ -187,48 +330,221 @@ float warm[4];
 void main() { for (int i = 0; i < 4; i++) { warm[i] = warm[i] * 2.0; } }
 `
 
-// Warmup runs one classification through the model and marks the server
-// ready on success. Until it returns nil, /readyz and /v1/classify answer
-// 503.
+// parityCheck validates one warm-up classification: a model is fit to
+// serve only if it produces at least one structurally sound prediction.
+// It is the gate both initial warm-up and every hot-swap candidate must
+// pass before a generation can answer traffic.
+func parityCheck(preds []core.LoopPrediction) error {
+	if len(preds) == 0 {
+		return errors.New("serve: warm-up classify returned no predictions")
+	}
+	for _, p := range preds {
+		if p.Proba < 0 || p.Proba > 1 || p.Proba != p.Proba {
+			return fmt.Errorf("serve: warm-up parity check failed: loop %d proba %v outside [0,1]", p.LoopID, p.Proba)
+		}
+	}
+	return nil
+}
+
+// warmGeneration runs the warm-up classification + parity check on every
+// replica of gen.
+func warmGeneration(ctx context.Context, gen *generation) error {
+	for _, rep := range gen.reps {
+		preds, err := rep.inf.ClassifyContext(ctx, "warmup", warmupSource)
+		if err == nil {
+			err = parityCheck(preds)
+		}
+		if err != nil {
+			return fmt.Errorf("replica %d: %w", rep.id, err)
+		}
+	}
+	return nil
+}
+
+// Warmup runs one classification through every replica of the live
+// generation and marks the server ready on success. Until it returns
+// nil, /readyz and /v1/classify answer 503.
 func (s *Server) Warmup(ctx context.Context) error {
 	start := time.Now()
-	preds, err := s.inf.ClassifyContext(ctx, "warmup", warmupSource)
-	if err == nil && len(preds) == 0 {
-		err = errors.New("serve: warm-up classify returned no predictions")
-	}
-	if err != nil {
+	gen := s.gen.Load()
+	if err := warmGeneration(ctx, gen); err != nil {
 		obs.GetCounter("mvpar_http_warmup_failures_total").Inc()
-		obs.Error("serve.warmup", "err", err)
+		obs.Error("serve.warmup", "generation", gen.id, "err", err)
 		return err
 	}
 	s.ready.Store(true)
-	obs.Info("serve.ready", "warmup_seconds", time.Since(start).Seconds())
+	obs.Info("serve.ready", "generation", gen.id, "warmup_seconds", time.Since(start).Seconds())
 	return nil
 }
 
 // Ready reports whether the warm-up classification has passed.
 func (s *Server) Ready() bool { return s.ready.Load() }
 
-// execute runs one admitted request against the model. Panics anywhere in
-// the parse/profile/encode/predict stack are captured into the result —
-// the request answers 500 with a quarantine-style reason instead of
-// killing the process — and successes populate the LRU.
+// ReloadResult reports a successful hot swap.
+type ReloadResult struct {
+	Generation  uint64        `json:"generation"`
+	Fingerprint string        `json:"fingerprint,omitempty"`
+	Warmup      time.Duration `json:"-"`
+	// WarmupSeconds is the JSON-facing warm-up duration.
+	WarmupSeconds float64 `json:"warmup_seconds"`
+}
+
+// Reload performs one atomic model hot swap: load a fresh snapshot via
+// cfg.Loader, warm and parity-check every candidate replica OFF the
+// serving path, then swap it in as a new generation while the old one
+// drains in flight. Any failure — loader error (corrupt checkpoint,
+// missing file), warm-up error, parity failure — rolls back: the swap
+// never happens, the previous generation keeps serving untouched, and
+// the error is returned. Concurrent reloads serialize.
+func (s *Server) Reload(ctx context.Context) (ReloadResult, error) {
+	if s.cfg.Loader == nil {
+		return ReloadResult{}, ErrNoLoader
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	obs.GetCounter("mvpar_model_reloads_total").Inc()
+	fail := func(stage string, err error) (ReloadResult, error) {
+		obs.GetCounter("mvpar_model_reload_failures_total").Inc()
+		obs.Error("serve.reload_rollback", "stage", stage, "generation", s.Generation(), "err", err)
+		return ReloadResult{}, fmt.Errorf("serve: reload rolled back (%s): %w", stage, err)
+	}
+	snap, err := s.cfg.Loader(ctx)
+	if err != nil {
+		return fail("load", err)
+	}
+	if len(snap.Replicas) == 0 {
+		return fail("load", errors.New("loader returned no replicas"))
+	}
+	start := time.Now()
+	candidate := newGeneration(0, snap, s.cfg.breakerCfg()) // id 0: never serves
+	if err := warmGeneration(ctx, candidate); err != nil {
+		return fail("warmup", err)
+	}
+	warm := time.Since(start)
+	gen := s.install(snap)
+	// A successful swap implies a warm model: a server that reloaded
+	// before its initial warm-up finished is ready now.
+	s.ready.Store(true)
+	obs.Info("serve.reloaded", "generation", gen.id, "fingerprint", gen.fp,
+		"warmup_seconds", warm.Seconds())
+	return ReloadResult{
+		Generation:    gen.id,
+		Fingerprint:   gen.fp,
+		Warmup:        warm,
+		WarmupSeconds: warm.Seconds(),
+	}, nil
+}
+
+// execute runs one admitted request against its pinned generation and
+// releases the generation's in-flight registration.
 func (s *Server) execute(r *batchRequest) {
-	// Close the "batcher" span (queue wait + coalesce window) and open
-	// the "replica" span for the classification proper. Both are nil-safe
-	// no-ops on untraced requests, keeping this path allocation-free.
+	// Close the "batcher" span (queue wait + coalesce window) before the
+	// classification attempts begin. Nil-safe no-op on untraced requests.
 	r.span.End()
+	res := s.classify(r)
+	r.gen.inflight.Done()
+	r.done <- res
+}
+
+// classify drives one request through the resilience ladder: route to a
+// breaker-admitted replica (retrying around replica faults), and fall
+// back to the degradation ladder when no replica can answer or the
+// deadline is nearly spent.
+func (s *Server) classify(r *batchRequest) batchResult {
+	gen := r.gen
+	if h := s.cfg.DegradeHeadroom; h > 0 {
+		if dl, ok := r.ctx.Deadline(); ok && time.Until(dl) < h {
+			if res, ok := s.degradedResult(r, "request deadline nearly exhausted in queue"); ok {
+				return res
+			}
+		}
+	}
+	var lastErr error
+	attempts := 0
+	for attempts <= s.cfg.MaxRetries {
+		rep, ok := gen.acquire()
+		if !ok {
+			break // every breaker open → ladder
+		}
+		preds, err := s.runReplica(rep, r)
+		if err == nil {
+			rep.br.success()
+			if s.cache != nil && r.key != "" {
+				s.cache.put(r.key, preds)
+			}
+			return batchResult{preds: preds, gen: gen.id}
+		}
+		if !isReplicaFault(err) {
+			// The pipeline rejected the program itself; the replica is
+			// healthy and the error belongs to the request.
+			rep.br.success()
+			return batchResult{err: err, gen: gen.id}
+		}
+		rep.br.failure()
+		lastErr = s.noteReplicaFault(r, err)
+		if r.ctx.Err() != nil {
+			// The request deadline is spent; retrying cannot help.
+			return batchResult{err: lastErr, gen: gen.id}
+		}
+		attempts++
+		if attempts <= s.cfg.MaxRetries {
+			obs.GetCounter("mvpar_replica_retries_total").Inc()
+		}
+	}
+	reason := "all model replicas unhealthy"
+	if lastErr != nil {
+		reason = fmt.Sprintf("replica faults exhausted %d retries", s.cfg.MaxRetries)
+	}
+	if res, ok := s.degradedResult(r, reason); ok {
+		return res
+	}
+	if lastErr == nil {
+		lastErr = ErrNoReplicas
+	}
+	return batchResult{err: lastErr, gen: gen.id}
+}
+
+// runReplica runs one classification attempt on rep: chaos injection
+// (no-ops unless a chaos injector is armed), panic capture, and the
+// "replica" trace span.
+func (s *Server) runReplica(rep *replica, r *batchRequest) ([]core.LoopPrediction, error) {
 	cctx, rspan := trace.StartSpan(r.ctx, "replica")
+	defer rspan.End()
 	var preds []core.LoopPrediction
 	err := faults.Capture(func() error {
+		if hit, d := faults.ChaosFire(faults.SiteReplicaSlow); hit && d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-cctx.Done():
+				t.Stop()
+				return cctx.Err()
+			}
+		}
+		if hit, _ := faults.ChaosFire(faults.SiteReplicaPanic); hit {
+			panic("chaos: injected replica panic")
+		}
 		var cerr error
-		preds, cerr = s.inf.ClassifyContext(cctx, r.name, r.src)
+		preds, cerr = rep.inf.ClassifyContext(cctx, r.name, r.src)
 		return cerr
 	})
-	rspan.End()
-	if err == nil && s.cache != nil && r.key != "" {
-		s.cache.put(r.key, preds)
-	}
+	return preds, err
+}
+
+// isReplicaFault classifies an error as the replica's fault (panic,
+// deadline overrun — breaker and retry territory) rather than the
+// request's (parse/profile rejection).
+func isReplicaFault(err error) bool {
+	var pe *faults.PanicError
+	return errors.As(err, &pe) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, interp.ErrCancelled)
+}
+
+// noteReplicaFault counts and attributes one replica fault, returning
+// the error to surface if retries run out.
+func (s *Server) noteReplicaFault(r *batchRequest, err error) error {
 	var pe *faults.PanicError
 	if errors.As(err, &pe) {
 		obs.GetCounter("mvpar_http_panics_total").Inc()
@@ -240,7 +556,43 @@ func (s *Server) execute(r *batchRequest) {
 			err = &faults.StageError{Program: r.name, Stage: "classify", Err: err}
 		}
 	}
-	r.done <- batchResult{preds: preds, err: err}
+	return err
+}
+
+// degradedResult walks the degradation ladder for one request: first a
+// cache-only answer (correct by construction — the key is generation
+// scoped), then a node-view-only degraded prediction. It reports false
+// when neither rung can answer.
+func (s *Server) degradedResult(r *batchRequest, reason string) (batchResult, bool) {
+	if s.cache != nil && r.key != "" {
+		if preds, ok := s.cache.get(r.key); ok {
+			obs.GetCounter("mvpar_http_degraded_responses_total").Inc()
+			obs.Warn("serve.degraded", "program", r.name, "rung", "cache", "reason", reason)
+			return batchResult{
+				preds:    preds,
+				gen:      r.gen.id,
+				degraded: []string{"cache-only answer: " + reason},
+			}, true
+		}
+	}
+	if dc, ok := r.gen.degrader(); ok {
+		var preds []core.LoopPrediction
+		err := faults.Capture(func() error {
+			var cerr error
+			preds, cerr = dc.ClassifyDegradedContext(r.ctx, r.name, r.src)
+			return cerr
+		})
+		if err == nil && len(preds) > 0 {
+			obs.GetCounter("mvpar_http_degraded_responses_total").Inc()
+			obs.Warn("serve.degraded", "program", r.name, "rung", "node-view", "reason", reason)
+			return batchResult{
+				preds:    preds,
+				gen:      r.gen.id,
+				degraded: []string{"node-view-only prediction: " + reason},
+			}, true
+		}
+	}
+	return batchResult{}, false
 }
 
 // Warm-up retry policy for ListenAndServe: a transient failure (model
@@ -312,12 +664,23 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 	return fatal
 }
 
-// Shutdown drains the server: readiness drops (load balancers stop
-// routing), the HTTP layer stops accepting and waits for in-flight
-// handlers, then the batcher finishes every admitted request and stops
-// its dispatcher. Requests arriving mid-drain answer 503.
+// Shutdown drains the server: readiness drops immediately (/readyz
+// answers 503 draining so load balancers stop routing), the listener
+// keeps serving for cfg.DrainGrace so that readiness flip can
+// propagate, then the HTTP layer stops accepting and waits for
+// in-flight handlers, and finally the batcher finishes every admitted
+// request and stops its dispatcher. Requests arriving mid-drain answer
+// 503.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	if g := s.cfg.DrainGrace; g > 0 {
+		t := time.NewTimer(g)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+		}
+	}
 	herr := s.hs.Shutdown(ctx)
 	berr := s.bat.drain(ctx)
 	if herr != nil {
