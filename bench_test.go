@@ -339,11 +339,14 @@ func BenchmarkDatasetEncode(b *testing.B) {
 // always-serial kernel against MatMul, which dispatches to the shared
 // pool only above the threshold. Sizes 16-32 must show serial == pooled
 // (MatMul falls back below threshold); sizes 48+ show where the fan-out
-// starts paying for itself on a multi-core runner.
+// starts paying for itself on a multi-core runner. 128 and 192 sit above
+// blockedMinBElems, so the pooled side there is fan-out *plus* the
+// cache-blocked kernel — the configuration production MatMul actually
+// runs at those sizes.
 func BenchmarkMatMulThreshold(b *testing.B) {
 	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(7))
-	for _, n := range []int{16, 32, 48, 64, 96, 128} {
+	for _, n := range []int{16, 32, 48, 64, 96, 128, 192} {
 		a := tensor.Randn(n, n, 1, rng)
 		m := tensor.Randn(n, n, 1, rng)
 		b.Run(fmt.Sprintf("n%d/serial", n), func(b *testing.B) {
@@ -359,6 +362,86 @@ func BenchmarkMatMulThreshold(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkMatMulBlocked pits the cache-blocked serial float64 kernel
+// against the unblocked reference at the sizes the model actually hits.
+// The blocked kernel re-orders only the *schedule* (k tiled in blockK
+// panels, rows register-blocked 4 at a time) while keeping every cell's
+// accumulation order identical — TestMatMulBlockedBitIdentical pins that
+// — so its win is pure locality: at n>=96 the b panel stops thrashing
+// L1d and the blocked side pulls ahead; the benchgate holds allocs/op at
+// 1 (the result matrix) for both.
+func BenchmarkMatMulBlocked(b *testing.B) {
+	b.ReportAllocs()
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{48, 96, 128, 192} {
+		a := tensor.Randn(n, n, 1, rng)
+		m := tensor.Randn(n, n, 1, rng)
+		b.Run(fmt.Sprintf("n%d/unblocked", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulSerial(a, m)
+			}
+		})
+		b.Run(fmt.Sprintf("n%d/blocked", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulBlockedSerial(a, m)
+			}
+		})
+	}
+}
+
+// BenchmarkForwardF32 measures the full multi-view forward pass of a
+// trained model under both inference tiers on the same samples: float64
+// is the bit-identical reference path (PredictWithProba), float32 the
+// quantized fast path (PredictWithProbaF32) with pre-transposed weights,
+// table tanh and fused dense+activation. The benchgate pins the f32
+// tier's allocs/op at zero (arena steady state) and watches ns/op —
+// the fast path must stay well ahead of the reference (the acceptance
+// floor is 1.5x; measured ~2x). Parity of the *outputs* is enforced
+// elsewhere (mvpar parity, TestPredictWithProbaF32Parity).
+func BenchmarkForwardF32(b *testing.B) {
+	all := bench.Corpus()
+	opts := core.Options{
+		Data: dataset.Config{
+			Variants:    2,
+			WalkParams:  walks.Params{Length: 4, Gamma: 8},
+			WalkLen:     4,
+			EmbedCfg:    inst2vec.Config{Dim: 8, Window: 2, Negatives: 2, Epochs: 2, LR: 0.05, Seed: 1},
+			Seed:        1,
+			Parallelism: 1,
+		},
+		Train: gnn.TrainConfig{Epochs: 2, LR: 0.005, Temperature: 0.5, ClipNorm: 5, Seed: 1},
+		Seed:  1,
+	}
+	pl := core.NewPipeline(opts)
+	if _, err := pl.TrainOn([]bench.App{all[3], all[4], all[9]}); err != nil {
+		b.Fatal(err)
+	}
+	mv := pl.Model
+	mv.PrepareF32() // one-time quantization outside the timed region
+	samples := dataset.Samples(pl.Dataset.Records)
+	// Warm both arenas over every sample so allocs/op measures the
+	// steady state regardless of b.N (the benchgate compares runs at
+	// different -benchtime).
+	for _, s := range samples {
+		mv.PredictWithProba(s)
+		mv.PredictWithProbaF32(s)
+	}
+	b.Run("float64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mv.PredictWithProba(samples[i%len(samples)])
+		}
+	})
+	b.Run("float32", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mv.PredictWithProbaF32(samples[i%len(samples)])
+		}
+	})
 }
 
 // BenchmarkMVGNNInference measures single-sample prediction latency of a

@@ -35,6 +35,7 @@ import (
 	"mvpar/internal/cu"
 	"mvpar/internal/dataset"
 	"mvpar/internal/deps"
+	"mvpar/internal/eval"
 	"mvpar/internal/faults"
 	"mvpar/internal/features"
 	"mvpar/internal/gnn"
@@ -124,6 +125,8 @@ func main() {
 		err = cmdClassify(ctx, args)
 	case "serve":
 		err = cmdServe(ctx, args)
+	case "parity":
+		err = cmdParity(ctx, args)
 	case "corpus":
 		err = cmdCorpus(args)
 	case "speedup":
@@ -178,16 +181,22 @@ commands:
   tools    <file.mc>           per-loop decisions of Pluto/AutoPar/DiscoPoP emulators
   train    [-model FILE]       train the MV-GNN on the built-in corpus
   classify [-quick] <file.mc>  train, then classify the file's loops
-  serve    [-model FILE] [-addr :8080]
+  serve    [-model FILE] [-addr :8080] [-precision float64|float32]
                                long-lived HTTP inference service with request
                                batching, circuit-breaking replicas, degraded-
                                mode fallback and atomic model hot swap (POST
                                /v1/classify, POST /v1/models/reload or SIGHUP,
                                /healthz, /readyz, /metrics, /debug/traces;
                                -trace-slow, -pprof, -cpuprofile/-memprofile
-                               for telemetry); see mvpar serve -h,
-                               docs/serving.md, docs/robustness.md and
+                               for telemetry); -precision float32 serves the
+                               quantized fast path; see mvpar serve -h,
+                               docs/serving.md, docs/performance.md and
                                docs/observability.md
+  parity   [-model FILE] [-tol 0] [-max-flips 0]
+                               accuracy-parity gate of the float32 fast path:
+                               predict every corpus loop under float64 and
+                               float32, fail on any label flip or per-suite
+                               accuracy drift beyond -tol
   corpus   [-dump DIR]         print (or dump) the generated benchmark corpus
   speedup  <file.mc> [threads] simulate parallel execution of every loop
   dataset  [-out FILE]         build the corpus dataset and export it as JSON
@@ -406,6 +415,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	modelPath := fs.String("model", "", "load model parameters from this file (written by `mvpar train -model`\nwith the same -quick setting) instead of training at startup")
 	quick := fs.Bool("quick", true, "use the fast training/encoding configuration")
+	precision := fs.String("precision", "float64", "inference engine: float64 (bit-identical reference) or float32\n(quantized fast path, parity-gated by `mvpar parity`)")
 	maxBatch := fs.Int("max-batch", 8, "max requests coalesced into one dispatch")
 	batchWindow := fs.Duration("batch-window", 2*time.Millisecond, "how long a dispatch waits for batchmates after the first request")
 	maxQueue := fs.Int("max-queue", 64, "admission queue bound; requests past it are shed with 429")
@@ -429,6 +439,10 @@ func cmdServe(ctx context.Context, args []string) error {
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
+	}
+	prec, err := core.ParsePrecision(*precision)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -490,7 +504,7 @@ func cmdServe(ctx context.Context, args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "serve: trained, test acc %.1f%%\n", 100*report.TestAcc)
 	}
-	snap, err := snapshotFromPipeline(pl, *replicas)
+	snap, err := snapshotFromPipeline(pl, *replicas, prec)
 	if err != nil {
 		return err
 	}
@@ -514,7 +528,7 @@ func cmdServe(ctx context.Context, args []string) error {
 			if _, err := pl.ReloadModel(bytes.NewReader(data)); err != nil {
 				return serve.Snapshot{}, err
 			}
-			return snapshotFromPipeline(pl, n)
+			return snapshotFromPipeline(pl, n, prec)
 		}
 	}
 	srv := serve.NewWithSnapshot(snap, serve.Config{
@@ -558,20 +572,96 @@ func cmdServe(ctx context.Context, args []string) error {
 	return srv.ListenAndServe(sctx)
 }
 
+// cmdParity is the accuracy-parity gate of the float32 fast path: it
+// trains (or loads) a model, predicts every corpus loop under both the
+// float64 reference and the quantized float32 engine, and fails unless
+// per-suite accuracies match within -tol and label flips stay within
+// -max-flips (both default 0: the fast path must be indistinguishable in
+// Table-3 terms on the seed corpus).
+func cmdParity(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("parity", flag.ExitOnError)
+	modelPath := fs.String("model", "", "load model parameters from this file (written by `mvpar train -model`\nwith the same -quick setting) instead of training at startup")
+	quick := fs.Bool("quick", true, "use the fast training/encoding configuration")
+	tol := fs.Float64("tol", 0, "allowed per-suite accuracy drift (0 = accuracies must match exactly)")
+	maxFlips := fs.Int("max-flips", 0, "allowed per-loop label flips (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("parity: unexpected arguments %v", fs.Args())
+	}
+	pl := core.NewPipeline(trainOptions(*quick))
+	if *modelPath != "" {
+		fmt.Fprintln(os.Stderr, "parity: building encoder state...")
+		if err := pl.PrepareContext(ctx, bench.Corpus()); err != nil {
+			return err
+		}
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pl.LoadModel(f); err != nil {
+			return fmt.Errorf("parity: loading %s (was it trained with -quick=%v?): %w", *modelPath, *quick, err)
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "parity: no -model given, training on the built-in corpus...")
+		if _, err := pl.TrainOnContext(ctx, bench.Corpus()); err != nil {
+			return err
+		}
+	}
+	model := pl.Model
+	pairs := make([]eval.ParityPair, 0, len(pl.Dataset.Records))
+	for _, rec := range pl.Dataset.Records {
+		truth := 0
+		if rec.Verdict.Parallelizable {
+			truth = 1
+		}
+		// Compare the heads serving actually uses: degraded records answer
+		// from the node view only on both tiers.
+		var c64, c32 int
+		var p64, p32 float64
+		if len(rec.Degraded) > 0 {
+			c64, p64 = model.PredictWithProbaNodeView(rec.Sample)
+			c32, p32 = model.PredictWithProbaF32NodeView(rec.Sample)
+		} else {
+			c64, p64 = model.PredictWithProba(rec.Sample)
+			c32, p32 = model.PredictWithProbaF32(rec.Sample)
+		}
+		pairs = append(pairs, eval.ParityPair{
+			Suite:    rec.Meta.Suite,
+			Program:  rec.Meta.Program,
+			LoopID:   rec.Meta.LoopID,
+			Truth:    truth,
+			RefLabel: c64, RefProba: p64,
+			FastLabel: c32, FastProba: p32,
+		})
+	}
+	report := eval.Parity(pairs)
+	fmt.Print(report.Render())
+	if err := report.Check(*tol, *maxFlips); err != nil {
+		return err
+	}
+	fmt.Printf("parity OK: %d loops, %d label flips (max %d allowed), max proba drift %.2e\n",
+		report.N, len(report.Flips), *maxFlips, report.MaxProbaDrift)
+	return nil
+}
+
 // buildVersion labels mvpar_build_info; override at link time with
 // -ldflags "-X main.buildVersion=v1.2.3".
 var buildVersion = "dev"
 
-// snapshotFromPipeline takes n classifier handles off the pipeline, one
-// per circuit-breaking failure domain. The handles share weight storage
-// (cheap) but keep independent replica free lists.
-func snapshotFromPipeline(pl *core.Pipeline, n int) (serve.Snapshot, error) {
+// snapshotFromPipeline takes n classifier handles off the pipeline at
+// the given precision tier, one per circuit-breaking failure domain. The
+// handles share weight storage — including the one-time float32
+// quantization — but keep independent replica free lists.
+func snapshotFromPipeline(pl *core.Pipeline, n int, precision string) (serve.Snapshot, error) {
 	if n <= 0 {
 		n = 1
 	}
 	var snap serve.Snapshot
 	for i := 0; i < n; i++ {
-		cls, err := pl.Classifier()
+		cls, err := pl.ClassifierPrecision(precision)
 		if err != nil {
 			return serve.Snapshot{}, err
 		}

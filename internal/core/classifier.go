@@ -34,8 +34,35 @@ type Classifier struct {
 	cfg   dataset.Config // frozen single-program encode config
 	model *gnn.MVGNN     // prototype; calls run on replicas
 
+	// precision selects the inference engine: PrecisionFloat64 (the
+	// bit-identity reference) or PrecisionFloat32 (the quantized fast
+	// path, parity-gated by `mvpar parity` rather than bit-identical).
+	precision string
+
 	mu       sync.Mutex
 	replicas []*gnn.MVGNN // free list of idle replicas
+}
+
+// Precision tiers of the inference engine.
+const (
+	// PrecisionFloat64 is the default: the float64 forward pass that is
+	// bit-identical to training and to serial Pipeline.ClassifySource.
+	PrecisionFloat64 = "float64"
+	// PrecisionFloat32 is the quantized fast path: float32 cache-blocked
+	// kernels with fused activations. Labels and probabilities track the
+	// float64 reference within the accuracy-parity gate's tolerance.
+	PrecisionFloat32 = "float32"
+)
+
+// ParsePrecision validates a -precision flag value; empty means float64.
+func ParsePrecision(s string) (string, error) {
+	switch s {
+	case "", PrecisionFloat64:
+		return PrecisionFloat64, nil
+	case PrecisionFloat32:
+		return PrecisionFloat32, nil
+	}
+	return "", fmt.Errorf("core: unknown precision %q (want %s or %s)", s, PrecisionFloat64, PrecisionFloat32)
 }
 
 // Classifier returns an inference handle bound to the pipeline's current
@@ -44,8 +71,22 @@ type Classifier struct {
 // LoadModel (which replaces the weight storage replicas are bound to),
 // take a new handle.
 func (p *Pipeline) Classifier() (*Classifier, error) {
+	return p.ClassifierPrecision(PrecisionFloat64)
+}
+
+// ClassifierPrecision is Classifier with an explicit precision tier. For
+// PrecisionFloat32 the model is quantized once here (replicas share the
+// quantized weights); float64 handles are unchanged from Classifier.
+func (p *Pipeline) ClassifierPrecision(precision string) (*Classifier, error) {
+	prec, err := ParsePrecision(precision)
+	if err != nil {
+		return nil, err
+	}
 	if p.Model == nil || p.Dataset == nil {
 		return nil, fmt.Errorf("core: pipeline is untrained")
+	}
+	if prec == PrecisionFloat32 {
+		p.Model.PrepareF32()
 	}
 	// Encode with the pipeline's settings, reusing the trained inst2vec
 	// space and walk space so the features live in the model's input
@@ -58,7 +99,15 @@ func (p *Pipeline) Classifier() (*Classifier, error) {
 	cfg.Space = p.Dataset.Space
 	cfg.Strict = true
 	cfg.Ctx = nil
-	return &Classifier{cfg: cfg, model: p.Model}, nil
+	return &Classifier{cfg: cfg, model: p.Model, precision: prec}, nil
+}
+
+// Precision reports the handle's inference tier ("float64" or "float32").
+func (c *Classifier) Precision() string {
+	if c.precision == "" {
+		return PrecisionFloat64
+	}
+	return c.precision
 }
 
 // acquire pops an idle model replica, creating one when the list is empty.
@@ -124,8 +173,9 @@ func (c *Classifier) Fingerprint() string {
 	h := sha256.New()
 	io.WriteString(h, nn.FingerprintParams(c.model.Params()))
 	cfg := c.cfg
-	fmt.Fprintf(h, "|v%d|w%+v|l%d|e%+v|s%d|t%d|n%d",
-		cfg.Variants, cfg.WalkParams, cfg.WalkLen, cfg.EmbedCfg, cfg.Seed, cfg.MaxSteps, cfg.MaxTokens)
+	fmt.Fprintf(h, "|v%d|w%+v|l%d|e%+v|s%d|t%d|n%d|p%s",
+		cfg.Variants, cfg.WalkParams, cfg.WalkLen, cfg.EmbedCfg, cfg.Seed, cfg.MaxSteps, cfg.MaxTokens,
+		c.Precision())
 	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
@@ -166,11 +216,18 @@ func (c *Classifier) classifyWith(ctx context.Context, cfg dataset.Config, name,
 		sample := rec.Sample
 		var pred int
 		var proba float64
+		f32 := c.precision == PrecisionFloat32
 		if len(rec.Degraded) > 0 {
-			pred, proba = model.PredictWithProbaNodeViewContext(ctx, sample)
+			if f32 {
+				pred, proba = model.PredictWithProbaF32NodeViewContext(ctx, sample)
+			} else {
+				pred, proba = model.PredictWithProbaNodeViewContext(ctx, sample)
+			}
 			obs.GetCounter("mvpar_degraded_predictions_total").Inc()
 			obs.Warn("classify.degraded", "program", name, "loop", rec.Meta.LoopID,
 				"reasons", fmt.Sprint(rec.Degraded))
+		} else if f32 {
+			pred, proba = model.PredictWithProbaF32Context(ctx, sample)
 		} else {
 			pred, proba = model.PredictWithProbaContext(ctx, sample)
 		}

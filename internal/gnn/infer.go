@@ -61,3 +61,59 @@ func (m *MVGNN) PredictWithProbaNodeViewContext(ctx context.Context, s Sample) (
 func classFrom(logits *tensor.Matrix) (int, float64) {
 	return nn.Predict(logits)[0], nn.Probabilities(logits).At(0, 1)
 }
+
+// quantized returns the lazily built float32 inference replica. The first
+// call snapshots the current weights (see QuantizeF32); the model must be
+// frozen by then. Safe only on a goroutine-private model/replica, like
+// every other forward entry point.
+func (m *MVGNN) quantized() *MVGNNF32 {
+	if m.f32 == nil {
+		m.f32 = m.QuantizeF32()
+	}
+	return m.f32
+}
+
+// PrepareF32 performs the one-time model quantization eagerly, so later
+// Replicate calls share the quantized weights instead of each replica
+// lazily re-quantizing on its first float32 prediction. Call it once on
+// the frozen prototype before fanning out serving replicas.
+func (m *MVGNN) PrepareF32() { m.quantized() }
+
+// PredictWithProbaF32 is PredictWithProba on the float32 fast path: the
+// quantized forward engine with cache-blocked kernels and fused
+// activations. Labels and probabilities track the float64 path within the
+// accuracy-parity gate's tolerance (`mvpar parity`), not bit-identically.
+func (m *MVGNN) PredictWithProbaF32(s Sample) (int, float64) {
+	return m.quantized().PredictWithProba(s)
+}
+
+// PredictWithProbaF32NodeView is the float32 degraded path (node view
+// only), mirroring PredictWithProbaNodeView.
+func (m *MVGNN) PredictWithProbaF32NodeView(s Sample) (int, float64) {
+	return m.quantized().PredictWithProbaNodeView(s)
+}
+
+// PredictWithProbaF32Context is the traced float32 variant; the span
+// carries precision=float32 so traces show which engine answered.
+func (m *MVGNN) PredictWithProbaF32Context(ctx context.Context, s Sample) (int, float64) {
+	_, sp := trace.StartSpan(ctx, "gnn.forward")
+	if sp != nil {
+		sp.SetAttrInt("loop", int64(s.Meta.LoopID))
+		sp.SetAttr("precision", "float32")
+		defer sp.End()
+	}
+	return m.PredictWithProbaF32(s)
+}
+
+// PredictWithProbaF32NodeViewContext is the traced float32 degraded-path
+// variant.
+func (m *MVGNN) PredictWithProbaF32NodeViewContext(ctx context.Context, s Sample) (int, float64) {
+	_, sp := trace.StartSpan(ctx, "gnn.forward")
+	if sp != nil {
+		sp.SetAttrInt("loop", int64(s.Meta.LoopID))
+		sp.SetAttr("view", "node")
+		sp.SetAttr("precision", "float32")
+		defer sp.End()
+	}
+	return m.PredictWithProbaF32NodeView(s)
+}

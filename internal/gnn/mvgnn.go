@@ -48,6 +48,13 @@ type MVGNN struct {
 	// the head with the best training accuracy (fused wins ties), so the
 	// multi-view model never regresses below its own views.
 	predictMode int
+
+	// f32 caches the lazily built quantized inference replica behind
+	// PredictWithProbaF32*. Like the rest of the model's mutable state it
+	// is goroutine-private (replicas each build their own); it snapshots
+	// the weights at first use, so it must only be exercised on a frozen
+	// (post-training) model.
+	f32 *MVGNNF32
 }
 
 // NewMVGNN builds the binary multi-view model. nodeDim and structDim are
@@ -106,7 +113,7 @@ func (m *MVGNN) Replicate() *MVGNN {
 	arena := tensor.NewArena()
 	out := m.out.Replicate()
 	out.Scratch = arena
-	return &MVGNN{
+	r := &MVGNN{
 		NodeView:    m.NodeView.Replicate(),
 		StructView:  m.StructView.Replicate(),
 		fuse:        &nn.Tanh{Scratch: arena},
@@ -114,6 +121,13 @@ func (m *MVGNN) Replicate() *MVGNN {
 		arena:       arena,
 		predictMode: m.predictMode,
 	}
+	// If the prototype was quantized (PrepareF32), replicas share the
+	// quantized weights and only allocate private scratch — the one-time
+	// quantization cost is not paid per replica.
+	if m.f32 != nil {
+		r.f32 = m.f32.Replicate()
+	}
+	return r
 }
 
 // ForwardAll returns the fused logits plus each view's own head logits

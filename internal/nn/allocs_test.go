@@ -52,6 +52,30 @@ func TestConv1DSteadyStateAllocFree(t *testing.T) {
 	if n := testing.AllocsPerRun(10, step); n != 0 {
 		t.Fatalf("Conv1D+MaxPool1D allocates %v per run in steady state, want 0", n)
 	}
+
+	// The inference path (forward only, no backward) must also be
+	// alloc-free, both through the arena-drawing Forward and through the
+	// explicit-destination ForwardInto the fused predict paths use.
+	inferStep := func() {
+		arena.Reset()
+		pool.Forward(conv.Forward(x))
+	}
+	for i := 0; i < 3; i++ {
+		inferStep()
+	}
+	if n := testing.AllocsPerRun(10, inferStep); n != 0 {
+		t.Fatalf("Conv1D+MaxPool1D inference allocates %v per run in steady state, want 0", n)
+	}
+
+	dst := tensor.New(conv.OutChannels, conv.OutLen(x.Cols))
+	intoStep := func() { conv.ForwardInto(x, dst) }
+	intoStep()
+	if n := testing.AllocsPerRun(10, intoStep); n != 0 {
+		t.Fatalf("Conv1D.ForwardInto allocates %v per run, want 0", n)
+	}
+	if !tensor.ApproxEqual(dst, conv.Forward(x), 0) {
+		t.Fatal("ForwardInto differs from Forward")
+	}
 }
 
 // TestTransposeCacheInvalidation pins the cache key: same weights hit the

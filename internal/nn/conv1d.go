@@ -51,14 +51,29 @@ func (c *Conv1D) OutLen(l int) int {
 	return (l-c.KernelSize)/c.Stride + 1
 }
 
-// Forward computes the convolution of an InChannels x L input.
+// Forward computes the convolution of an InChannels x L input into a
+// buffer drawn from the layer's arena.
 func (c *Conv1D) Forward(x *tensor.Matrix) *tensor.Matrix {
+	out := c.Scratch.Get(c.OutChannels, c.OutLen(x.Cols))
+	c.ForwardInto(x, out)
+	return out
+}
+
+// ForwardInto computes the convolution of an InChannels x L input into
+// out, which must be OutChannels x OutLen(L) and is fully overwritten.
+// This is the explicit-destination variant the inference paths use: the
+// caller owns buffer placement (replica arena, fused pipelines) and the
+// call itself allocates nothing. The layer still records x for a
+// subsequent Backward.
+func (c *Conv1D) ForwardInto(x, out *tensor.Matrix) {
 	if x.Rows != c.InChannels {
 		panic(fmt.Sprintf("nn: Conv1D expects %d input channels, got %d", c.InChannels, x.Rows))
 	}
-	c.lastX = x
 	outLen := c.OutLen(x.Cols)
-	out := c.Scratch.Get(c.OutChannels, outLen)
+	if out.Rows != c.OutChannels || out.Cols != outLen {
+		panic(fmt.Sprintf("nn: Conv1D ForwardInto dst %dx%d, want %dx%d", out.Rows, out.Cols, c.OutChannels, outLen))
+	}
+	c.lastX = x
 	for f := 0; f < c.OutChannels; f++ {
 		w := c.W.Value.Row(f)
 		bias := c.B.Value.Data[f]
@@ -75,7 +90,6 @@ func (c *Conv1D) Forward(x *tensor.Matrix) *tensor.Matrix {
 			out.Set(f, t, sum)
 		}
 	}
-	return out
 }
 
 // Backward accumulates kernel/bias gradients and returns the input gradient.

@@ -31,6 +31,7 @@ func TestServeMetricsExpositionConformance(t *testing.T) {
 		"mvpar_model_generations_drained_total",
 		"mvpar_http_degraded_responses_total",
 		"mvpar_chaos_injections_total",
+		"mvpar_classify_requests_float32_total",
 	} {
 		obs.GetCounter(name).Add(0)
 	}
@@ -69,6 +70,11 @@ func TestServeMetricsExpositionConformance(t *testing.T) {
 		"# TYPE mvpar_model_reload_failures_total counter",
 		"# TYPE mvpar_http_degraded_responses_total counter",
 		"# TYPE mvpar_chaos_injections_total counter",
+		"# TYPE mvpar_inference_precision gauge",
+		`mvpar_inference_precision{`,
+		`precision="float64"`,
+		"# TYPE mvpar_classify_requests_float64_total counter",
+		"# TYPE mvpar_classify_requests_float32_total counter",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q", want)

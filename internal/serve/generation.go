@@ -24,6 +24,14 @@ type Fingerprinter interface {
 	Fingerprint() string
 }
 
+// Precisioner is the optional precision surface of an Inference: which
+// inference engine ("float64" or "float32") answers its predictions.
+// *core.Classifier implements it; implementations without it are
+// reported as float64 (the bit-identity default).
+type Precisioner interface {
+	Precision() string
+}
+
 // Snapshot is one loaded model as the server sees it: the inference
 // handles requests fan out over (each one an independent
 // circuit-breaking failure domain) plus the identity of the weights and
@@ -73,6 +81,7 @@ type replica struct {
 type generation struct {
 	id   uint64
 	fp   string
+	prec string // inference precision tier of the replicas
 	reps []*replica
 
 	// inflight counts requests pinned to this generation (admitted but
@@ -84,9 +93,14 @@ type generation struct {
 }
 
 func newGeneration(id uint64, snap Snapshot, bcfg breakerConfig) *generation {
-	g := &generation{id: id, fp: snap.Fingerprint}
+	g := &generation{id: id, fp: snap.Fingerprint, prec: "float64"}
 	for i, inf := range snap.Replicas {
 		g.reps = append(g.reps, &replica{id: i, inf: inf, br: newBreaker(bcfg, i)})
+	}
+	if len(snap.Replicas) > 0 {
+		if p, ok := snap.Replicas[0].(Precisioner); ok {
+			g.prec = p.Precision()
+		}
 	}
 	return g
 }

@@ -59,6 +59,9 @@ type ClassifyResponse struct {
 	// Cached is true when the response was served from the LRU without
 	// re-running the pipeline.
 	Cached bool `json:"cached"`
+	// Precision names the inference engine that answered: "float64" (the
+	// bit-identity reference) or "float32" (the quantized fast path).
+	Precision string `json:"precision"`
 	// TraceID and Timings are set only when the request asked for a
 	// timings breakdown (ClassifyRequest.Timings) and the pipeline ran:
 	// the request's trace ID and its span tree, offsets in microseconds
@@ -82,9 +85,16 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// toResponse converts predictions to the wire format.
+// toResponse converts predictions to the wire format. Precision defaults
+// to the float64 reference tier; handlers overwrite it from the
+// generation that actually answered.
 func toResponse(name string, preds []core.LoopPrediction, cached bool) ClassifyResponse {
-	resp := ClassifyResponse{Name: name, Predictions: make([]Prediction, 0, len(preds)), Cached: cached}
+	resp := ClassifyResponse{
+		Name:        name,
+		Predictions: make([]Prediction, 0, len(preds)),
+		Cached:      cached,
+		Precision:   core.PrecisionFloat64,
+	}
 	for _, p := range preds {
 		resp.Predictions = append(resp.Predictions, Prediction{
 			LoopID:   p.LoopID,
@@ -151,6 +161,9 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	// registration is released on every exit path — cache hit and submit
 	// rejection below, or by the executor once it delivers a result.
 	gen := s.admit()
+	// Per-precision request accounting: which inference tier is about to
+	// answer (float64 reference or float32 fast path).
+	obs.GetCounter("mvpar_classify_requests_" + gen.prec + "_total").Inc()
 	var key string
 	if s.cache != nil {
 		key = cacheKey(gen.key(), req.Name, req.Source)
@@ -159,6 +172,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			obs.GetCounter("mvpar_http_cache_hits_total").Inc()
 			resp := toResponse(req.Name, preds, true)
 			resp.Generation = gen.id
+			resp.Precision = gen.prec
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
@@ -209,7 +223,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 	select {
 	case res := <-breq.done:
-		s.writeResult(w, req.Name, res, respTr)
+		s.writeResult(w, req.Name, gen.prec, res, respTr)
 	case <-ctx.Done():
 		// The batch job observes the same ctx and aborts at the
 		// interpreter's stride check; the handler answers immediately
@@ -221,14 +235,16 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// writeResult maps one execution outcome to its HTTP answer. tr is
-// non-nil only when the request asked for a timings breakdown; success
-// responses then carry the trace ID and span tree.
-func (s *Server) writeResult(w http.ResponseWriter, name string, res batchResult, tr *trace.Trace) {
+// writeResult maps one execution outcome to its HTTP answer. prec is the
+// answering generation's precision tier; tr is non-nil only when the
+// request asked for a timings breakdown; success responses then carry
+// the trace ID and span tree.
+func (s *Server) writeResult(w http.ResponseWriter, name, prec string, res batchResult, tr *trace.Trace) {
 	err := res.err
 	if err == nil {
 		resp := toResponse(name, res.preds, false)
 		resp.Generation = res.gen
+		resp.Precision = prec
 		if len(res.degraded) > 0 {
 			resp.Degraded = true
 			resp.DegradedReasons = res.degraded

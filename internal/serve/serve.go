@@ -295,6 +295,11 @@ func (s *Server) install(snap Snapshot) *generation {
 		"generation": strconv.FormatUint(id, 10),
 		"model":      gen.fp,
 	})
+	// Build-info-style precision gauge: which inference engine the live
+	// generation answers with (operators alert on an unexpected flip).
+	obs.SetInfo("mvpar_inference_precision", map[string]string{
+		"precision": gen.prec,
+	})
 	if old != nil {
 		go func() {
 			old.inflight.Wait()

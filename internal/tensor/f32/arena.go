@@ -1,0 +1,66 @@
+package f32
+
+// Arena is the float32 mirror of tensor.Arena: a free-list scratch
+// allocator for the matrices a quantized forward pass churns through.
+// Get hands out a zeroed matrix (recycling a returned buffer of the same
+// element count when one is free) and Reset reclaims everything handed
+// out since the last Reset, so a steady-state forward pass allocates
+// nothing after one warm-up sample.
+//
+// The float64 lifecycle rules apply unchanged (docs/performance.md): one
+// arena per model replica, never shared across goroutines; Reset exactly
+// once per sample at the start of the forward pass; callers may read a
+// returned matrix only until the next forward. A nil *Arena falls back to
+// plain heap allocation.
+type Arena struct {
+	free map[int][]*Matrix // element count -> reusable buffers
+	used []*Matrix         // handed out since the last Reset
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{free: make(map[int][]*Matrix)}
+}
+
+// Get returns a zeroed rows x cols matrix owned by the arena until the
+// next Reset. On a nil arena it simply heap-allocates.
+func (a *Arena) Get(rows, cols int) *Matrix {
+	if a == nil {
+		return New(rows, cols)
+	}
+	n := rows * cols
+	var m *Matrix
+	if list := a.free[n]; len(list) > 0 {
+		m = list[len(list)-1]
+		a.free[n] = list[:len(list)-1]
+		m.Rows, m.Cols = rows, cols
+		for i := range m.Data {
+			m.Data[i] = 0
+		}
+	} else {
+		m = New(rows, cols)
+	}
+	a.used = append(a.used, m)
+	return m
+}
+
+// Reset reclaims every matrix handed out since the last Reset. The caller
+// must no longer hold references into them. No-op on a nil arena.
+func (a *Arena) Reset() {
+	if a == nil {
+		return
+	}
+	for i, m := range a.used {
+		a.free[len(m.Data)] = append(a.free[len(m.Data)], m)
+		a.used[i] = nil
+	}
+	a.used = a.used[:0]
+}
+
+// Live returns how many matrices are currently handed out (test hook).
+func (a *Arena) Live() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.used)
+}

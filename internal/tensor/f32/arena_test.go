@@ -1,0 +1,104 @@
+package f32
+
+import "testing"
+
+func TestArenaRecyclesAndZeroes(t *testing.T) {
+	a := NewArena()
+	m1 := a.Get(3, 4)
+	m1.Set(2, 3, 7)
+	if a.Live() != 1 {
+		t.Fatalf("Live = %d", a.Live())
+	}
+	a.Reset()
+	if a.Live() != 0 {
+		t.Fatalf("Live after reset = %d", a.Live())
+	}
+	// Same element count comes back recycled — even reshaped — and zeroed.
+	m2 := a.Get(4, 3)
+	if &m2.Data[0] != &m1.Data[0] {
+		t.Fatal("arena did not recycle the buffer")
+	}
+	if m2.Rows != 4 || m2.Cols != 3 {
+		t.Fatalf("recycled shape %dx%d", m2.Rows, m2.Cols)
+	}
+	for _, v := range m2.Data {
+		if v != 0 {
+			t.Fatal("recycled buffer not zeroed")
+		}
+	}
+	// A second Get of the same size while the first is live must be a
+	// distinct buffer.
+	m3 := a.Get(4, 3)
+	if len(m3.Data) > 0 && &m3.Data[0] == &m2.Data[0] {
+		t.Fatal("live buffer handed out twice")
+	}
+}
+
+func TestArenaNilFallsBackToHeap(t *testing.T) {
+	var a *Arena
+	m := a.Get(2, 2)
+	if m.Rows != 2 || m.Cols != 2 {
+		t.Fatalf("nil arena Get shape %dx%d", m.Rows, m.Cols)
+	}
+	a.Reset() // must not panic
+	if a.Live() != 0 {
+		t.Fatal("nil arena Live nonzero")
+	}
+}
+
+func TestArenaZeroSizedBuffers(t *testing.T) {
+	a := NewArena()
+	m := a.Get(0, 5)
+	if m.Rows != 0 || m.Cols != 5 || len(m.Data) != 0 {
+		t.Fatalf("zero-row Get = %+v", m)
+	}
+	a.Reset()
+	m2 := a.Get(3, 0)
+	if m2.Rows != 3 || m2.Cols != 0 || len(m2.Data) != 0 {
+		t.Fatalf("zero-col Get = %+v", m2)
+	}
+}
+
+// After one warm-up sample, a fixed Get/Reset cycle must allocate nothing.
+func TestArenaSteadyStateAllocFree(t *testing.T) {
+	a := NewArena()
+	cycle := func() {
+		a.Reset()
+		x := a.Get(8, 8)
+		y := a.Get(8, 4)
+		z := a.Get(8, 4)
+		_ = x
+		_ = y
+		_ = z
+	}
+	cycle()
+	cycle() // second pass populates the free-list map buckets
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Fatalf("steady-state arena cycle allocates %v times", allocs)
+	}
+}
+
+// The matmul kernels reject a destination wrapping the same storage as an
+// input, mirroring the float64 assertNoAlias contract.
+func TestKernelsRejectAliasing(t *testing.T) {
+	data := make([]float32, 9)
+	a := FromSlice(3, 3, data)
+	alias := FromSlice(3, 3, data)
+	for name, bad := range map[string]func(){
+		"MatMulInto":     func() { MatMulInto(a, New(3, 3), alias) },
+		"MatMulTanhInto": func() { MatMulTanhInto(New(3, 3), a, alias) },
+		"SpMMInto": func() {
+			s := &Sparse{Rows: 3, Cols: 3, RowPtr: []int{0, 1, 1, 1}, ColIdx: []int{0}, Val: []float32{1}}
+			SpMMInto(s, a, alias)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s accepted an aliased destination", name)
+				}
+			}()
+			bad()
+		}()
+	}
+}

@@ -1,0 +1,151 @@
+package f32
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mvpar/internal/tensor"
+)
+
+// matchesF64 checks a float32 matrix against a float64 reference within a
+// relative-ish tolerance scaled by the reference magnitude.
+func matchesF64(t *testing.T, name string, got *Matrix, want *tensor.Matrix, tol float64) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		w := want.Data[i]
+		scale := math.Abs(w)
+		if scale < 1 {
+			scale = 1
+		}
+		if diff := math.Abs(float64(got.Data[i]) - w); diff > tol*scale {
+			t.Fatalf("%s: element %d = %g, want %g (diff %g)", name, i, got.Data[i], w, diff)
+		}
+	}
+}
+
+func TestMatMulIntoMatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, dims := range [][3]int{{1, 5, 3}, {4, 4, 4}, {7, 9, 5}, {33, 17, 21}, {130, 140, 150}, {3, 0, 2}} {
+		a64 := tensor.Randn(dims[0], dims[1], 1, rng)
+		for i := range a64.Data {
+			if i%4 == 0 {
+				a64.Data[i] = 0 // exercise the zero skips
+			}
+		}
+		b64 := tensor.Randn(dims[1], dims[2], 1, rng)
+		a, b := FromMatrix(a64), FromMatrix(b64)
+		c := New(dims[0], dims[2])
+		MatMulInto(a, b, c)
+		matchesF64(t, "MatMulInto", c, tensor.MatMul(a64, b64), 1e-4)
+
+		ct := New(dims[0], dims[2])
+		MatMulTanhInto(a, b, ct)
+		matchesF64(t, "MatMulTanhInto", ct, tensor.Apply(tensor.MatMul(a64, b64), math.Tanh), 1e-4)
+	}
+}
+
+func TestSpMMIntoMatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	rowPtr := []int{0, 2, 3, 3, 6}
+	colIdx := []int{0, 2, 1, 0, 1, 3}
+	val := []float64{0.5, 0.25, 1, -1, 0.125, 2}
+	s64 := tensor.NewCSR(4, 4, rowPtr, colIdx, val)
+	h64 := tensor.Randn(4, 6, 1, rng)
+
+	var s Sparse
+	vals := LoadSparse(&s, s64, nil)
+	h := FromMatrix(h64)
+	out := New(4, 6)
+	SpMMInto(&s, h, out)
+	matchesF64(t, "SpMMInto", out, tensor.SpMM(s64, h64), 1e-5)
+
+	// Reloading with the same buffer must not allocate a new value slice.
+	vals2 := LoadSparse(&s, s64, vals)
+	if &vals2[0] != &vals[0] {
+		t.Fatal("LoadSparse did not reuse the value buffer")
+	}
+}
+
+func TestDenseForwardMatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	x64 := tensor.Randn(1, 48, 1, rng)
+	w64 := tensor.Randn(48, 10, 1, rng)
+	b64 := tensor.Randn(1, 10, 1, rng)
+	want := tensor.AddRowVec(tensor.MatMul(x64, w64), b64)
+
+	x, wt, b := FromMatrix(x64), TransposedFromMatrix(w64), FromMatrix(b64)
+	out := New(1, 10)
+	DenseForwardInto(x, wt, b, out)
+	matchesF64(t, "DenseForwardInto", out, want, 1e-4)
+
+	outT := New(1, 10)
+	DenseTanhForwardInto(x, wt, b, outT)
+	matchesF64(t, "DenseTanhForwardInto", outT, tensor.Apply(want, math.Tanh), 1e-4)
+}
+
+func TestTransposedFromMatrix(t *testing.T) {
+	m := tensor.FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := TransposedFromMatrix(m)
+	if got.Rows != 3 || got.Cols != 2 {
+		t.Fatalf("shape %dx%d", got.Rows, got.Cols)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if got.At(j, i) != float32(m.At(i, j)) {
+				t.Fatalf("transpose wrong at (%d,%d)", j, i)
+			}
+		}
+	}
+}
+
+func TestTanhAccuracy(t *testing.T) {
+	// Sweep the full active range plus the clamp boundary; the table
+	// interpolation must stay within ~1e-6 of math.Tanh everywhere.
+	for x := -10.0; x <= 10.0; x += 0.001 {
+		got := float64(Tanh(float32(x)))
+		want := math.Tanh(x)
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("Tanh(%g) = %g, want %g", x, got, want)
+		}
+	}
+	if Tanh(0) != 0 {
+		t.Fatal("Tanh(0) != 0")
+	}
+	if Tanh(100) != 1 || Tanh(-100) != -1 {
+		t.Fatal("Tanh does not clamp at large inputs")
+	}
+	if Tanh(float32(math.Inf(1))) != 1 || Tanh(float32(math.Inf(-1))) != -1 {
+		t.Fatal("Tanh does not clamp at infinity")
+	}
+	if v := Tanh(-0.5); v != -Tanh(0.5) {
+		t.Fatalf("Tanh not odd: %g vs %g", v, Tanh(0.5))
+	}
+}
+
+func TestConvertInto(t *testing.T) {
+	src := tensor.FromRows([][]float64{{1.5, -2.25}, {0, 3}})
+	a := NewArena()
+	dst := a.Get(2, 2)
+	ConvertInto(src, dst)
+	for i, v := range src.Data {
+		if dst.Data[i] != float32(v) {
+			t.Fatalf("ConvertInto element %d = %g, want %g", i, dst.Data[i], v)
+		}
+	}
+}
+
+func TestAddRowVecInto(t *testing.T) {
+	a := FromSlice(2, 2, []float32{1, 2, 3, 4})
+	v := FromSlice(1, 2, []float32{10, 20})
+	AddRowVecInto(a, v, a) // aliasing allowed
+	want := []float32{11, 22, 13, 24}
+	for i, w := range want {
+		if a.Data[i] != w {
+			t.Fatalf("AddRowVecInto = %v", a.Data)
+		}
+	}
+}

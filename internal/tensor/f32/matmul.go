@@ -1,0 +1,121 @@
+package f32
+
+import "fmt"
+
+// blockK tiles the inner dimension of MatMulInto so a panel of b rows
+// stays cache-resident while each 4-row quad of a reuses it — the same
+// blocking scheme as the float64 kernel, minus its bit-identity
+// constraints (float32 inference is gated on accuracy parity, not bits).
+const blockK = 128
+
+// MatMulInto computes c = a x b, overwriting c. The kernel is serial and
+// cache-blocked: rows are register-blocked four at a time so each loaded
+// b row updates four output rows, and the k dimension is tiled in blockK
+// panels. c must not alias a or b.
+func MatMulInto(a, b, c *Matrix) {
+	checkMatMul("MatMulInto", a, b, c)
+	for i := range c.Data {
+		c.Data[i] = 0
+	}
+	n, p := a.Cols, b.Cols
+	for kk := 0; kk < n; kk += blockK {
+		khi := kk + blockK
+		if khi > n {
+			khi = n
+		}
+		i := 0
+		for ; i+3 < a.Rows; i += 4 {
+			quadRange(a, b, c, i, kk, khi, p)
+		}
+		for ; i < a.Rows; i++ {
+			arow := a.Row(i)
+			crow := c.Row(i)
+			for k := kk; k < khi; k++ {
+				av := arow[k]
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// quadRange accumulates rows [i, i+4) of c += a x b over k in [kk, khi).
+func quadRange(a, b, c *Matrix, i, kk, khi, p int) {
+	r0, r1, r2, r3 := a.Row(i), a.Row(i+1), a.Row(i+2), a.Row(i+3)
+	c0 := c.Row(i)[:p]
+	c1 := c.Row(i + 1)[:p]
+	c2 := c.Row(i + 2)[:p]
+	c3 := c.Row(i + 3)[:p]
+	for k := kk; k < khi; k++ {
+		v0, v1, v2, v3 := r0[k], r1[k], r2[k], r3[k]
+		if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+			continue
+		}
+		brow := b.Row(k)
+		for j, bv := range brow {
+			c0[j] += v0 * bv
+			c1[j] += v1 * bv
+			c2[j] += v2 * bv
+			c3[j] += v3 * bv
+		}
+	}
+}
+
+// MatMulTanhInto computes c = tanh(a x b) with the activation fused into
+// the matmul epilogue: each quad of output rows gets its tanh applied
+// right after its accumulation finishes, while the rows are still cache
+// hot. This is the graph-convolution kernel (Z = tanh(M·W)) of the
+// quantized forward path. c must not alias a or b.
+func MatMulTanhInto(a, b, c *Matrix) {
+	checkMatMul("MatMulTanhInto", a, b, c)
+	for i := range c.Data {
+		c.Data[i] = 0
+	}
+	p := b.Cols
+	i := 0
+	for ; i+3 < a.Rows; i += 4 {
+		quadRange(a, b, c, i, 0, a.Cols, p)
+		for r := i; r < i+4; r++ {
+			tanhRow(c.Row(r))
+		}
+	}
+	for ; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+		tanhRow(crow)
+	}
+}
+
+func tanhRow(row []float32) {
+	for j, v := range row {
+		row[j] = Tanh(v)
+	}
+}
+
+func checkMatMul(op string, a, b, c *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("f32: %s inner dimension mismatch %dx%d x %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("f32: %s dst %dx%d, want %dx%d", op, c.Rows, c.Cols, a.Rows, b.Cols))
+	}
+	if len(c.Data) > 0 {
+		if (len(a.Data) > 0 && &c.Data[0] == &a.Data[0]) || (len(b.Data) > 0 && &c.Data[0] == &b.Data[0]) {
+			panic("f32: " + op + " destination aliases an input")
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package f32
+
+import (
+	"fmt"
+
+	"mvpar/internal/tensor"
+)
+
+// Sparse is a float32 CSR matrix. The integer structure (RowPtr, ColIdx)
+// is typically shared read-only with the float64 tensor.Sparse it was
+// quantized from; only the values are converted.
+type Sparse struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float32
+}
+
+// LoadSparse points s at src's structure and quantizes src's values into
+// valBuf (grown if needed), returning the value slice for reuse on the
+// next call. The RowPtr/ColIdx slices are shared, not copied — they are
+// read-only by the EncodedGraph contract.
+func LoadSparse(s *Sparse, src *tensor.Sparse, valBuf []float32) []float32 {
+	nnz := src.NNZ()
+	if cap(valBuf) < nnz {
+		valBuf = make([]float32, nnz)
+	}
+	valBuf = valBuf[:nnz]
+	for i, v := range src.Val {
+		valBuf[i] = float32(v)
+	}
+	s.Rows, s.Cols = src.Rows, src.Cols
+	s.RowPtr, s.ColIdx, s.Val = src.RowPtr, src.ColIdx, valBuf
+	return valBuf
+}
+
+// SpMMInto computes out = s x h, overwriting out. out must not alias h.
+// The kernel is serial, like the float64 one: the graphs this serves have
+// tens of nodes.
+func SpMMInto(s *Sparse, h, out *Matrix) {
+	if s.Cols != h.Rows {
+		panic(fmt.Sprintf("f32: SpMMInto inner dimension mismatch %dx%d x %dx%d", s.Rows, s.Cols, h.Rows, h.Cols))
+	}
+	if out.Rows != s.Rows || out.Cols != h.Cols {
+		panic(fmt.Sprintf("f32: SpMMInto dst %dx%d, want %dx%d", out.Rows, out.Cols, s.Rows, h.Cols))
+	}
+	if len(out.Data) > 0 && len(h.Data) > 0 && &out.Data[0] == &h.Data[0] {
+		panic("f32: SpMMInto destination aliases an input")
+	}
+	for i := range out.Data {
+		out.Data[i] = 0
+	}
+	for i := 0; i < s.Rows; i++ {
+		dst := out.Row(i)
+		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+			w := s.Val[k]
+			src := h.Row(s.ColIdx[k])
+			for j, v := range src {
+				dst[j] += w * v
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package f32
+
+import "math"
+
+// tanh is approximated by linear interpolation over a precomputed table:
+// tanhSteps intervals covering [0, tanhMax], odd-extended for negative
+// inputs, clamped to ±1 beyond tanhMax (where 1 - tanh(x) < 2e-7, below
+// float32 resolution). With h = tanhMax/tanhSteps ≈ 9.8e-4 the
+// interpolation error is bounded by h²·max|tanh”|/8 ≈ 9e-8 — under one
+// float32 ulp at 1.0 — so the table is accuracy-neutral for inference
+// while running several times faster than math.Tanh. The table is 32 KiB
+// and its hot center stays L1/L2-resident across a forward pass.
+const (
+	tanhMax   = 8.0
+	tanhSteps = 8192
+)
+
+var tanhTable [tanhSteps + 1]float32
+
+func init() {
+	for i := range tanhTable {
+		tanhTable[i] = float32(math.Tanh(float64(i) * tanhMax / tanhSteps))
+	}
+}
+
+// Tanh returns tanh(x) to float32 accuracy via table interpolation.
+func Tanh(x float32) float32 {
+	ax := x
+	if ax < 0 {
+		ax = -ax
+	}
+	// The negated comparison also catches NaN (then ax is saturated like
+	// an overflow, keeping the table index in range).
+	if !(ax < tanhMax) {
+		if x < 0 {
+			return -1
+		}
+		return 1
+	}
+	t := float64(ax) * (tanhSteps / tanhMax)
+	i := int(t)
+	frac := float32(t - float64(i))
+	y := tanhTable[i] + frac*(tanhTable[i+1]-tanhTable[i])
+	if x < 0 {
+		return -y
+	}
+	return y
+}
+
+// TanhInto applies Tanh elementwise in place.
+func TanhInto(m *Matrix) {
+	for i, v := range m.Data {
+		m.Data[i] = Tanh(v)
+	}
+}

@@ -76,6 +76,44 @@ func TestMatMulParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+func TestMatMulBlockedBitIdentical(t *testing.T) {
+	// The blocked kernel visits k blocks in ascending order and k ascends
+	// within each block with the same zero skip, so every output cell sees
+	// the identical floating-point operation sequence as the unblocked
+	// kernel. Training determinism leans on this: bit-identical, not
+	// approximately equal, including shapes that don't divide the block
+	// sizes and inputs with exact zeros (sparse one-hot features).
+	rng := rand.New(rand.NewSource(11))
+	for _, dims := range [][3]int{
+		{96, 96, 96}, {128, 128, 128}, {97, 65, 49}, {1, 200, 200},
+		{130, 90, 110}, {3, 5, 7}, {200, 64, 64}, {50, 300, 20},
+	} {
+		a := Randn(dims[0], dims[1], 1, rng)
+		for i := range a.Data {
+			if i%3 == 0 {
+				a.Data[i] = 0 // exercise the av == 0 skip on both paths
+			}
+		}
+		b := Randn(dims[1], dims[2], 1, rng)
+		got, want := MatMulBlockedSerial(a, b), MatMulSerial(a, b)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("%dx%dx%d: blocked kernel differs from unblocked at element %d: %g vs %g",
+					dims[0], dims[1], dims[2], i, got.Data[i], want.Data[i])
+			}
+		}
+		// The public entry points dispatch through the same two kernels, so
+		// they must agree bit-for-bit too.
+		viaDispatch := MatMul(a, b)
+		for i := range want.Data {
+			if viaDispatch.Data[i] != want.Data[i] {
+				t.Fatalf("%dx%dx%d: dispatched MatMul differs from serial at element %d",
+					dims[0], dims[1], dims[2], i)
+			}
+		}
+	}
+}
+
 func TestTransposeInvolution(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	a := Randn(5, 9, 1, rng)
