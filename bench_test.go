@@ -393,16 +393,11 @@ func BenchmarkMatMulBlocked(b *testing.B) {
 	}
 }
 
-// BenchmarkForwardF32 measures the full multi-view forward pass of a
-// trained model under both inference tiers on the same samples: float64
-// is the bit-identical reference path (PredictWithProba), float32 the
-// quantized fast path (PredictWithProbaF32) with pre-transposed weights,
-// table tanh and fused dense+activation. The benchgate pins the f32
-// tier's allocs/op at zero (arena steady state) and watches ns/op —
-// the fast path must stay well ahead of the reference (the acceptance
-// floor is 1.5x; measured ~2x). Parity of the *outputs* is enforced
-// elsewhere (mvpar parity, TestPredictWithProbaF32Parity).
-func BenchmarkForwardF32(b *testing.B) {
+// forwardBenchModel trains the shared fixture of the forward-tier
+// benchmarks (BenchmarkForwardF32, BenchmarkForwardI8): a small pipeline
+// over three corpus apps, returning the trained model and its samples.
+func forwardBenchModel(b *testing.B) (*gnn.MVGNN, []gnn.Sample) {
+	b.Helper()
 	all := bench.Corpus()
 	opts := core.Options{
 		Data: dataset.Config{
@@ -420,9 +415,21 @@ func BenchmarkForwardF32(b *testing.B) {
 	if _, err := pl.TrainOn([]bench.App{all[3], all[4], all[9]}); err != nil {
 		b.Fatal(err)
 	}
-	mv := pl.Model
+	return pl.Model, dataset.Samples(pl.Dataset.Records)
+}
+
+// BenchmarkForwardF32 measures the full multi-view forward pass of a
+// trained model under both inference tiers on the same samples: float64
+// is the bit-identical reference path (PredictWithProba), float32 the
+// quantized fast path (PredictWithProbaF32) with pre-transposed weights,
+// table tanh and fused dense+activation. The benchgate pins the f32
+// tier's allocs/op at zero (arena steady state) and watches ns/op —
+// the fast path must stay well ahead of the reference (the acceptance
+// floor is 1.5x; measured ~2x). Parity of the *outputs* is enforced
+// elsewhere (mvpar parity, TestPredictWithProbaF32Parity).
+func BenchmarkForwardF32(b *testing.B) {
+	mv, samples := forwardBenchModel(b)
 	mv.PrepareF32() // one-time quantization outside the timed region
-	samples := dataset.Samples(pl.Dataset.Records)
 	// Warm both arenas over every sample so allocs/op measures the
 	// steady state regardless of b.N (the benchgate compares runs at
 	// different -benchtime).
@@ -440,6 +447,43 @@ func BenchmarkForwardF32(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			mv.PredictWithProbaF32(samples[i%len(samples)])
+		}
+	})
+}
+
+// BenchmarkForwardI8 measures the int8 inference tier beside the same
+// float64/float32 subs on an identically trained model: per-channel
+// quantized weights, dynamic activation quantization, int32 accumulation,
+// dequantize-then-table-tanh epilogues (the sort-channel layer stays
+// float32 — see dgcnnWeightsI8). The benchgate pins int8 allocs/op at
+// zero (both arenas at steady state) and watches ns/op. Output drift is
+// licensed elsewhere (`mvpar parity -precision int8`,
+// TestPredictWithProbaI8Parity).
+func BenchmarkForwardI8(b *testing.B) {
+	mv, samples := forwardBenchModel(b)
+	mv.PrepareF32()
+	mv.PrepareI8() // one-time quantization outside the timed region
+	for _, s := range samples {
+		mv.PredictWithProba(s)
+		mv.PredictWithProbaF32(s)
+		mv.PredictWithProbaI8(s)
+	}
+	b.Run("float64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mv.PredictWithProba(samples[i%len(samples)])
+		}
+	})
+	b.Run("float32", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mv.PredictWithProbaF32(samples[i%len(samples)])
+		}
+	})
+	b.Run("int8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mv.PredictWithProbaI8(samples[i%len(samples)])
 		}
 	})
 }

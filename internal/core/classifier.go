@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 
 	"mvpar/internal/bench"
@@ -35,8 +36,10 @@ type Classifier struct {
 	model *gnn.MVGNN     // prototype; calls run on replicas
 
 	// precision selects the inference engine: PrecisionFloat64 (the
-	// bit-identity reference) or PrecisionFloat32 (the quantized fast
-	// path, parity-gated by `mvpar parity` rather than bit-identical).
+	// bit-identity reference), PrecisionFloat32 (the quantized fast path,
+	// parity-gated by `mvpar parity` rather than bit-identical) or
+	// PrecisionInt8 (the integer tier, licensed at a documented non-zero
+	// drift budget by `mvpar parity -precision int8`).
 	precision string
 
 	mu       sync.Mutex
@@ -52,17 +55,31 @@ const (
 	// kernels with fused activations. Labels and probabilities track the
 	// float64 reference within the accuracy-parity gate's tolerance.
 	PrecisionFloat32 = "float32"
+	// PrecisionInt8 is the integer tier: per-channel int8 weights, int32
+	// accumulators, dequantize-then-table-tanh epilogues. Licensed at a
+	// documented non-zero drift budget (`mvpar parity -precision int8`).
+	PrecisionInt8 = "int8"
 )
 
+// precisionTiers enumerates the valid tiers, reference first — the order
+// ParsePrecision's error message reports them in.
+var precisionTiers = []string{PrecisionFloat64, PrecisionFloat32, PrecisionInt8}
+
 // ParsePrecision validates a -precision flag value; empty means float64.
+// Input is normalized (surrounding whitespace trimmed, case folded) so
+// flag values like " Float32" or "INT8" resolve; an unknown tier errors
+// with the full list of valid ones.
 func ParsePrecision(s string) (string, error) {
-	switch s {
-	case "", PrecisionFloat64:
+	norm := strings.ToLower(strings.TrimSpace(s))
+	if norm == "" {
 		return PrecisionFloat64, nil
-	case PrecisionFloat32:
-		return PrecisionFloat32, nil
 	}
-	return "", fmt.Errorf("core: unknown precision %q (want %s or %s)", s, PrecisionFloat64, PrecisionFloat32)
+	for _, tier := range precisionTiers {
+		if norm == tier {
+			return tier, nil
+		}
+	}
+	return "", fmt.Errorf("core: unknown precision %q (valid tiers: %s)", s, strings.Join(precisionTiers, ", "))
 }
 
 // Classifier returns an inference handle bound to the pipeline's current
@@ -75,8 +92,9 @@ func (p *Pipeline) Classifier() (*Classifier, error) {
 }
 
 // ClassifierPrecision is Classifier with an explicit precision tier. For
-// PrecisionFloat32 the model is quantized once here (replicas share the
-// quantized weights); float64 handles are unchanged from Classifier.
+// PrecisionFloat32 and PrecisionInt8 the model is quantized once here
+// (replicas share the quantized weights); float64 handles are unchanged
+// from Classifier.
 func (p *Pipeline) ClassifierPrecision(precision string) (*Classifier, error) {
 	prec, err := ParsePrecision(precision)
 	if err != nil {
@@ -85,8 +103,11 @@ func (p *Pipeline) ClassifierPrecision(precision string) (*Classifier, error) {
 	if p.Model == nil || p.Dataset == nil {
 		return nil, fmt.Errorf("core: pipeline is untrained")
 	}
-	if prec == PrecisionFloat32 {
+	switch prec {
+	case PrecisionFloat32:
 		p.Model.PrepareF32()
+	case PrecisionInt8:
+		p.Model.PrepareI8()
 	}
 	// Encode with the pipeline's settings, reusing the trained inst2vec
 	// space and walk space so the features live in the model's input
@@ -102,7 +123,8 @@ func (p *Pipeline) ClassifierPrecision(precision string) (*Classifier, error) {
 	return &Classifier{cfg: cfg, model: p.Model, precision: prec}, nil
 }
 
-// Precision reports the handle's inference tier ("float64" or "float32").
+// Precision reports the handle's inference tier ("float64", "float32" or
+// "int8").
 func (c *Classifier) Precision() string {
 	if c.precision == "" {
 		return PrecisionFloat64
@@ -216,20 +238,27 @@ func (c *Classifier) classifyWith(ctx context.Context, cfg dataset.Config, name,
 		sample := rec.Sample
 		var pred int
 		var proba float64
-		f32 := c.precision == PrecisionFloat32
 		if len(rec.Degraded) > 0 {
-			if f32 {
+			switch c.precision {
+			case PrecisionFloat32:
 				pred, proba = model.PredictWithProbaF32NodeViewContext(ctx, sample)
-			} else {
+			case PrecisionInt8:
+				pred, proba = model.PredictWithProbaI8NodeViewContext(ctx, sample)
+			default:
 				pred, proba = model.PredictWithProbaNodeViewContext(ctx, sample)
 			}
 			obs.GetCounter("mvpar_degraded_predictions_total").Inc()
 			obs.Warn("classify.degraded", "program", name, "loop", rec.Meta.LoopID,
 				"reasons", fmt.Sprint(rec.Degraded))
-		} else if f32 {
-			pred, proba = model.PredictWithProbaF32Context(ctx, sample)
 		} else {
-			pred, proba = model.PredictWithProbaContext(ctx, sample)
+			switch c.precision {
+			case PrecisionFloat32:
+				pred, proba = model.PredictWithProbaF32Context(ctx, sample)
+			case PrecisionInt8:
+				pred, proba = model.PredictWithProbaI8Context(ctx, sample)
+			default:
+				pred, proba = model.PredictWithProbaContext(ctx, sample)
+			}
 		}
 		lp := LoopPrediction{
 			LoopID:   rec.Meta.LoopID,

@@ -1,0 +1,83 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"mvpar/internal/core"
+)
+
+// TestParsePrecision pins the flag-value contract: empty means float64,
+// all three tiers resolve with surrounding whitespace and arbitrary case
+// folded away, and an unknown tier errors with every valid tier named.
+func TestParsePrecision(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"", core.PrecisionFloat64, true},
+		{"float64", core.PrecisionFloat64, true},
+		{"float32", core.PrecisionFloat32, true},
+		{"int8", core.PrecisionInt8, true},
+		{"Float64", core.PrecisionFloat64, true},
+		{"FLOAT32", core.PrecisionFloat32, true},
+		{"Int8", core.PrecisionInt8, true},
+		{"INT8", core.PrecisionInt8, true},
+		{" float32", core.PrecisionFloat32, true},
+		{"int8\t", core.PrecisionInt8, true},
+		{"  Float64  ", core.PrecisionFloat64, true},
+		{"   ", core.PrecisionFloat64, true}, // whitespace-only = unset
+		{"f32", "", false},
+		{"float16", "", false},
+		{"int", "", false},
+		{"int 8", "", false},
+	}
+	for _, tc := range cases {
+		got, err := core.ParsePrecision(tc.in)
+		if tc.ok {
+			if err != nil {
+				t.Errorf("ParsePrecision(%q) errored: %v", tc.in, err)
+			} else if got != tc.want {
+				t.Errorf("ParsePrecision(%q) = %q, want %q", tc.in, got, tc.want)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("ParsePrecision(%q) = %q, want error", tc.in, got)
+			continue
+		}
+		for _, tier := range []string{core.PrecisionFloat64, core.PrecisionFloat32, core.PrecisionInt8} {
+			if !strings.Contains(err.Error(), tier) {
+				t.Errorf("ParsePrecision(%q) error %q does not name tier %q", tc.in, err, tier)
+			}
+		}
+	}
+}
+
+// TestClassifierFingerprintDistinctAcrossTiers: the precision tier is part
+// of the classifier fingerprint, so the serving layer's response cache and
+// generation identity can never mix tiers that answer differently.
+func TestClassifierFingerprintDistinctAcrossTiers(t *testing.T) {
+	pl := core.NewPipeline(tinyOptions())
+	if _, err := pl.TrainOn(tinyApps()); err != nil {
+		t.Fatal(err)
+	}
+	fps := map[string]string{}
+	for _, tier := range []string{core.PrecisionFloat64, core.PrecisionFloat32, core.PrecisionInt8} {
+		cls, err := pl.ClassifierPrecision(tier)
+		if err != nil {
+			t.Fatalf("tier %s: %v", tier, err)
+		}
+		if got := cls.Precision(); got != tier {
+			t.Fatalf("tier %s: Precision() = %q", tier, got)
+		}
+		fp := cls.Fingerprint()
+		for other, ofp := range fps {
+			if fp == ofp {
+				t.Fatalf("tiers %s and %s share fingerprint %s", tier, other, fp)
+			}
+		}
+		fps[tier] = fp
+	}
+}

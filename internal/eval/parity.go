@@ -42,6 +42,10 @@ type SuiteParity struct {
 // accuracy drift, every label flip loop-by-loop, and the worst
 // probability drift observed.
 type ParityReport struct {
+	// Tier names the fast tier under comparison (e.g. "float32", "int8");
+	// the reference is always float64. Empty renders as "float32" so
+	// reports built before tiers existed keep their wording.
+	Tier   string
 	Suites []SuiteParity
 	Flips  []ParityPair
 	N      int
@@ -121,12 +125,22 @@ func (r *ParityReport) Check(accTol float64, maxFlips int) error {
 	return nil
 }
 
+// tier returns the fast tier's display name.
+func (r *ParityReport) tier() string {
+	if r.Tier == "" {
+		return "float32"
+	}
+	return r.Tier
+}
+
 // Render formats the report: the per-suite accuracy table followed by
-// every label flip, loop by loop.
+// every label flip, loop by loop. The header and accuracy column name the
+// fast tier under comparison; the reference column is always float64.
 func (r *ParityReport) Render() string {
+	tier := r.tier()
 	t := &Table{
-		Title:   fmt.Sprintf("Accuracy parity over %d loops (float32 fast path vs float64 reference)", r.N),
-		Headers: []string{"suite", "loops", "acc(f64)", "acc(f32)", "drift", "flips"},
+		Title:   fmt.Sprintf("Accuracy parity over %d loops (%s fast path vs float64 reference)", r.N, tier),
+		Headers: []string{"suite", "loops", "acc(f64)", "acc(" + tier + ")", "drift", "flips"},
 	}
 	for _, s := range r.Suites {
 		t.AddRow(s.Suite, fmt.Sprint(s.N), Pct(s.RefAcc), Pct(s.FastAcc),
@@ -141,8 +155,8 @@ func (r *ParityReport) Render() string {
 	}
 	fmt.Fprintf(&b, "label flips (%d):\n", len(r.Flips))
 	for _, p := range r.Flips {
-		fmt.Fprintf(&b, "  %s/%s loop %d: f64=%d (p=%.4f) f32=%d (p=%.4f) truth=%d\n",
-			p.Suite, p.Program, p.LoopID, p.RefLabel, p.RefProba, p.FastLabel, p.FastProba, p.Truth)
+		fmt.Fprintf(&b, "  %s/%s loop %d: f64=%d (p=%.4f) %s=%d (p=%.4f) truth=%d\n",
+			p.Suite, p.Program, p.LoopID, p.RefLabel, p.RefProba, tier, p.FastLabel, p.FastProba, p.Truth)
 	}
 	return b.String()
 }

@@ -78,6 +78,28 @@ func TestParityRender(t *testing.T) {
 	}
 }
 
+// TestParityRenderTier: the report header, accuracy column and flip lines
+// name the tier under comparison; an unset tier keeps the float32 wording.
+func TestParityRenderTier(t *testing.T) {
+	pairs := parityFixture()
+	pairs[0].FastLabel = 0
+	r := Parity(pairs)
+	r.Tier = "int8"
+	out := r.Render()
+	for _, want := range []string{"int8 fast path vs float64 reference", "acc(int8)", "int8=0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tier render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "float32") {
+		t.Fatalf("int8 render still mentions float32:\n%s", out)
+	}
+	r.Tier = ""
+	if def := r.Render(); !strings.Contains(def, "float32 fast path vs float64 reference") || !strings.Contains(def, "acc(float32)") {
+		t.Fatalf("default tier render lost float32 wording:\n%s", def)
+	}
+}
+
 func TestParityEmpty(t *testing.T) {
 	r := Parity(nil)
 	if r.N != 0 || len(r.Suites) != 0 || len(r.Flips) != 0 {

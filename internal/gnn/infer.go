@@ -117,3 +117,58 @@ func (m *MVGNN) PredictWithProbaF32NodeViewContext(ctx context.Context, s Sample
 	}
 	return m.PredictWithProbaF32NodeView(s)
 }
+
+// quantizedI8 returns the lazily built int8 inference replica, with the
+// same freeze-before-first-use contract as quantized().
+func (m *MVGNN) quantizedI8() *MVGNNI8 {
+	if m.i8 == nil {
+		m.i8 = m.QuantizeI8()
+	}
+	return m.i8
+}
+
+// PrepareI8 performs the one-time int8 model quantization eagerly, so
+// later Replicate calls share the quantized weights instead of each
+// replica lazily re-quantizing on its first int8 prediction. Call it once
+// on the frozen prototype before fanning out serving replicas.
+func (m *MVGNN) PrepareI8() { m.quantizedI8() }
+
+// PredictWithProbaI8 is PredictWithProba on the int8 tier: per-channel
+// quantized weights, int32 accumulators, dequantize-then-table-tanh
+// epilogues. Labels and probabilities track the float64 path within the
+// int8 parity gate's documented drift budget (`mvpar parity -precision
+// int8`) — looser than float32's, and never bit-identical.
+func (m *MVGNN) PredictWithProbaI8(s Sample) (int, float64) {
+	return m.quantizedI8().PredictWithProba(s)
+}
+
+// PredictWithProbaI8NodeView is the int8 degraded path (node view only),
+// mirroring PredictWithProbaNodeView.
+func (m *MVGNN) PredictWithProbaI8NodeView(s Sample) (int, float64) {
+	return m.quantizedI8().PredictWithProbaNodeView(s)
+}
+
+// PredictWithProbaI8Context is the traced int8 variant; the span carries
+// precision=int8 so traces show which engine answered.
+func (m *MVGNN) PredictWithProbaI8Context(ctx context.Context, s Sample) (int, float64) {
+	_, sp := trace.StartSpan(ctx, "gnn.forward")
+	if sp != nil {
+		sp.SetAttrInt("loop", int64(s.Meta.LoopID))
+		sp.SetAttr("precision", "int8")
+		defer sp.End()
+	}
+	return m.PredictWithProbaI8(s)
+}
+
+// PredictWithProbaI8NodeViewContext is the traced int8 degraded-path
+// variant.
+func (m *MVGNN) PredictWithProbaI8NodeViewContext(ctx context.Context, s Sample) (int, float64) {
+	_, sp := trace.StartSpan(ctx, "gnn.forward")
+	if sp != nil {
+		sp.SetAttrInt("loop", int64(s.Meta.LoopID))
+		sp.SetAttr("view", "node")
+		sp.SetAttr("precision", "int8")
+		defer sp.End()
+	}
+	return m.PredictWithProbaI8NodeView(s)
+}

@@ -55,6 +55,11 @@ type MVGNN struct {
 	// the weights at first use, so it must only be exercised on a frozen
 	// (post-training) model.
 	f32 *MVGNNF32
+
+	// i8 caches the lazily built int8 inference replica behind
+	// PredictWithProbaI8*, under the same goroutine-privacy and
+	// freeze-before-first-use contract as f32.
+	i8 *MVGNNI8
 }
 
 // NewMVGNN builds the binary multi-view model. nodeDim and structDim are
@@ -121,11 +126,14 @@ func (m *MVGNN) Replicate() *MVGNN {
 		arena:       arena,
 		predictMode: m.predictMode,
 	}
-	// If the prototype was quantized (PrepareF32), replicas share the
-	// quantized weights and only allocate private scratch — the one-time
-	// quantization cost is not paid per replica.
+	// If the prototype was quantized (PrepareF32/PrepareI8), replicas
+	// share the quantized weights and only allocate private scratch — the
+	// one-time quantization cost is not paid per replica.
 	if m.f32 != nil {
 		r.f32 = m.f32.Replicate()
+	}
+	if m.i8 != nil {
+		r.i8 = m.i8.Replicate()
 	}
 	return r
 }

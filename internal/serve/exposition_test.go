@@ -32,6 +32,7 @@ func TestServeMetricsExpositionConformance(t *testing.T) {
 		"mvpar_http_degraded_responses_total",
 		"mvpar_chaos_injections_total",
 		"mvpar_classify_requests_float32_total",
+		"mvpar_classify_requests_int8_total",
 	} {
 		obs.GetCounter(name).Add(0)
 	}
@@ -75,6 +76,7 @@ func TestServeMetricsExpositionConformance(t *testing.T) {
 		`precision="float64"`,
 		"# TYPE mvpar_classify_requests_float64_total counter",
 		"# TYPE mvpar_classify_requests_float32_total counter",
+		"# TYPE mvpar_classify_requests_int8_total counter",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q", want)

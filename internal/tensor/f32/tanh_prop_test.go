@@ -1,0 +1,91 @@
+package f32
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property tests for the table tanh shared by the f32 and i8 dequant
+// epilogues. The properties below are what the quantized tiers lean on:
+// symmetry keeps the int8 grid symmetric through the activation,
+// monotonicity preserves orderings (SortPooling reads activations), and
+// exact saturation pins the clamp region both tiers dequantize into.
+
+// TestTanhSymmetry: tanh(-x) == -tanh(x) bit-for-bit, for arguments
+// across the table, at table knots, between knots, and in the clamp
+// region. The implementation folds negatives by construction; this pins
+// that no future rewrite (e.g. a vectorized epilogue) breaks oddness.
+func TestTanhSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	check := func(x float32) {
+		t.Helper()
+		if got, want := Tanh(-x), -Tanh(x); got != want {
+			t.Fatalf("Tanh(-%v) = %v, want %v", x, got, want)
+		}
+	}
+	check(0)
+	check(tanhMax)
+	check(math.MaxFloat32)
+	for i := 0; i < 2000; i++ {
+		check(float32(rng.Float64() * 10))
+	}
+	// Exactly on and just off table knots.
+	const h = tanhMax / tanhSteps
+	for _, k := range []int{1, 2, 17, 4095, 8191} {
+		check(float32(k) * h)
+		check(float32(k)*h + h/3)
+	}
+}
+
+// TestTanhMonotoneAcrossTableSteps: for any x1 < x2 the interpolated
+// values must satisfy Tanh(x1) <= Tanh(x2) — including pairs that
+// straddle a knot, where a non-monotone table or a sign slip in the
+// interpolation would show up.
+func TestTanhMonotoneAcrossTableSteps(t *testing.T) {
+	const h = tanhMax / tanhSteps
+	// Dense sweep across several table steps at a time, spanning the full
+	// range including the saturation boundary.
+	prev := Tanh(-tanhMax - 1)
+	for x := -tanhMax - 1; x <= tanhMax+1; x += h / 3 {
+		y := Tanh(float32(x))
+		if y < prev {
+			t.Fatalf("Tanh not monotone: Tanh(%v) = %v < %v", x, y, prev)
+		}
+		prev = y
+	}
+	// The table itself must be strictly increasing (linear interpolation
+	// inherits monotonicity from its knots).
+	for i := 1; i < len(tanhTable); i++ {
+		if tanhTable[i] < tanhTable[i-1] {
+			t.Fatalf("tanhTable[%d] = %v < tanhTable[%d] = %v", i, tanhTable[i], i-1, tanhTable[i-1])
+		}
+	}
+}
+
+// TestTanhSaturatesExactlyAtClampBoundaries: at and beyond ±tanhMax the
+// result must be exactly ±1 — not merely close — because downstream
+// quantization takes max-magnitude over activations and an epsilon above
+// 1.0 would silently stretch the int8 grid.
+func TestTanhSaturatesExactlyAtClampBoundaries(t *testing.T) {
+	for _, x := range []float32{tanhMax, tanhMax + 1e-6, 9, 100, math.MaxFloat32, float32(math.Inf(1))} {
+		if got := Tanh(x); got != 1 {
+			t.Errorf("Tanh(%v) = %v, want exactly 1", x, got)
+		}
+		if got := Tanh(-x); got != -1 {
+			t.Errorf("Tanh(%v) = %v, want exactly -1", -x, got)
+		}
+	}
+	// Just inside the clamp the value must stay strictly below 1 in
+	// float64 terms only if the table says so; what matters here is it
+	// never exceeds the clamp value.
+	for _, x := range []float32{tanhMax - 1e-3, tanhMax * 0.999} {
+		if got := Tanh(x); got > 1 {
+			t.Errorf("Tanh(%v) = %v exceeds 1", x, got)
+		}
+	}
+	// NaN saturates by sign rather than escaping the table range.
+	if got := Tanh(float32(math.NaN())); got != 1 && got != -1 {
+		t.Errorf("Tanh(NaN) = %v, want a saturated value", got)
+	}
+}

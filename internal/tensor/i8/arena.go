@@ -1,0 +1,138 @@
+package i8
+
+// Arena is the int8 tier's free-list scratch allocator, mirroring
+// f32.Arena with two buffer classes: int8 matrices (quantized activations)
+// and int32 accumulators. Get/GetAcc hand out zeroed buffers (recycling a
+// returned one of the same element count when free) and Reset reclaims
+// everything handed out since the last Reset, so a steady-state forward
+// pass allocates nothing after one warm-up sample.
+//
+// Free buffers are bucketed by element count in a small linear-scan slice
+// rather than a map: a forward pass touches under a dozen distinct sizes,
+// and on the hot path the scan is cheaper than hashing (the map variant
+// showed up as measurable memhash/mapassign time in the forward profile).
+//
+// The float64 lifecycle rules apply unchanged (docs/performance.md): one
+// arena per model replica, never shared across goroutines; Reset exactly
+// once per sample at the start of the forward pass; callers may read a
+// returned buffer only until the next forward. A nil *Arena falls back to
+// plain heap allocation.
+type Arena struct {
+	free    []sizeClass    // element count -> reusable int8 buffers
+	freeAcc []sizeClassAcc // element count -> reusable int32 buffers
+	used    []*Matrix
+	usedAcc []*Acc
+}
+
+type sizeClass struct {
+	n    int
+	bufs []*Matrix
+}
+
+type sizeClassAcc struct {
+	n    int
+	bufs []*Acc
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{}
+}
+
+// Get returns a zeroed rows x cols int8 matrix owned by the arena until
+// the next Reset. On a nil arena it simply heap-allocates.
+func (a *Arena) Get(rows, cols int) *Matrix {
+	if a == nil {
+		return New(rows, cols)
+	}
+	n := rows * cols
+	var m *Matrix
+	for ci := range a.free {
+		if c := &a.free[ci]; c.n == n && len(c.bufs) > 0 {
+			m = c.bufs[len(c.bufs)-1]
+			c.bufs = c.bufs[:len(c.bufs)-1]
+			m.Rows, m.Cols = rows, cols
+			for i := range m.Data {
+				m.Data[i] = 0
+			}
+			break
+		}
+	}
+	if m == nil {
+		m = New(rows, cols)
+	}
+	a.used = append(a.used, m)
+	return m
+}
+
+// GetAcc returns a zeroed rows x cols int32 accumulator owned by the
+// arena until the next Reset. On a nil arena it simply heap-allocates.
+func (a *Arena) GetAcc(rows, cols int) *Acc {
+	if a == nil {
+		return NewAcc(rows, cols)
+	}
+	n := rows * cols
+	var m *Acc
+	for ci := range a.freeAcc {
+		if c := &a.freeAcc[ci]; c.n == n && len(c.bufs) > 0 {
+			m = c.bufs[len(c.bufs)-1]
+			c.bufs = c.bufs[:len(c.bufs)-1]
+			m.Rows, m.Cols = rows, cols
+			for i := range m.Data {
+				m.Data[i] = 0
+			}
+			break
+		}
+	}
+	if m == nil {
+		m = NewAcc(rows, cols)
+	}
+	a.usedAcc = append(a.usedAcc, m)
+	return m
+}
+
+// Reset reclaims every buffer handed out since the last Reset. The caller
+// must no longer hold references into them. No-op on a nil arena.
+func (a *Arena) Reset() {
+	if a == nil {
+		return
+	}
+	for i, m := range a.used {
+		a.release(len(m.Data), m)
+		a.used[i] = nil
+	}
+	a.used = a.used[:0]
+	for i, m := range a.usedAcc {
+		a.releaseAcc(len(m.Data), m)
+		a.usedAcc[i] = nil
+	}
+	a.usedAcc = a.usedAcc[:0]
+}
+
+func (a *Arena) release(n int, m *Matrix) {
+	for ci := range a.free {
+		if c := &a.free[ci]; c.n == n {
+			c.bufs = append(c.bufs, m)
+			return
+		}
+	}
+	a.free = append(a.free, sizeClass{n: n, bufs: []*Matrix{m}})
+}
+
+func (a *Arena) releaseAcc(n int, m *Acc) {
+	for ci := range a.freeAcc {
+		if c := &a.freeAcc[ci]; c.n == n {
+			c.bufs = append(c.bufs, m)
+			return
+		}
+	}
+	a.freeAcc = append(a.freeAcc, sizeClassAcc{n: n, bufs: []*Acc{m}})
+}
+
+// Live returns how many buffers are currently handed out (test hook).
+func (a *Arena) Live() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.used) + len(a.usedAcc)
+}

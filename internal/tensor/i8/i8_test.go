@@ -1,0 +1,430 @@
+package i8
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mvpar/internal/tensor"
+	"mvpar/internal/tensor/f32"
+)
+
+// quantTol is the blanket comparison tolerance for one quantized product:
+// two operands each rounded to 1/254 of their range compound to roughly
+// 1% of the output magnitude at these shapes.
+const quantTol = 2e-2
+
+// matchesF64 checks a float32 matrix against a float64 reference within
+// tol scaled by the larger of the reference magnitude and refScale (the
+// output's dynamic range — quantization error is absolute over the grid,
+// not relative to each element).
+func matchesF64(t *testing.T, name string, got *f32.Matrix, want *tensor.Matrix, tol, refScale float64) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		w := want.Data[i]
+		scale := math.Abs(w)
+		if scale < refScale {
+			scale = refScale
+		}
+		if diff := math.Abs(float64(got.Data[i]) - w); diff > tol*scale {
+			t.Fatalf("%s: element %d = %g, want %g (diff %g)", name, i, got.Data[i], w, diff)
+		}
+	}
+}
+
+func maxAbs64(m *tensor.Matrix) float64 {
+	var ma float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > ma {
+			ma = a
+		}
+	}
+	return ma
+}
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	src := tensor.FromRows([][]float64{{1, -2, 0.5}, {0.25, -0.125, 2}})
+	dst := New(2, 3)
+	scale := QuantizeTensorInto(src, dst)
+	if scale <= 0 {
+		t.Fatalf("scale = %v", scale)
+	}
+	for i, v := range src.Data {
+		back := float64(dst.Data[i]) * float64(scale)
+		if math.Abs(back-v) > float64(scale)/2+1e-9 {
+			t.Fatalf("element %d round-trips to %g, want within half a step of %g", i, back, v)
+		}
+	}
+	// The extreme value must land exactly on ±127.
+	hit := false
+	for _, q := range dst.Data {
+		if q == 127 || q == -127 {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatal("no element uses the full quantization range")
+	}
+}
+
+func TestQuantizeSymmetry(t *testing.T) {
+	// Symmetric (zero-point-free) quantization must map -x to -code(x).
+	src := tensor.FromRows([][]float64{{0.7, -0.7, 0.31, -0.31, 1.9, -1.9, 0.003, -0.003, 0}})
+	dst := New(1, 9)
+	QuantizeTensorInto(src, dst)
+	for i := 0; i+1 < 8; i += 2 {
+		if dst.Data[i] != -dst.Data[i+1] {
+			t.Fatalf("codes for ±%g are %d and %d, want negations", src.Data[i], dst.Data[i], dst.Data[i+1])
+		}
+	}
+	if dst.Data[8] != 0 {
+		t.Fatalf("code for 0 is %d", dst.Data[8])
+	}
+}
+
+func TestQuantizeZeroTensor(t *testing.T) {
+	src := tensor.New(3, 3)
+	dst := New(3, 3)
+	scale := QuantizeTensorInto(src, dst)
+	if scale != 1 {
+		t.Fatalf("zero tensor scale = %v, want 1", scale)
+	}
+	for _, q := range dst.Data {
+		if q != 0 {
+			t.Fatalf("zero tensor quantized to %v", dst.Data)
+		}
+	}
+}
+
+func TestMatMulIntoMatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, dims := range [][3]int{{1, 5, 3}, {4, 4, 4}, {7, 9, 5}, {33, 17, 21}, {130, 140, 150}, {3, 0, 2}} {
+		a64 := tensor.Randn(dims[0], dims[1], 1, rng)
+		for i := range a64.Data {
+			if i%4 == 0 {
+				a64.Data[i] = 0 // exercise the zero skips
+			}
+		}
+		b64 := tensor.Randn(dims[1], dims[2], 1, rng)
+		want := tensor.MatMul(a64, b64)
+
+		var aScales []float32
+		aq := New(dims[0], dims[1])
+		af := f32.FromMatrix(a64)
+		aScales = QuantizeRowsF32Into(af, aq, aScales)
+		bq, bScales := QuantizeColsPerChannel(b64)
+		acc := NewAcc(dims[0], dims[2])
+		MatMulInto(aq, bq, acc)
+
+		out := f32.New(dims[0], dims[2])
+		DequantInto(acc, aScales, bScales, out)
+		// Quantization error scales with the product's dynamic range.
+		refScale := maxAbs64(a64) * maxAbs64(b64) * math.Sqrt(float64(dims[1])+1)
+		matchesF64(t, "MatMulInto", out, want, quantTol, refScale)
+
+		// The fused epilogue must agree exactly with tanh over the plain
+		// dequantization (its fidelity to f64 is covered just above).
+		outT := f32.New(dims[0], dims[2])
+		DequantTanhInto(acc, aScales, bScales, outT)
+		for i, v := range out.Data {
+			if outT.Data[i] != f32.Tanh(v) {
+				t.Fatalf("DequantTanhInto element %d = %g, want tanh(%g) = %g", i, outT.Data[i], v, f32.Tanh(v))
+			}
+		}
+	}
+}
+
+func TestSpMMIntoMatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	rowPtr := []int{0, 2, 3, 3, 6}
+	colIdx := []int{0, 2, 1, 0, 1, 3}
+	val := []float64{0.5, 0.25, 1, -1, 0.125, 2}
+	s64 := tensor.NewCSR(4, 4, rowPtr, colIdx, val)
+	h64 := tensor.Randn(4, 6, 1, rng)
+	want := tensor.SpMM(s64, h64)
+
+	var s Sparse
+	vals := LoadSparse(&s, s64, nil)
+	hq := New(4, 6)
+	hScale := QuantizeTensorInto(h64, hq)
+	acc := NewAcc(4, 6)
+	SpMMInto(&s, hq, acc)
+
+	out := f32.New(4, 6)
+	comb := s.Scale * hScale
+	for i := range acc.Data {
+		out.Data[i] = float32(acc.Data[i]) * comb
+	}
+	refScale := maxAbs64(h64) * 2 * 3 // max |adj| * max row fan-in
+	matchesF64(t, "SpMMInto", out, want, quantTol, refScale)
+
+	// Reloading with the same buffer must not allocate a new value slice.
+	vals2 := LoadSparse(&s, s64, vals)
+	if &vals2[0] != &vals[0] {
+		t.Fatal("LoadSparse did not reuse the value buffer")
+	}
+}
+
+func TestRequantRowsInto(t *testing.T) {
+	acc := NewAcc(3, 4)
+	copy(acc.Data, []int32{100, -200, 50, 0, 0, 0, 0, 0, 30000, 15000, -30000, 7500})
+	const accScale = 0.001
+	dst := New(3, 4)
+	scales := RequantRowsInto(acc, accScale, dst, nil)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			got := float64(dst.Row(i)[j]) * float64(scales[i])
+			want := float64(acc.Row(i)[j]) * accScale
+			// Half a quantization step, padded for the exact-tie case
+			// (round-half-away lands on the boundary) and for the float32
+			// rounding of the scale itself.
+			if math.Abs(got-want) > float64(scales[i])*0.5001 {
+				t.Fatalf("(%d,%d): requant %g, want within half a step of %g", i, j, got, want)
+			}
+		}
+	}
+	// Row maxima must use the full code range; the zero row must be all 0.
+	if dst.Row(0)[1] != -127 || dst.Row(2)[0] != 127 {
+		t.Fatalf("row extremes not at ±127: %v / %v", dst.Row(0), dst.Row(2))
+	}
+	for _, q := range dst.Row(1) {
+		if q != 0 {
+			t.Fatalf("zero row requantized to %v", dst.Row(1))
+		}
+	}
+	// Reuse: the returned scales buffer must be recycled on a second call.
+	scales2 := RequantRowsInto(acc, accScale, dst, scales)
+	if &scales2[0] != &scales[0] {
+		t.Fatal("RequantRowsInto did not reuse the scales buffer")
+	}
+}
+
+func TestDenseForwardMatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	x64 := tensor.Randn(1, 48, 1, rng)
+	w64 := tensor.Randn(48, 10, 1, rng)
+	b64 := tensor.Randn(1, 10, 1, rng)
+	want := tensor.AddRowVec(tensor.MatMul(x64, w64), b64)
+
+	xq := New(1, 48)
+	xScale := QuantizeTensorInto(x64, xq)
+	wt, wScales := QuantizeTransposedPerChannel(w64)
+	bias := make([]float32, 10)
+	for i, v := range b64.Data {
+		bias[i] = float32(v)
+	}
+
+	out := f32.New(1, 10)
+	DenseForwardInto(xq, xScale, wt, wScales, bias, out)
+	refScale := maxAbs64(x64) * maxAbs64(w64) * math.Sqrt(48)
+	matchesF64(t, "DenseForwardInto", out, want, quantTol, refScale)
+
+	outT := f32.New(1, 10)
+	DenseTanhForwardInto(xq, xScale, wt, wScales, bias, outT)
+	matchesF64(t, "DenseTanhForwardInto", outT, tensor.Apply(want, math.Tanh), quantTol, math.Sqrt(49))
+}
+
+func TestQuantizePerChannelLayouts(t *testing.T) {
+	src := tensor.FromRows([][]float64{{1, 200}, {2, -100}, {-4, 50}})
+	// Transposed layout: row j of wt is column j of src, scaled by its own
+	// channel maximum — the small channel must keep full resolution next
+	// to the large one (the point of per-channel over per-tensor).
+	wt, wScales := QuantizeTransposedPerChannel(src)
+	if wt.Rows != 2 || wt.Cols != 3 || len(wScales) != 2 {
+		t.Fatalf("transposed shape %dx%d, %d scales", wt.Rows, wt.Cols, len(wScales))
+	}
+	if wt.Row(0)[2] != -127 || wt.Row(1)[0] != 127 {
+		t.Fatalf("per-channel extremes not at ±127: %v / %v", wt.Row(0), wt.Row(1))
+	}
+	for j := 0; j < 2; j++ {
+		for i := 0; i < 3; i++ {
+			back := float64(wt.Row(j)[i]) * float64(wScales[j])
+			if math.Abs(back-src.At(i, j)) > float64(wScales[j])/2+1e-9 {
+				t.Fatalf("transposed (%d,%d) round-trips to %g, want %g", j, i, back, src.At(i, j))
+			}
+		}
+	}
+	// Column-scale layout keeps src's shape.
+	cq, cScales := QuantizeColsPerChannel(src)
+	if cq.Rows != 3 || cq.Cols != 2 {
+		t.Fatalf("col layout shape %dx%d", cq.Rows, cq.Cols)
+	}
+	for j := 0; j < 2; j++ {
+		if cScales[j] != wScales[j] {
+			t.Fatalf("column scale %d: %v vs transposed %v", j, cScales[j], wScales[j])
+		}
+		for i := 0; i < 3; i++ {
+			if cq.Row(i)[j] != wt.Row(j)[i] {
+				t.Fatalf("code mismatch between layouts at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Row layout (already out x in, the Conv1D case).
+	rq, rScales := QuantizeRowsPerChannel(src)
+	if rq.Rows != 3 || len(rScales) != 3 {
+		t.Fatalf("row layout shape %dx%d, %d scales", rq.Rows, rq.Cols, len(rScales))
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			back := float64(rq.Row(i)[j]) * float64(rScales[i])
+			if math.Abs(back-src.At(i, j)) > float64(rScales[i])/2+1e-9 {
+				t.Fatalf("row layout (%d,%d) round-trips to %g, want %g", i, j, back, src.At(i, j))
+			}
+		}
+	}
+}
+
+func TestDotOverflowHeadroom(t *testing.T) {
+	// Worst-case codes: 8192 elements of 127*127 stay far inside int32.
+	n := 8192
+	a := make([]int8, n)
+	b := make([]int8, n)
+	for i := range a {
+		a[i], b[i] = 127, 127
+	}
+	want := int32(n) * 127 * 127
+	if got := Dot(a, b); got != want {
+		t.Fatalf("Dot = %d, want %d", got, want)
+	}
+	for i := range b {
+		b[i] = -127
+	}
+	if got := Dot(a, b); got != -want {
+		t.Fatalf("Dot = %d, want %d", got, -want)
+	}
+}
+
+func TestArena(t *testing.T) {
+	a := NewArena()
+	m1 := a.Get(2, 3)
+	acc1 := a.GetAcc(4, 5)
+	if a.Live() != 2 {
+		t.Fatalf("Live = %d, want 2", a.Live())
+	}
+	m1.Data[0] = 42
+	acc1.Data[0] = 7
+	a.Reset()
+	if a.Live() != 0 {
+		t.Fatalf("Live after Reset = %d", a.Live())
+	}
+	// Same element count → recycled storage, zeroed, possibly reshaped.
+	m2 := a.Get(3, 2)
+	if &m2.Data[0] != &m1.Data[0] {
+		t.Fatal("int8 buffer not recycled")
+	}
+	if m2.Data[0] != 0 {
+		t.Fatal("recycled int8 buffer not zeroed")
+	}
+	acc2 := a.GetAcc(5, 4)
+	if &acc2.Data[0] != &acc1.Data[0] {
+		t.Fatal("int32 buffer not recycled")
+	}
+	if acc2.Data[0] != 0 {
+		t.Fatal("recycled int32 buffer not zeroed")
+	}
+	// Steady state allocates nothing.
+	warm := func() {
+		a.Reset()
+		a.Get(2, 3)
+		a.GetAcc(4, 5)
+	}
+	warm()
+	if n := testing.AllocsPerRun(20, warm); n != 0 {
+		t.Fatalf("steady-state arena cycle allocates %v/op", n)
+	}
+	// Nil arena falls back to heap allocation and no-ops Reset/Live.
+	var nilA *Arena
+	if m := nilA.Get(1, 1); m == nil {
+		t.Fatal("nil arena Get returned nil")
+	}
+	if acc := nilA.GetAcc(1, 1); acc == nil {
+		t.Fatal("nil arena GetAcc returned nil")
+	}
+	nilA.Reset()
+	if nilA.Live() != 0 {
+		t.Fatal("nil arena Live != 0")
+	}
+}
+
+// TestQuantizeColsInto: per-column grids must keep full resolution in a
+// small column sitting next to a large one (the point over per-tensor),
+// for both the float64 and float32 sources, with scale-buffer reuse.
+func TestQuantizeColsInto(t *testing.T) {
+	src := tensor.FromRows([][]float64{{0.01, 200}, {-0.02, -100}, {0.04, 50}})
+	dst := New(3, 2)
+	scales := QuantizeColsInto(src, dst, nil)
+	if len(scales) != 2 {
+		t.Fatalf("%d scales for 2 columns", len(scales))
+	}
+	// Column maxima land exactly on ±127; the small column keeps its own
+	// grid (0.01 would round to 0 on the large column's scale).
+	if dst.Row(2)[0] != 127 || dst.Row(0)[1] != 127 {
+		t.Fatalf("column extremes not at 127: %v %v %v", dst.Row(0), dst.Row(1), dst.Row(2))
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			back := float64(dst.Row(i)[j]) * float64(scales[j])
+			if math.Abs(back-src.At(i, j)) > float64(scales[j])*0.5001 {
+				t.Fatalf("(%d,%d): %g round-trips to %g on scale %g", i, j, src.At(i, j), back, scales[j])
+			}
+		}
+	}
+
+	f := f32.FromMatrix(src)
+	dst32 := New(3, 2)
+	scales32 := QuantizeColsF32Into(f, dst32, scales)
+	if &scales32[0] != &scales[0] {
+		t.Fatal("QuantizeColsF32Into did not reuse the scales buffer")
+	}
+	for i, q := range dst.Data {
+		if dst32.Data[i] != q {
+			t.Fatalf("f32 source disagrees with f64 at %d: %d vs %d", i, dst32.Data[i], q)
+		}
+	}
+
+	// An all-zero column must quantize to code 0 on a finite scale.
+	zsrc := tensor.FromRows([][]float64{{0, 3}, {0, -1}})
+	zdst := New(2, 2)
+	zscales := QuantizeColsInto(zsrc, zdst, nil)
+	if zscales[0] != 1 || zdst.Row(0)[0] != 0 || zdst.Row(1)[0] != 0 {
+		t.Fatalf("zero column: scale %v codes %v %v", zscales[0], zdst.Row(0), zdst.Row(1))
+	}
+}
+
+// TestRequantRowsScaledInto: the column-aware requant must agree with
+// dequantizing through the per-column scales and re-quantizing per row.
+func TestRequantRowsScaledInto(t *testing.T) {
+	acc := NewAcc(3, 3)
+	copy(acc.Data, []int32{100, -2, 7, 0, 0, 0, -50, 120, 4})
+	colScales := []float32{0.5, 10, 0.001}
+	const accScale = 0.25
+	dst := New(3, 3)
+	scales := RequantRowsScaledInto(acc, accScale, colScales, dst, nil)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			got := float64(dst.Row(i)[j]) * float64(scales[i])
+			want := float64(acc.Row(i)[j]) * accScale * float64(colScales[j])
+			if math.Abs(got-want) > float64(scales[i])*0.5001 {
+				t.Fatalf("(%d,%d): requant %g, want within half a step of %g", i, j, got, want)
+			}
+		}
+	}
+	// Row 0's real maximum is the first column (100*0.5 = 50, vs 20 and
+	// 0.007): the code for it must be ±127 even though column 1's raw
+	// accumulator is tiny.
+	if dst.Row(0)[0] != 127 {
+		t.Fatalf("row 0 extreme not at 127: %v", dst.Row(0))
+	}
+	for _, q := range dst.Row(1) {
+		if q != 0 {
+			t.Fatalf("zero row requantized to %v", dst.Row(1))
+		}
+	}
+	scales2 := RequantRowsScaledInto(acc, accScale, colScales, dst, scales)
+	if &scales2[0] != &scales[0] {
+		t.Fatal("RequantRowsScaledInto did not reuse the scales buffer")
+	}
+}

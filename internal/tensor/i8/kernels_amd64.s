@@ -1,0 +1,358 @@
+// AVX2 kernels for the int8 inference tier. Every TEXT body handles only
+// the full-vector prefix: n is pre-rounded down to the vector width by the
+// Go dispatch layer, which finishes the scalar tail with the same
+// round-to-nearest-even semantics (see quantize's magic-constant rounding),
+// so scalar and vector paths agree bit-for-bit and no kernel ever mixes
+// legacy SSE into an AVX region.
+
+#include "textflag.h"
+
+// func dotAVX2(a, b *int8, n int) int32
+//
+// 16 int8 MACs per step: sign-extend both operands to int16
+// (VPMOVSXBW), multiply-add adjacent pairs into int32 lanes (VPMADDWD —
+// exact: |a*b| <= 127*127, pair sums fit int32), accumulate. n must be a
+// non-zero multiple of 16.
+TEXT ·dotAVX2(SB), NOSPLIT, $0-28
+	MOVQ  a+0(FP), SI
+	MOVQ  b+8(FP), DI
+	MOVQ  n+16(FP), CX
+	VPXOR Y0, Y0, Y0
+	CMPQ  CX, $32
+	JL    vec16
+
+loop32:
+	VPMOVSXBW (SI), Y1
+	VPMOVSXBW (DI), Y2
+	VPMADDWD  Y2, Y1, Y1
+	VPMOVSXBW 16(SI), Y2
+	VPMOVSXBW 16(DI), Y3
+	VPMADDWD  Y3, Y2, Y2
+	VPADDD    Y1, Y0, Y0
+	VPADDD    Y2, Y0, Y0
+	ADDQ      $32, SI
+	ADDQ      $32, DI
+	SUBQ      $32, CX
+	CMPQ      CX, $32
+	JGE       loop32
+
+vec16:
+	CMPQ      CX, $16
+	JL        reduce
+	VPMOVSXBW (SI), Y1
+	VPMOVSXBW (DI), Y2
+	VPMADDWD  Y2, Y1, Y1
+	VPADDD    Y1, Y0, Y0
+
+reduce:
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD       X1, X0, X0
+	VPSHUFD      $0x4E, X0, X1
+	VPADDD       X1, X0, X0
+	VPSHUFD      $0xB1, X0, X1
+	VPADDD       X1, X0, X0
+	VMOVD        X0, AX
+	VZEROUPPER
+	MOVL         AX, ret+24(FP)
+	RET
+
+// func quantizeRowAVX2(src *float32, dst *int8, n int, inv float32)
+//
+// dst[i] = clamp(rne(src[i]*inv)) for 16 elements per step: VMULPS by the
+// broadcast inverse scale, VCVTPS2DQ (rounds to nearest even per MXCSR),
+// saturating packs down to int8. Callers guarantee |src[i]*inv| < 127.5
+// (inv is derived from the row's own max magnitude), so pack saturation
+// and the scalar clamp agree. n must be a non-zero multiple of 16.
+TEXT ·quantizeRowAVX2(SB), NOSPLIT, $0-28
+	MOVQ         src+0(FP), SI
+	MOVQ         dst+8(FP), DI
+	MOVQ         n+16(FP), CX
+	VBROADCASTSS inv+24(FP), Y4
+
+qrloop:
+	VMULPS       (SI), Y4, Y0
+	VMULPS       32(SI), Y4, Y1
+	VCVTPS2DQ    Y0, Y0
+	VCVTPS2DQ    Y1, Y1
+	VPACKSSDW    Y1, Y0, Y0
+	VPERMQ       $0xD8, Y0, Y0
+	VEXTRACTI128 $1, Y0, X1
+	VPACKSSWB    X1, X0, X0
+	VMOVDQU      X0, (DI)
+	ADDQ         $64, SI
+	ADDQ         $16, DI
+	SUBQ         $16, CX
+	JNZ          qrloop
+	VZEROUPPER
+	RET
+
+// func quantizeVecAVX2(src, invs *float32, dst *int8, n int)
+//
+// quantizeRowAVX2 with a per-element inverse scale vector (per-column
+// grids applied along a row-major row). n must be a non-zero multiple
+// of 16.
+TEXT ·quantizeVecAVX2(SB), NOSPLIT, $0-32
+	MOVQ src+0(FP), SI
+	MOVQ invs+8(FP), DX
+	MOVQ dst+16(FP), DI
+	MOVQ n+24(FP), CX
+
+qvloop:
+	VMOVUPS      (SI), Y0
+	VMOVUPS      32(SI), Y1
+	VMULPS       (DX), Y0, Y0
+	VMULPS       32(DX), Y1, Y1
+	VCVTPS2DQ    Y0, Y0
+	VCVTPS2DQ    Y1, Y1
+	VPACKSSDW    Y1, Y0, Y0
+	VPERMQ       $0xD8, Y0, Y0
+	VEXTRACTI128 $1, Y0, X1
+	VPACKSSWB    X1, X0, X0
+	VMOVDQU      X0, (DI)
+	ADDQ         $64, SI
+	ADDQ         $64, DX
+	ADDQ         $16, DI
+	SUBQ         $16, CX
+	JNZ          qvloop
+	VZEROUPPER
+	RET
+
+// func maxAbsAVX2(src *float32, n int) float32
+//
+// Max magnitude over src[:n]: clear the sign bit (VANDPS) and VMAXPS.
+// All lanes are non-negative after the mask, so the reduction is exact.
+// n must be a non-zero multiple of 8.
+TEXT ·maxAbsAVX2(SB), NOSPLIT, $0-20
+	MOVQ         src+0(FP), SI
+	MOVQ         n+8(FP), CX
+	MOVL         $0x7FFFFFFF, AX
+	VMOVD        AX, X5
+	VPBROADCASTD X5, Y5
+	VPXOR        Y0, Y0, Y0
+
+maloop:
+	VMOVUPS (SI), Y1
+	VANDPS  Y5, Y1, Y1
+	VMAXPS  Y1, Y0, Y0
+	ADDQ    $32, SI
+	SUBQ    $8, CX
+	JNZ     maloop
+	VEXTRACTF128 $1, Y0, X1
+	VMAXPS       X1, X0, X0
+	VPSHUFD      $0x4E, X0, X1
+	VMAXPS       X1, X0, X0
+	VPSHUFD      $0xB1, X0, X1
+	VMAXPS       X1, X0, X0
+	VZEROUPPER
+	MOVSS        X0, ret+16(FP)
+	RET
+
+// func colMaxAbsAVX2(acc, src *float32, n int)
+//
+// acc[j] = max(acc[j], |src[j]|) — one row-major pass of a per-column
+// max-magnitude reduction. n must be a non-zero multiple of 8.
+TEXT ·colMaxAbsAVX2(SB), NOSPLIT, $0-24
+	MOVQ         acc+0(FP), DI
+	MOVQ         src+8(FP), SI
+	MOVQ         n+16(FP), CX
+	MOVL         $0x7FFFFFFF, AX
+	VMOVD        AX, X5
+	VPBROADCASTD X5, Y5
+
+cmloop:
+	VMOVUPS (SI), Y1
+	VANDPS  Y5, Y1, Y1
+	VMAXPS  (DI), Y1, Y1
+	VMOVUPS Y1, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $8, CX
+	JNZ     cmloop
+	VZEROUPPER
+	RET
+
+// func scaledAbsMaxAVX2(acc *int32, cols *float32, n int) float32
+//
+// Max of |float32(acc[j]) * cols[j]| — the row-max pass of the
+// column-scaled requantizer. VCVTDQ2PS rounds int32->float32 to nearest
+// even exactly like Go's conversion, so scalar and vector agree.
+// n must be a non-zero multiple of 8.
+TEXT ·scaledAbsMaxAVX2(SB), NOSPLIT, $0-28
+	MOVQ         acc+0(FP), SI
+	MOVQ         cols+8(FP), DX
+	MOVQ         n+16(FP), CX
+	MOVL         $0x7FFFFFFF, AX
+	VMOVD        AX, X5
+	VPBROADCASTD X5, Y5
+	VPXOR        Y0, Y0, Y0
+
+smloop:
+	VCVTDQ2PS (SI), Y1
+	VMULPS    (DX), Y1, Y1
+	VANDPS    Y5, Y1, Y1
+	VMAXPS    Y1, Y0, Y0
+	ADDQ      $32, SI
+	ADDQ      $32, DX
+	SUBQ      $8, CX
+	JNZ       smloop
+	VEXTRACTF128 $1, Y0, X1
+	VMAXPS       X1, X0, X0
+	VPSHUFD      $0x4E, X0, X1
+	VMAXPS       X1, X0, X0
+	VPSHUFD      $0xB1, X0, X1
+	VMAXPS       X1, X0, X0
+	VZEROUPPER
+	MOVSS        X0, ret+24(FP)
+	RET
+
+// func requantRowAVX2(acc *int32, cols *float32, dst *int8, n int, inv float32)
+//
+// dst[j] = clamp(rne(float32(acc[j]) * cols[j] * inv)) — the quantize
+// pass of the column-scaled requantizer, multiplications in the same
+// order as the scalar path. n must be a non-zero multiple of 16.
+TEXT ·requantRowAVX2(SB), NOSPLIT, $0-36
+	MOVQ         acc+0(FP), SI
+	MOVQ         cols+8(FP), DX
+	MOVQ         dst+16(FP), DI
+	MOVQ         n+24(FP), CX
+	VBROADCASTSS inv+32(FP), Y4
+
+rqloop:
+	VCVTDQ2PS    (SI), Y0
+	VCVTDQ2PS    32(SI), Y1
+	VMULPS       (DX), Y0, Y0
+	VMULPS       32(DX), Y1, Y1
+	VMULPS       Y4, Y0, Y0
+	VMULPS       Y4, Y1, Y1
+	VCVTPS2DQ    Y0, Y0
+	VCVTPS2DQ    Y1, Y1
+	VPACKSSDW    Y1, Y0, Y0
+	VPERMQ       $0xD8, Y0, Y0
+	VEXTRACTI128 $1, Y0, X1
+	VPACKSSWB    X1, X0, X0
+	VMOVDQU      X0, (DI)
+	ADDQ         $64, SI
+	ADDQ         $64, DX
+	ADDQ         $16, DI
+	SUBQ         $16, CX
+	JNZ          rqloop
+	VZEROUPPER
+	RET
+
+// func axpyRowAVX2(dst *int32, src *int8, n int, v int32)
+//
+// dst[j] += v*src[j] for 16 elements per step. v is in [-127, 127], so
+// the int16 low product from VPMULLW is exact (|v*src| <= 16129); the
+// products are then sign-extended to int32 and accumulated in memory.
+// n must be a non-zero multiple of 16.
+TEXT ·axpyRowAVX2(SB), NOSPLIT, $0-28
+	MOVQ         dst+0(FP), DI
+	MOVQ         src+8(FP), SI
+	MOVQ         n+16(FP), CX
+	MOVL         v+24(FP), AX
+	VMOVD        AX, X5
+	VPBROADCASTW X5, Y5
+
+axloop:
+	VPMOVSXBW    (SI), Y0
+	VPMULLW      Y5, Y0, Y0
+	VPMOVSXWD    X0, Y1
+	VEXTRACTI128 $1, Y0, X2
+	VPMOVSXWD    X2, Y2
+	VPADDD       (DI), Y1, Y1
+	VPADDD       32(DI), Y2, Y2
+	VMOVDQU      Y1, (DI)
+	VMOVDQU      Y2, 32(DI)
+	ADDQ         $16, SI
+	ADDQ         $64, DI
+	SUBQ         $16, CX
+	JNZ          axloop
+	VZEROUPPER
+	RET
+
+// func gemmRowP16AVX2(a *int8, n int, b *int8, c *int32)
+//
+// One output row of a GEMM with exactly 16 output columns: c[0:16] =
+// sum_k a[k] * b[k*16 : k*16+16], accumulated entirely in two YMM
+// registers (the hot shape of the graph-conv stack, whose quantized
+// layers are 16 channels wide). b must be contiguous n x 16 row-major.
+// c is overwritten, not accumulated into. n >= 1.
+TEXT ·gemmRowP16AVX2(SB), NOSPLIT, $0-32
+	MOVQ  a+0(FP), SI
+	MOVQ  n+8(FP), CX
+	MOVQ  b+16(FP), DX
+	MOVQ  c+24(FP), DI
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+
+grloop:
+	MOVBLSX (SI), AX
+	INCQ    SI
+	TESTL   AX, AX
+	JZ      grnext
+	VMOVD        AX, X3
+	VPBROADCASTW X3, Y3
+	VPMOVSXBW    (DX), Y0
+	VPMULLW      Y3, Y0, Y0
+	VPMOVSXWD    X0, Y4
+	VEXTRACTI128 $1, Y0, X0
+	VPMOVSXWD    X0, Y5
+	VPADDD       Y4, Y1, Y1
+	VPADDD       Y5, Y2, Y2
+
+grnext:
+	ADDQ $16, DX
+	DECQ CX
+	JNZ  grloop
+	VMOVDQU Y1, (DI)
+	VMOVDQU Y2, 32(DI)
+	VZEROUPPER
+	RET
+
+// func gemmRowP32AVX2(a *int8, n int, b *int8, c *int32)
+//
+// gemmRowP16AVX2 for 32 output columns (the second readout conv): the
+// output row lives in four YMM accumulators. b must be contiguous n x 32
+// row-major. c is overwritten. n >= 1.
+TEXT ·gemmRowP32AVX2(SB), NOSPLIT, $0-32
+	MOVQ  a+0(FP), SI
+	MOVQ  n+8(FP), CX
+	MOVQ  b+16(FP), DX
+	MOVQ  c+24(FP), DI
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y6, Y6, Y6
+	VPXOR Y7, Y7, Y7
+
+g2loop:
+	MOVBLSX (SI), AX
+	INCQ    SI
+	TESTL   AX, AX
+	JZ      g2next
+	VMOVD        AX, X3
+	VPBROADCASTW X3, Y3
+	VPMOVSXBW    (DX), Y0
+	VPMULLW      Y3, Y0, Y0
+	VPMOVSXWD    X0, Y4
+	VEXTRACTI128 $1, Y0, X0
+	VPMOVSXWD    X0, Y5
+	VPADDD       Y4, Y1, Y1
+	VPADDD       Y5, Y2, Y2
+	VPMOVSXBW    16(DX), Y0
+	VPMULLW      Y3, Y0, Y0
+	VPMOVSXWD    X0, Y4
+	VEXTRACTI128 $1, Y0, X0
+	VPMOVSXWD    X0, Y5
+	VPADDD       Y4, Y6, Y6
+	VPADDD       Y5, Y7, Y7
+
+g2next:
+	ADDQ $32, DX
+	DECQ CX
+	JNZ  g2loop
+	VMOVDQU Y1, (DI)
+	VMOVDQU Y2, 32(DI)
+	VMOVDQU Y6, 64(DI)
+	VMOVDQU Y7, 96(DI)
+	VZEROUPPER
+	RET

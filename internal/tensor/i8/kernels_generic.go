@@ -1,0 +1,21 @@
+//go:build !amd64
+
+package i8
+
+// useAVX2 is constant false off amd64: every dispatch site dead-codes to
+// the scalar kernels, which share the assembly's round-to-nearest-even
+// quantization semantics, so results are identical across architectures.
+const useAVX2 = false
+
+func dotAVX2(a, b *int8, n int) int32                             { panic("i8: no asm kernel") }
+func quantizeRowAVX2(src *float32, dst *int8, n int, inv float32) { panic("i8: no asm kernel") }
+func quantizeVecAVX2(src, invs *float32, dst *int8, n int)        { panic("i8: no asm kernel") }
+func maxAbsAVX2(src *float32, n int) float32                      { panic("i8: no asm kernel") }
+func colMaxAbsAVX2(acc, src *float32, n int)                      { panic("i8: no asm kernel") }
+func axpyRowAVX2(dst *int32, src *int8, n int, v int32)           { panic("i8: no asm kernel") }
+func scaledAbsMaxAVX2(acc *int32, cols *float32, n int) float32   { panic("i8: no asm kernel") }
+func requantRowAVX2(acc *int32, cols *float32, dst *int8, n int, inv float32) {
+	panic("i8: no asm kernel")
+}
+func gemmRowP16AVX2(a *int8, n int, b *int8, c *int32) { panic("i8: no asm kernel") }
+func gemmRowP32AVX2(a *int8, n int, b *int8, c *int32) { panic("i8: no asm kernel") }

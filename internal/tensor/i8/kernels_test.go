@@ -1,0 +1,169 @@
+package i8
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mvpar/internal/tensor"
+	"mvpar/internal/tensor/f32"
+)
+
+// The AVX2 kernels and the scalar fallbacks must be bit-identical: the
+// scalar quantizer deliberately uses the same round-to-nearest-even rule
+// as VCVTPS2DQ, and integer accumulation has no rounding at all. These
+// tests pin that equivalence across awkward lengths (vector body + scalar
+// tail splits) and the full int8 range. On machines without AVX2 they
+// still exercise the scalar path against the naive references.
+
+func dotRef(a, b []int8) int32 {
+	var s int32
+	for i := range a {
+		s += int32(a[i]) * int32(b[i])
+	}
+	return s
+}
+
+func TestDotMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for n := 0; n <= 130; n++ {
+		a := make([]int8, n)
+		b := make([]int8, n)
+		for i := range a {
+			a[i] = int8(rng.Intn(255) - 127)
+			b[i] = int8(rng.Intn(255) - 127)
+		}
+		if got, want := Dot(a, b), dotRef(a, b); got != want {
+			t.Fatalf("n=%d: Dot = %d, reference = %d", n, got, want)
+		}
+	}
+	// Extremes: the largest magnitude products must accumulate exactly.
+	a := make([]int8, 64)
+	b := make([]int8, 64)
+	for i := range a {
+		a[i], b[i] = -127, 127
+	}
+	if got := Dot(a, b); got != -127*127*64 {
+		t.Fatalf("extreme dot = %d, want %d", got, -127*127*64)
+	}
+}
+
+func TestQuantizeRoundsHalfToEven(t *testing.T) {
+	cases := []struct {
+		v    float32
+		want int8
+	}{
+		{0.5, 0}, {1.5, 2}, {2.5, 2}, {3.5, 4},
+		{-0.5, 0}, {-1.5, -2}, {-2.5, -2}, {-3.5, -4},
+		{126.5, 126}, {-126.5, -126},
+	}
+	for _, c := range cases {
+		if got := quantize(c.v, 1); got != c.want {
+			t.Errorf("quantize(%v, 1) = %d, want %d (ties to even)", c.v, got, c.want)
+		}
+	}
+}
+
+func TestQuantizeRowKernelMatchesScalar(t *testing.T) {
+	if !useAVX2 {
+		t.Skip("no AVX2 on this machine; scalar path is the reference itself")
+	}
+	rng := rand.New(rand.NewSource(12))
+	for n := 1; n <= 100; n++ {
+		src := make([]float32, n)
+		var maxAbs float32
+		for i := range src {
+			src[i] = float32(rng.NormFloat64())
+			if a := float32(math.Abs(float64(src[i]))); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		_, inv := scaleOf(maxAbs)
+		got := make([]int8, n)
+		quantizeRowF32(src, got, inv)
+		for i, v := range src {
+			if want := quantize(v, inv); got[i] != want {
+				t.Fatalf("n=%d idx=%d: kernel code %d, scalar %d (v=%v inv=%v)", n, i, got[i], want, v, inv)
+			}
+		}
+	}
+}
+
+func TestMaxAbsKernelMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for n := 1; n <= 80; n++ {
+		src := make([]float32, n)
+		var want float32
+		for i := range src {
+			src[i] = float32(rng.NormFloat64() * 10)
+			if a := float32(math.Abs(float64(src[i]))); a > want {
+				want = a
+			}
+		}
+		if got := maxAbsF32(src); got != want {
+			t.Fatalf("n=%d: maxAbsF32 = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestQuantizeColsF32KernelMatchesScalarF64(t *testing.T) {
+	// QuantizeColsF32Into (vectorized) and QuantizeColsInto (scalar, f64
+	// source) must produce identical codes and scales for identical
+	// values — the parity the fused forward relies on when mixing the two.
+	rng := rand.New(rand.NewSource(14))
+	for _, dims := range [][2]int{{1, 1}, {3, 7}, {5, 16}, {4, 23}, {9, 48}} {
+		rows, cols := dims[0], dims[1]
+		src64 := tensor.New(rows, cols)
+		src32 := f32.New(rows, cols)
+		for i := range src32.Data {
+			v := float32(rng.NormFloat64())
+			src32.Data[i] = v
+			src64.Data[i] = float64(v)
+		}
+		d64 := New(rows, cols)
+		d32 := New(rows, cols)
+		s64 := QuantizeColsInto(src64, d64, nil)
+		s32 := QuantizeColsF32Into(src32, d32, nil)
+		for j := 0; j < cols; j++ {
+			if s64[j] != s32[j] {
+				t.Fatalf("%dx%d col %d: scales diverge (f64 %v, f32 %v)", rows, cols, j, s64[j], s32[j])
+			}
+		}
+		for i, v := range d64.Data {
+			if v != d32.Data[i] {
+				t.Fatalf("%dx%d flat %d: codes diverge (f64 %d, f32 %d)", rows, cols, i, v, d32.Data[i])
+			}
+		}
+	}
+}
+
+func TestSpMMAndMatMulKernelsMatchScalar(t *testing.T) {
+	// Exercise the axpy and p==16 GEMM-row kernels through the public
+	// entry points against a naive integer reference. Integer arithmetic
+	// is exact, so equality is strict.
+	rng := rand.New(rand.NewSource(15))
+	for _, dims := range [][3]int{{3, 5, 16}, {7, 49, 16}, {6, 80, 32}, {4, 16, 48}, {5, 9, 7}, {2, 33, 200}} {
+		m, n, p := dims[0], dims[1], dims[2]
+		a := New(m, n)
+		b := New(n, p)
+		for i := range a.Data {
+			a.Data[i] = int8(rng.Intn(255) - 127)
+		}
+		for i := range b.Data {
+			b.Data[i] = int8(rng.Intn(255) - 127)
+		}
+		got := NewAcc(m, p)
+		MatMulInto(a, b, got)
+		for i := 0; i < m; i++ {
+			for j := 0; j < p; j++ {
+				var want int32
+				for k := 0; k < n; k++ {
+					want += int32(a.Data[i*n+k]) * int32(b.Data[k*p+j])
+				}
+				if got.Data[i*p+j] != want {
+					t.Fatalf("%dx%dx%d MatMul at (%d,%d): %d, want %d", m, n, p, i, j, got.Data[i*p+j], want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package i8
+
+import (
+	"fmt"
+
+	"mvpar/internal/tensor/f32"
+)
+
+// blockK tiles the inner dimension of MatMulInto so a panel of b rows
+// stays cache-resident while each 4-row quad of a reuses it — the same
+// schedule as the f32 kernel. int8 panels are a quarter the bytes, so the
+// same element tile covers four times less cache; 128 stays conservative.
+const blockK = 128
+
+// MatMulInto computes c = a x b into int32 accumulators, overwriting c.
+// a holds quantized activations (per-row scales, held by the caller), b
+// quantized weights in K x N layout (per-column scales); c[i][j] then
+// dequantizes with aScales[i]*bScales[j] — see DequantTanhInto. The
+// kernel is serial and register-blocked four rows at a time, mirroring
+// the f32 MatMulInto: each loaded b row updates four output rows. c must
+// not alias anything (it is the only int32 buffer in the expression).
+func MatMulInto(a, b *Matrix, c *Acc) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("i8: MatMulInto inner dimension mismatch %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("i8: MatMulInto dst %dx%d, want %dx%d", c.Rows, c.Cols, a.Rows, b.Cols))
+	}
+	n, p := a.Cols, b.Cols
+	if useAVX2 && (p == 16 || p == 32) {
+		// Register-accumulated row kernels for the hot shapes (16-channel
+		// graph convs, the 32-filter readout conv): the whole output row
+		// lives in YMM registers across the k loop, so there is no
+		// accumulator memory traffic at all. Overwrites c, so no pre-zero
+		// pass either.
+		gemmRow := gemmRowP16AVX2
+		if p == 32 {
+			gemmRow = gemmRowP32AVX2
+		}
+		for i := 0; i < a.Rows; i++ {
+			gemmRow(&a.Row(i)[0], n, &b.Data[0], &c.Row(i)[0])
+		}
+		return
+	}
+	for i := range c.Data {
+		c.Data[i] = 0
+	}
+	if useAVX2 && p >= 32 {
+		// Wide layers (e.g. the paper-scale 200-channel stack): one
+		// vectorized axpy per nonzero a element amortizes the call over
+		// p/16 vector steps.
+		np := p &^ 15
+		for i := 0; i < a.Rows; i++ {
+			arow, crow := a.Row(i), c.Row(i)
+			for k := 0; k < n; k++ {
+				av := int32(arow[k])
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				axpyRowAVX2(&crow[0], &brow[0], np, av)
+				for j := np; j < p; j++ {
+					crow[j] += av * int32(brow[j])
+				}
+			}
+		}
+		return
+	}
+	for kk := 0; kk < n; kk += blockK {
+		khi := kk + blockK
+		if khi > n {
+			khi = n
+		}
+		i := 0
+		for ; i+3 < a.Rows; i += 4 {
+			quadRange(a, b, c, i, kk, khi, p)
+		}
+		for ; i < a.Rows; i++ {
+			arow := a.Row(i)
+			crow := c.Row(i)
+			for k := kk; k < khi; k++ {
+				av := int32(arow[k])
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					crow[j] += av * int32(bv)
+				}
+			}
+		}
+	}
+}
+
+// quadRange accumulates rows [i, i+4) of c += a x b over k in [kk, khi).
+func quadRange(a, b *Matrix, c *Acc, i, kk, khi, p int) {
+	r0, r1, r2, r3 := a.Row(i), a.Row(i+1), a.Row(i+2), a.Row(i+3)
+	c0 := c.Row(i)[:p]
+	c1 := c.Row(i + 1)[:p]
+	c2 := c.Row(i + 2)[:p]
+	c3 := c.Row(i + 3)[:p]
+	for k := kk; k < khi; k++ {
+		v0, v1, v2, v3 := int32(r0[k]), int32(r1[k]), int32(r2[k]), int32(r3[k])
+		if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+			continue
+		}
+		brow := b.Row(k)
+		for j, bv := range brow {
+			bw := int32(bv)
+			c0[j] += v0 * bw
+			c1[j] += v1 * bw
+			c2[j] += v2 * bw
+			c3[j] += v3 * bw
+		}
+	}
+}
+
+// DequantTanhInto is the graph-convolution epilogue: out[i][j] =
+// tanh(acc[i][j] * rowScales[i] * colScales[j]) through the table tanh
+// shared with the f32 tier. out must have acc's shape.
+func DequantTanhInto(acc *Acc, rowScales, colScales []float32, out *f32.Matrix) {
+	checkDequant("DequantTanhInto", acc, rowScales, colScales, out)
+	for i := 0; i < acc.Rows; i++ {
+		rs := rowScales[i]
+		arow, orow := acc.Row(i), out.Row(i)
+		for j, v := range arow {
+			orow[j] = f32.Tanh(float32(v) * rs * colScales[j])
+		}
+	}
+}
+
+// DequantInto dequantizes acc without an activation: out[i][j] =
+// acc[i][j] * rowScales[i] * colScales[j].
+func DequantInto(acc *Acc, rowScales, colScales []float32, out *f32.Matrix) {
+	checkDequant("DequantInto", acc, rowScales, colScales, out)
+	for i := 0; i < acc.Rows; i++ {
+		rs := rowScales[i]
+		arow, orow := acc.Row(i), out.Row(i)
+		for j, v := range arow {
+			orow[j] = float32(v) * rs * colScales[j]
+		}
+	}
+}
+
+func checkDequant(op string, acc *Acc, rowScales, colScales []float32, out *f32.Matrix) {
+	if out.Rows != acc.Rows || out.Cols != acc.Cols {
+		panic(fmt.Sprintf("i8: %s dst %dx%d, want %dx%d", op, out.Rows, out.Cols, acc.Rows, acc.Cols))
+	}
+	if len(rowScales) < acc.Rows || len(colScales) < acc.Cols {
+		panic(fmt.Sprintf("i8: %s scales %dx%d for %dx%d accumulator", op, len(rowScales), len(colScales), acc.Rows, acc.Cols))
+	}
+}
+
+// RequantRowsScaledInto requantizes an accumulator whose column j
+// dequantizes with accScale*colScales[j] (an SpMM over per-column
+// quantized features) back to int8 on per-row grids: row i's real values
+// are acc[i][j]*accScale*colScales[j], its new scale is their max
+// magnitude / 127, and dst holds round(v/scale). The returned scales
+// slice (grown as needed) dequantizes dst's rows.
+func RequantRowsScaledInto(acc *Acc, accScale float32, colScales []float32, dst *Matrix, scales []float32) []float32 {
+	if dst.Rows != acc.Rows || dst.Cols != acc.Cols {
+		panic(fmt.Sprintf("i8: RequantRowsScaledInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, acc.Rows, acc.Cols))
+	}
+	if len(colScales) < acc.Cols {
+		panic(fmt.Sprintf("i8: RequantRowsScaledInto %d column scales for %dx%d accumulator", len(colScales), acc.Rows, acc.Cols))
+	}
+	scales = growScales(scales, acc.Rows)
+	cols := acc.Cols
+	for i := 0; i < acc.Rows; i++ {
+		arow, drow := acc.Row(i), dst.Row(i)
+		var rowMax float32
+		j := 0
+		if useAVX2 && cols >= 8 {
+			j = cols &^ 7
+			rowMax = scaledAbsMaxAVX2(&arow[0], &colScales[0], j)
+		}
+		for ; j < cols; j++ {
+			av := float32(arow[j]) * colScales[j]
+			if av < 0 {
+				av = -av
+			}
+			if av > rowMax {
+				rowMax = av
+			}
+		}
+		if rowMax == 0 {
+			scales[i] = accScale // arbitrary finite scale: every code is 0
+			for j := range drow {
+				drow[j] = 0
+			}
+			continue
+		}
+		scales[i] = rowMax * accScale / qmax
+		inv := float32(qmax) / rowMax
+		j = 0
+		if useAVX2 && cols >= 16 {
+			j = cols &^ 15
+			requantRowAVX2(&arow[0], &colScales[0], &drow[0], j, inv)
+		}
+		for ; j < cols; j++ {
+			drow[j] = quantize(float32(arow[j])*colScales[j], inv)
+		}
+	}
+	return scales
+}
+
+// DequantBiasTransposeInto is the convolution epilogue for the GEMM
+// formulation of Conv1D: acc holds windows x filters accumulators (the
+// window-patch matrix times the transposed kernel weights), and out is
+// the filters x windows activation map, so out[f][t] = bias[f] +
+// acc[t][f] * xScale * colScales[f].
+func DequantBiasTransposeInto(acc *Acc, xScale float32, colScales, bias []float32, out *f32.Matrix) {
+	if out.Rows != acc.Cols || out.Cols != acc.Rows {
+		panic(fmt.Sprintf("i8: DequantBiasTransposeInto dst %dx%d, want %dx%d", out.Rows, out.Cols, acc.Cols, acc.Rows))
+	}
+	if len(colScales) < acc.Cols || len(bias) < acc.Cols {
+		panic(fmt.Sprintf("i8: DequantBiasTransposeInto %d scales / %d biases for %d filters", len(colScales), len(bias), acc.Cols))
+	}
+	for f := 0; f < acc.Cols; f++ {
+		s := xScale * colScales[f]
+		bf := bias[f]
+		orow := out.Row(f)
+		for t := range orow {
+			orow[t] = bf + float32(acc.Data[t*acc.Cols+f])*s
+		}
+	}
+}
+
+// RequantRowsInto requantizes int32 accumulators straight back to int8 on
+// per-row grids without a float32 round trip: row i's new scale is
+// rowmax_i * accScale / 127 (accScale is the accumulator's combined input
+// scale, e.g. sA*sH after an SpMM) and each code is round(v * 127 /
+// rowmax_i) — the integer intermediate never materializes in float. The
+// returned scales slice (grown as needed) dequantizes dst's rows.
+func RequantRowsInto(acc *Acc, accScale float32, dst *Matrix, scales []float32) []float32 {
+	if dst.Rows != acc.Rows || dst.Cols != acc.Cols {
+		panic(fmt.Sprintf("i8: RequantRowsInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, acc.Rows, acc.Cols))
+	}
+	scales = growScales(scales, acc.Rows)
+	for i := 0; i < acc.Rows; i++ {
+		arow, drow := acc.Row(i), dst.Row(i)
+		var rowMax int32
+		for _, v := range arow {
+			if v < 0 {
+				v = -v
+			}
+			if v > rowMax {
+				rowMax = v
+			}
+		}
+		if rowMax == 0 {
+			scales[i] = accScale // arbitrary finite scale: every code is 0
+			for j := range drow {
+				drow[j] = 0
+			}
+			continue
+		}
+		scales[i] = float32(rowMax) * accScale / qmax
+		inv := float32(qmax) / float32(rowMax)
+		for j, v := range arow {
+			drow[j] = quantize(float32(v), inv)
+		}
+	}
+	return scales
+}

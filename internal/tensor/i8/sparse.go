@@ -1,0 +1,86 @@
+package i8
+
+import (
+	"fmt"
+
+	"mvpar/internal/tensor"
+)
+
+// Sparse is an int8 CSR matrix with one per-tensor scale (adjacency values
+// all live on one grid: SpMM mixes rows, so per-row scales cannot factor
+// out of the accumulation). The integer structure (RowPtr, ColIdx) is
+// shared read-only with the float64 tensor.Sparse it was quantized from;
+// only the values are quantized.
+type Sparse struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []int8
+	Scale      float32
+}
+
+// LoadSparse points s at src's structure and quantizes src's values into
+// valBuf (grown if needed) on one symmetric per-tensor grid, returning the
+// value slice for reuse on the next call. The RowPtr/ColIdx slices are
+// shared, not copied — they are read-only by the EncodedGraph contract.
+func LoadSparse(s *Sparse, src *tensor.Sparse, valBuf []int8) []int8 {
+	nnz := src.NNZ()
+	if cap(valBuf) < nnz {
+		valBuf = make([]int8, nnz)
+	}
+	valBuf = valBuf[:nnz]
+	var maxAbs float32
+	for _, v := range src.Val {
+		av := float32(v)
+		if av < 0 {
+			av = -av
+		}
+		if av > maxAbs {
+			maxAbs = av
+		}
+	}
+	scale, inv := scaleOf(maxAbs)
+	for i, v := range src.Val {
+		valBuf[i] = quantize(float32(v), inv)
+	}
+	s.Rows, s.Cols = src.Rows, src.Cols
+	s.RowPtr, s.ColIdx, s.Val = src.RowPtr, src.ColIdx, valBuf
+	s.Scale = scale
+	return valBuf
+}
+
+// SpMMInto computes out = s x h into int32 accumulators, overwriting out.
+// h holds per-tensor quantized node features (scale held by the caller);
+// out dequantizes with s.Scale * hScale. The kernel is serial like the
+// f32 one: the graphs this serves have tens of nodes.
+func SpMMInto(s *Sparse, h *Matrix, out *Acc) {
+	if s.Cols != h.Rows {
+		panic(fmt.Sprintf("i8: SpMMInto inner dimension mismatch %dx%d x %dx%d", s.Rows, s.Cols, h.Rows, h.Cols))
+	}
+	if out.Rows != s.Rows || out.Cols != h.Cols {
+		panic(fmt.Sprintf("i8: SpMMInto dst %dx%d, want %dx%d", out.Rows, out.Cols, s.Rows, h.Cols))
+	}
+	for i := range out.Data {
+		out.Data[i] = 0
+	}
+	vec := useAVX2 && h.Cols >= 16
+	nv := h.Cols &^ 15
+	for i := 0; i < s.Rows; i++ {
+		dst := out.Row(i)
+		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+			w := int32(s.Val[k])
+			if w == 0 {
+				continue
+			}
+			src := h.Row(s.ColIdx[k])
+			j := 0
+			if vec {
+				axpyRowAVX2(&dst[0], &src[0], nv, w)
+				j = nv
+			}
+			for ; j < len(src); j++ {
+				dst[j] += w * int32(src[j])
+			}
+		}
+	}
+}
