@@ -5,7 +5,7 @@
 # gnn's data-parallel trainer, dataset's parallel Build).
 GO ?= go
 
-.PHONY: all build lint test test-race bench benchcmp benchgate fuzz verify
+.PHONY: all build lint test test-race bench benchcmp benchgate fuzz loadsmoke verify
 
 # How long `make fuzz` mutates the MiniC parser (CI uses 10s).
 FUZZTIME ?= 30s
@@ -69,5 +69,11 @@ benchgate:
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/minic/
+
+# Boots the sharded server on the quick seed model and drives it with
+# `mvpar loadgen`; fails on any request error. CI's load-smoke job runs
+# the same script. DURATION=3s make loadsmoke for a faster local pass.
+loadsmoke:
+	sh scripts/loadsmoke.sh
 
 verify: lint test

@@ -16,6 +16,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -27,6 +28,7 @@ import (
 	rtpprof "runtime/pprof"
 	"sort"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -42,6 +44,7 @@ import (
 	"mvpar/internal/inst2vec"
 	"mvpar/internal/interp"
 	"mvpar/internal/ir"
+	"mvpar/internal/loadgen"
 	"mvpar/internal/minic"
 	"mvpar/internal/obs"
 	"mvpar/internal/peg"
@@ -125,6 +128,10 @@ func main() {
 		err = cmdClassify(ctx, args)
 	case "serve":
 		err = cmdServe(ctx, args)
+	case "loadgen":
+		err = cmdLoadgen(ctx, args)
+	case "loadgate":
+		err = cmdLoadgate(args)
 	case "parity":
 		err = cmdParity(ctx, args)
 	case "corpus":
@@ -186,12 +193,28 @@ commands:
                                batching, circuit-breaking replicas, degraded-
                                mode fallback and atomic model hot swap (POST
                                /v1/classify, POST /v1/models/reload or SIGHUP,
-                               /healthz, /readyz, /metrics, /debug/traces;
-                               -trace-slow, -pprof, -cpuprofile/-memprofile
-                               for telemetry); -precision float32 serves the
+                               GET /v1/models, /healthz, /readyz, /metrics,
+                               /debug/traces; -trace-slow, -pprof,
+                               -cpuprofile/-memprofile for telemetry);
+                               -models serves extra named models, -shards
+                               splits the cache/queue into consistent-hash
+                               shards, -min-replicas/-max-replicas enable
+                               replica autoscaling between those bounds;
+                               -precision float32 serves the
                                quantized fast path, int8 the integer tier;
                                see mvpar serve -h, docs/serving.md,
                                docs/performance.md and docs/observability.md
+  loadgen  [-url http://127.0.0.1:8080] [-mode closed|open] [-concurrency 8]
+           [-rate RPS] [-duration 10s] [-warmup 2s] [-out FILE]
+                               drive a running serve instance with closed- or
+                               open-loop traffic and print a JSON report with
+                               sustained RPS, p50/p95/p99 latency and error/
+                               shed counts; -max-errors 0 makes error-free
+                               runs a hard requirement (CI smoke)
+  loadgate -report FILE [-baseline LOAD_BASELINE.json]
+                               compare a loadgen report against the checked-in
+                               baseline; non-zero exit on RPS or p99
+                               regression beyond -max-rps-drop/-max-p99-rise
   parity   [-model FILE] [-precision float32|int8] [-tol 0] [-max-flips 0]
                                accuracy-parity gate of the quantized tiers:
                                predict every corpus loop under float64 and the
@@ -427,6 +450,13 @@ func cmdServe(ctx context.Context, args []string) error {
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "graceful shutdown bound")
 	drainGrace := fs.Duration("drain-grace", 0, "keep serving this long after SIGTERM while /readyz reports\n503 draining, so load balancers stop routing before the listener\ncloses (e.g. 2s)")
 	replicas := fs.Int("replicas", 4, "circuit-breaking model replica domains per generation")
+	shards := fs.Int("shards", 1, "independent admission shards (cache + queue) requests are\nconsistent-hashed over; 1 keeps the classic single-queue server")
+	minReplicas := fs.Int("min-replicas", 1, "autoscaler floor: replicas taking traffic when idle (used only\nwith -max-replicas > 0)")
+	maxReplicas := fs.Int("max-replicas", 0, "autoscaler ceiling: pre-allocated replica slots the scaler can\nwiden the traffic window to (0 disables autoscaling; all\n-replicas slots then always take traffic)")
+	autoscaleInterval := fs.Duration("autoscale-interval", 500*time.Millisecond, "autoscaler evaluation cadence")
+	autoscaleCooldown := fs.Duration("autoscale-cooldown", 2*time.Second, "minimum spacing between scale events")
+	autoscaleP99 := fs.Duration("autoscale-p99", 0, "scale up when the interval-local classify p99 crosses this\n(0 = scale on queue depth only)")
+	models := fs.String("models", "", "extra registry models, comma-separated name=path[@precision]\nentries: a path loads that checkpoint (hot-reloadable per model\nvia POST /v1/models/reload?model=NAME), an empty path shares the\ndefault model's weights at the given precision, e.g.\n\"fast=@int8,retrained=ckpt.bin,r8=ckpt.bin@int8\"")
 	maxRetries := fs.Int("max-retries", 2, "replicas a request is retried on after a replica fault (-1 disables)")
 	breakerThreshold := fs.Int("breaker-threshold", 3, "consecutive replica faults that trip a replica's circuit breaker")
 	breakerBackoff := fs.Duration("breaker-backoff", 500*time.Millisecond, "first open interval of a tripped breaker (doubles per failed probe)")
@@ -506,7 +536,14 @@ func cmdServe(ctx context.Context, args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "serve: trained, test acc %.1f%%\n", 100*report.TestAcc)
 	}
-	snap, err := snapshotFromPipeline(pl, *replicas, prec)
+	// Replica slot count: with autoscaling the generation pre-allocates
+	// the ceiling (slots share weights, so slots are cheap) and traffic
+	// starts at -min-replicas.
+	slots := *replicas
+	if *maxReplicas > slots {
+		slots = *maxReplicas
+	}
+	snap, err := snapshotFromPipeline(pl, slots, prec)
 	if err != nil {
 		return err
 	}
@@ -515,7 +552,6 @@ func cmdServe(ctx context.Context, args []string) error {
 	var loader serve.Loader
 	if *modelPath != "" {
 		path := *modelPath
-		n := *replicas
 		loader = func(context.Context) (serve.Snapshot, error) {
 			if hit, _ := faults.ChaosFire(faults.SiteReloadFail); hit {
 				return serve.Snapshot{}, fmt.Errorf("chaos: injected loader failure")
@@ -530,30 +566,46 @@ func cmdServe(ctx context.Context, args []string) error {
 			if _, err := pl.ReloadModel(bytes.NewReader(data)); err != nil {
 				return serve.Snapshot{}, err
 			}
-			return snapshotFromPipeline(pl, n, prec)
+			return snapshotFromPipeline(pl, slots, prec)
 		}
 	}
-	srv := serve.NewWithSnapshot(snap, serve.Config{
-		Addr:             *addr,
-		MaxBatch:         *maxBatch,
-		BatchWindow:      *batchWindow,
-		MaxQueue:         *maxQueue,
-		Workers:          *workers,
-		RequestTimeout:   *reqTimeout,
-		CacheSize:        *cacheSize,
-		DrainTimeout:     *drainTimeout,
-		DrainGrace:       *drainGrace,
-		Replicas:         *replicas,
-		MaxRetries:       *maxRetries,
-		BreakerThreshold: *breakerThreshold,
-		BreakerBackoff:   *breakerBackoff,
-		DegradeHeadroom:  *degradeHeadroom,
-		Loader:           loader,
-		Version:          buildVersion,
-		TraceSlow:        *traceSlow,
-		TraceRing:        *traceRing,
-		EnablePprof:      *enablePprof,
+	specs := []serve.ModelSpec{{Name: serve.DefaultModel, Snapshot: snap, Loader: loader}}
+	if *models != "" {
+		extra, err := modelSpecsFromFlag(pl, *models, *quick, slots)
+		if err != nil {
+			return err
+		}
+		specs = append(specs, extra...)
+	}
+	srv, err := serve.NewMulti(specs, serve.Config{
+		Addr:              *addr,
+		MaxBatch:          *maxBatch,
+		BatchWindow:       *batchWindow,
+		MaxQueue:          *maxQueue,
+		Workers:           *workers,
+		RequestTimeout:    *reqTimeout,
+		CacheSize:         *cacheSize,
+		DrainTimeout:      *drainTimeout,
+		DrainGrace:        *drainGrace,
+		Replicas:          *replicas,
+		Shards:            *shards,
+		MinReplicas:       *minReplicas,
+		MaxReplicas:       *maxReplicas,
+		AutoscaleInterval: *autoscaleInterval,
+		AutoscaleCooldown: *autoscaleCooldown,
+		AutoscaleP99:      *autoscaleP99,
+		MaxRetries:        *maxRetries,
+		BreakerThreshold:  *breakerThreshold,
+		BreakerBackoff:    *breakerBackoff,
+		DegradeHeadroom:   *degradeHeadroom,
+		Version:           buildVersion,
+		TraceSlow:         *traceSlow,
+		TraceRing:         *traceRing,
+		EnablePprof:       *enablePprof,
 	})
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
 	sctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	// SIGHUP triggers the same atomic hot swap as POST /v1/models/reload.
@@ -572,6 +624,139 @@ func cmdServe(ctx context.Context, args []string) error {
 	}()
 	fmt.Fprintf(os.Stderr, "serve: listening on %s (SIGINT/SIGTERM drains and exits, SIGHUP hot-swaps -model)\n", *addr)
 	return srv.ListenAndServe(sctx)
+}
+
+// loadgenCorpus is the built-in request mix `mvpar loadgen` cycles over
+// when no -corpus file is given: a map, a reduction and a recurrence,
+// so the measured traffic exercises both label classes and the
+// structural-view sampler, not just one cached answer.
+func loadgenCorpus() []loadgen.Program {
+	return []loadgen.Program{
+		{Name: "lg-map", Source: `
+float a[64]; float b[64];
+void main() { for (int i = 0; i < 64; i++) { a[i] = b[i] * 2.0; } }
+`},
+		{Name: "lg-reduce", Source: `
+float a[64]; float s[1];
+void main() { for (int i = 0; i < 64; i++) { s[0] = s[0] + a[i]; } }
+`},
+		{Name: "lg-recurrence", Source: `
+float a[64];
+void main() { for (int i = 1; i < 64; i++) { a[i] = a[i-1] * 0.5; } }
+`},
+	}
+}
+
+// cmdLoadgen drives a running serve instance with generated traffic and
+// prints the loadgen.Report JSON: the measurement half of the load
+// regression gate (`mvpar loadgate` is the comparison half).
+func cmdLoadgen(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:8080", "server base URL")
+	model := fs.String("model", "", "registry model requests select (empty = the default model)")
+	mode := fs.String("mode", loadgen.ModeClosed, "traffic mode: closed (each worker fires on answer) or open\n(fixed arrival rate, bounded in-flight)")
+	concurrency := fs.Int("concurrency", 8, "closed-loop worker count / open-loop in-flight cap")
+	rate := fs.Float64("rate", 0, "open-loop arrival rate in requests/second (required with -mode open)")
+	duration := fs.Duration("duration", 10*time.Second, "measured window")
+	warmup := fs.Duration("warmup", 2*time.Second, "unrecorded warm-up traffic before the measured window")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request timeout")
+	corpusPath := fs.String("corpus", "", "JSON file with [{\"name\":...,\"source\":...}] programs to cycle over\n(default: a built-in map/reduction/recurrence mix)")
+	out := fs.String("out", "", "also write the JSON report to this file")
+	maxErrors := fs.Int64("max-errors", -1, "exit non-zero when the run records more than this many request\nerrors (-1 disables; 0 is the CI smoke contract)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("loadgen: unexpected arguments %v", fs.Args())
+	}
+	corpus := loadgenCorpus()
+	if *corpusPath != "" {
+		data, err := os.ReadFile(*corpusPath)
+		if err != nil {
+			return err
+		}
+		corpus = nil
+		if err := json.Unmarshal(data, &corpus); err != nil {
+			return fmt.Errorf("loadgen: %s: %w", *corpusPath, err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %s loop against %s (%s warm-up + %s measured)...\n",
+		*mode, *url, *warmup, *duration)
+	report, err := loadgen.Run(ctx, loadgen.Config{
+		URL:         strings.TrimRight(*url, "/"),
+		Model:       *model,
+		Mode:        *mode,
+		Concurrency: *concurrency,
+		Rate:        *rate,
+		Duration:    *duration,
+		Warmup:      *warmup,
+		Timeout:     *reqTimeout,
+		Corpus:      corpus,
+	})
+	if err != nil {
+		return err
+	}
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(enc))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if *maxErrors >= 0 && report.Errors > *maxErrors {
+		return fmt.Errorf("loadgen: %d request errors exceed the -max-errors %d budget", report.Errors, *maxErrors)
+	}
+	return nil
+}
+
+// cmdLoadgate compares a loadgen report against the checked-in baseline
+// and fails on RPS or p99 regression beyond the tolerances — the load
+// equivalent of the benchgate allocation gate.
+func cmdLoadgate(args []string) error {
+	fs := flag.NewFlagSet("loadgate", flag.ExitOnError)
+	baselinePath := fs.String("baseline", "LOAD_BASELINE.json", "checked-in baseline report")
+	reportPath := fs.String("report", "", "loadgen report to judge (required)")
+	maxRPSDrop := fs.Float64("max-rps-drop", 0.30, "allowed fractional RPS drop below baseline")
+	maxP99Rise := fs.Float64("max-p99-rise", 0.50, "allowed fractional p99 rise above baseline")
+	minRequests := fs.Int64("min-requests", 10, "refuse to judge runs with fewer successful requests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("loadgate: unexpected arguments %v", fs.Args())
+	}
+	if *reportPath == "" {
+		return fmt.Errorf("loadgate: -report is required")
+	}
+	baseline, err := loadgen.ReadReport(*baselinePath)
+	if err != nil {
+		return err
+	}
+	current, err := loadgen.ReadReport(*reportPath)
+	if err != nil {
+		return err
+	}
+	violations, err := loadgen.Gate(baseline, current, loadgen.GateConfig{
+		MaxRPSDrop:  *maxRPSDrop,
+		MaxP99Rise:  *maxP99Rise,
+		MinRequests: *minRequests,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loadgate: baseline rps=%.1f p99=%.2fms — current rps=%.1f p99=%.2fms\n",
+		baseline.RPS, baseline.LatencyP99Ms, current.RPS, current.LatencyP99Ms)
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Println("loadgate: FAIL:", v)
+		}
+		return fmt.Errorf("loadgate: %d regression(s)", len(violations))
+	}
+	fmt.Println("loadgate: OK")
+	return nil
 }
 
 // cmdParity is the accuracy-parity gate of the quantized tiers: it trains
@@ -692,6 +877,83 @@ func snapshotFromPipeline(pl *core.Pipeline, n int, precision string) (serve.Sna
 		snap.Replicas = append(snap.Replicas, cls)
 	}
 	return snap, nil
+}
+
+// modelSpecsFromFlag parses the -models flag — comma-separated
+// name=path[@precision] entries — into registry specs. A path-bearing
+// entry loads that checkpoint into its own pipeline sharing base's
+// encoder state (one PrepareContext pays for every variant) and is
+// hot-reloadable; a pathless entry (name=@int8) takes extra classifier
+// handles off base itself at the requested precision, sharing its
+// weights (no loader: reloading shared weights independently would be a
+// lie, so POST /v1/models/reload?model=NAME answers 501 for those).
+func modelSpecsFromFlag(base *core.Pipeline, spec string, quick bool, slots int) ([]serve.ModelSpec, error) {
+	var specs []serve.ModelSpec
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(entry, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("serve: -models entry %q: want name=path[@precision]", entry)
+		}
+		path := val
+		precStr := ""
+		if at := strings.LastIndex(val, "@"); at >= 0 {
+			path, precStr = val[:at], val[at+1:]
+		}
+		prec, err := core.ParsePrecision(precStr)
+		if err != nil {
+			return nil, fmt.Errorf("serve: -models entry %q: %w", entry, err)
+		}
+		if path == "" {
+			snap, err := snapshotFromPipeline(base, slots, prec)
+			if err != nil {
+				return nil, fmt.Errorf("serve: -models entry %q: %w", entry, err)
+			}
+			specs = append(specs, serve.ModelSpec{Name: name, Snapshot: snap})
+			continue
+		}
+		vp := core.NewPipeline(trainOptions(quick))
+		if err := vp.ShareEncoder(base); err != nil {
+			return nil, fmt.Errorf("serve: -models entry %q: %w", entry, err)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("serve: -models entry %q: %w", entry, err)
+		}
+		err = vp.LoadModel(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("serve: -models entry %q: loading %s: %w", entry, path, err)
+		}
+		snap, err := snapshotFromPipeline(vp, slots, prec)
+		if err != nil {
+			return nil, fmt.Errorf("serve: -models entry %q: %w", entry, err)
+		}
+		checkpoint := path
+		variant := vp
+		variantPrec := prec
+		specs = append(specs, serve.ModelSpec{
+			Name:     name,
+			Snapshot: snap,
+			Loader: func(context.Context) (serve.Snapshot, error) {
+				data, err := os.ReadFile(checkpoint)
+				if err != nil {
+					return serve.Snapshot{}, err
+				}
+				if _, err := variant.ReloadModel(bytes.NewReader(data)); err != nil {
+					return serve.Snapshot{}, err
+				}
+				return snapshotFromPipeline(variant, slots, variantPrec)
+			},
+		})
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("serve: -models %q parsed to no entries", spec)
+	}
+	return specs, nil
 }
 
 func cmdSpeedup(ctx context.Context, args []string) error {

@@ -197,6 +197,25 @@ func (p *Pipeline) PrepareContext(ctx context.Context, apps []bench.App) error {
 	return nil
 }
 
+// ShareEncoder adopts another pipeline's built dataset — the encoder
+// state: inst2vec embedding, walk space, input dimensions — without
+// rebuilding it. It is how a multi-model server loads several
+// checkpoints trained against the same corpus configuration: one
+// pipeline pays PrepareContext, the variants share its encoder and each
+// LoadModel their own weights. The options must match the donor's (the
+// encode configuration is part of every classifier fingerprint, so a
+// mismatch would be visible, but it would also be wrong), so ShareEncoder
+// copies them too. Any cached classifier handle is dropped.
+func (p *Pipeline) ShareEncoder(from *Pipeline) error {
+	if from == nil || from.Dataset == nil {
+		return fmt.Errorf("core: share requires a pipeline with a built dataset")
+	}
+	p.Opts = from.Opts
+	p.Dataset = from.Dataset
+	p.cls = nil
+	return nil
+}
+
 // SaveModel writes the trained model parameters.
 func (p *Pipeline) SaveModel(w io.Writer) error {
 	if p.Model == nil {

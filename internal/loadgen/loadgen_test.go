@@ -1,0 +1,217 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var testCorpus = []Program{
+	{Name: "a", Source: "void main() {}"},
+	{Name: "b", Source: "void main() { int x; }"},
+}
+
+// fakeServe is a minimal classify endpoint: counts requests, optionally
+// sheds or fails a deterministic subset.
+func fakeServe(t *testing.T, handler http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(handler)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func okHandler(hits *atomic.Int64) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"name":"x","predictions":[]}`))
+	}
+}
+
+func TestRunClosedLoop(t *testing.T) {
+	var hits atomic.Int64
+	ts := fakeServe(t, okHandler(&hits))
+	rep, err := Run(context.Background(), Config{
+		URL:         ts.URL,
+		Concurrency: 4,
+		Duration:    300 * time.Millisecond,
+		Warmup:      50 * time.Millisecond,
+		Corpus:      testCorpus,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != ModeClosed || rep.Concurrency != 4 {
+		t.Fatalf("report config echo wrong: %+v", rep)
+	}
+	if rep.Success == 0 || rep.Errors != 0 || rep.Shed != 0 {
+		t.Fatalf("closed loop against a healthy server: %+v, want successes and nothing else", rep)
+	}
+	if rep.Requests != rep.Success {
+		t.Fatalf("requests (%d) != success (%d) with no failures", rep.Requests, rep.Success)
+	}
+	if rep.RPS <= 0 {
+		t.Fatalf("RPS = %v, want positive", rep.RPS)
+	}
+	// Warm-up traffic ran (hits exceed recorded requests) but is excluded
+	// from the report.
+	if hits.Load() <= rep.Requests {
+		t.Fatalf("server saw %d hits but %d were recorded; warm-up traffic seems to be counted", hits.Load(), rep.Requests)
+	}
+	if rep.LatencyP50Ms <= 0 || rep.LatencyP99Ms < rep.LatencyP50Ms || rep.LatencyMaxMs < rep.LatencyP99Ms {
+		t.Fatalf("latency ordering violated: %+v", rep)
+	}
+}
+
+func TestRunOpenLoopRateAndShed(t *testing.T) {
+	var hits atomic.Int64
+	ts := fakeServe(t, func(w http.ResponseWriter, r *http.Request) {
+		// Every third request is shed.
+		if hits.Add(1)%3 == 0 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"queue full"}`))
+			return
+		}
+		w.Write([]byte(`{"name":"x","predictions":[]}`))
+	})
+	rep, err := Run(context.Background(), Config{
+		URL:         ts.URL,
+		Mode:        ModeOpen,
+		Rate:        200,
+		Concurrency: 8,
+		Duration:    400 * time.Millisecond,
+		Warmup:      0,
+		Corpus:      testCorpus,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != ModeOpen || rep.RateTarget != 200 {
+		t.Fatalf("report mode echo wrong: %+v", rep)
+	}
+	if rep.Success == 0 || rep.Shed == 0 {
+		t.Fatalf("open loop vs shedding server: %+v, want both successes and sheds", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("sheds must not count as errors: %+v", rep)
+	}
+	// The arrival rate bounds offered load: ~80 ticks in 400ms, never
+	// wildly more than the target allows.
+	if rep.Requests > 120 {
+		t.Fatalf("open loop fired %d requests at rate 200 over 400ms, want ≤ ~80", rep.Requests)
+	}
+}
+
+func TestRunCountsTransportErrors(t *testing.T) {
+	ts := fakeServe(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	})
+	rep, err := Run(context.Background(), Config{
+		URL:         ts.URL,
+		Concurrency: 2,
+		Duration:    150 * time.Millisecond,
+		Warmup:      0,
+		Corpus:      testCorpus,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors == 0 || rep.Success != 0 {
+		t.Fatalf("500s must count as errors: %+v", rep)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cases := []Config{
+		{},                // no URL
+		{URL: "http://x"}, // no corpus
+		{URL: "http://x", Corpus: testCorpus, Mode: "bursty"}, // unknown mode
+		{URL: "http://x", Corpus: testCorpus, Mode: ModeOpen}, // open loop without rate
+	}
+	for i, cfg := range cases {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("case %d: Run accepted invalid config %+v", i, cfg)
+		}
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	lats := make([]time.Duration, 100)
+	for i := range lats {
+		lats[i] = time.Duration(i+1) * time.Millisecond // 1ms..100ms sorted
+	}
+	for _, tc := range []struct {
+		p    float64
+		want float64
+	}{
+		{0.50, 50}, {0.95, 95}, {0.99, 99}, {1.0, 100},
+	} {
+		if got := percentileMs(lats, tc.p); got != tc.want {
+			t.Errorf("p%v = %vms, want %vms", tc.p*100, got, tc.want)
+		}
+	}
+	if got := percentileMs([]time.Duration{7 * time.Millisecond}, 0.99); got != 7 {
+		t.Errorf("single-sample p99 = %v, want 7", got)
+	}
+	if got := percentileMs(nil, 0.99); got != 0 {
+		t.Errorf("empty p99 = %v, want 0", got)
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := Report{RPS: 100, LatencyP99Ms: 10, Success: 1000}
+	pass := Report{RPS: 90, LatencyP99Ms: 12, Success: 1000}
+	if v, err := Gate(base, pass, GateConfig{}); err != nil || len(v) != 0 {
+		t.Fatalf("in-tolerance run = (%v, %v), want clean pass", v, err)
+	}
+
+	slow := Report{RPS: 50, LatencyP99Ms: 30, Success: 1000}
+	v, err := Gate(base, slow, GateConfig{})
+	if err != nil || len(v) != 2 {
+		t.Fatalf("regressed run = (%v, %v), want RPS and p99 violations", v, err)
+	}
+	if !strings.Contains(v[0], "RPS") || !strings.Contains(v[1], "p99") {
+		t.Fatalf("violation text wrong: %v", v)
+	}
+
+	// Too little signal is an error, not a verdict.
+	if _, err := Gate(base, Report{RPS: 1000, Success: 3}, GateConfig{}); err == nil {
+		t.Fatal("gate judged a 3-request run")
+	}
+	// Zero-valued baseline p99 skips the latency check instead of
+	// dividing into nonsense.
+	if v, err := Gate(Report{RPS: 100, Success: 100}, Report{RPS: 95, LatencyP99Ms: 500, Success: 100}, GateConfig{}); err != nil || len(v) != 0 {
+		t.Fatalf("zero-baseline p99 = (%v, %v), want skip", v, err)
+	}
+	// Custom tolerances apply.
+	if v, _ := Gate(base, pass, GateConfig{MaxRPSDrop: 0.05, MaxP99Rise: 0.10}); len(v) != 2 {
+		t.Fatalf("tight tolerances = %v, want both violations", v)
+	}
+}
+
+func TestReadReport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.json")
+	want := Report{Mode: ModeClosed, RPS: 123.4, Success: 500, LatencyP99Ms: 9.5}
+	b, _ := json.Marshal(want)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round-trip = %+v, want %+v", got, want)
+	}
+	if _, err := ReadReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("ReadReport invented a missing file")
+	}
+}

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"mvpar/internal/obs"
+)
+
+// autoscalerConfig tunes the replica autoscaler. Zero values take the
+// documented defaults (withDefaults).
+type autoscalerConfig struct {
+	// Min and Max bound the active replica count the scaler moves
+	// between. Max also sizes the pre-allocated replica set, so a
+	// scale-up only widens the traffic-taking window — it never builds
+	// replicas on the hot path.
+	Min, Max int
+	// Interval is the evaluation cadence; default 500ms.
+	Interval time.Duration
+	// UpQueueFrac scales up when total queue occupancy reaches this
+	// fraction of the queue budget; default 0.5.
+	UpQueueFrac float64
+	// UpP99 scales up when the interval-local classify p99 exceeds it;
+	// default 0 (queue depth only).
+	UpP99 time.Duration
+	// DownTicks is the hysteresis: how many consecutive calm intervals
+	// before one scale-down step; default 6.
+	DownTicks int
+	// Cooldown is the minimum spacing between scale events in either
+	// direction; default 2s.
+	Cooldown time.Duration
+}
+
+func (c autoscalerConfig) withDefaults() autoscalerConfig {
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	if c.Interval <= 0 {
+		c.Interval = 500 * time.Millisecond
+	}
+	if c.UpQueueFrac <= 0 {
+		c.UpQueueFrac = 0.5
+	}
+	if c.DownTicks <= 0 {
+		c.DownTicks = 6
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	return c
+}
+
+// autoscaler moves every model's active replica window between Min and
+// Max, one step per decision, driven by the signals the server already
+// exports: total shard queue occupancy (mvpar_*_queue_depth's source)
+// and the interval-local p99 of mvpar_http_request_classify_seconds.
+// Scale-ups react immediately (one hot tick suffices); scale-downs wait
+// out DownTicks consecutive calm intervals (hysteresis), and both
+// directions respect a cooldown so a flapping load signal cannot thrash
+// the window. The scaler never allocates replicas: generations are
+// pre-sized to Max slots and only the traffic-taking count moves.
+type autoscaler struct {
+	cfg    autoscalerConfig
+	reg    *registry
+	shards []*shard
+	// queueBudget is the denominator of the queue-occupancy fraction
+	// (the sum of the shard queue capacities).
+	queueBudget int
+
+	// mu guards the decision state; evaluate is also called directly by
+	// tests with synthetic signals.
+	mu        sync.Mutex
+	desired   int
+	calm      int
+	lastScale time.Time
+	// prev is the previous classify-latency bucket snapshot; interval
+	// p99 comes from the delta because obs histograms are
+	// cumulative-forever.
+	prev []obs.Bucket
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+func newAutoscaler(cfg autoscalerConfig, reg *registry, shards []*shard, queueBudget int) *autoscaler {
+	cfg = cfg.withDefaults()
+	if queueBudget < 1 {
+		queueBudget = 1
+	}
+	a := &autoscaler{
+		cfg:         cfg,
+		reg:         reg,
+		shards:      shards,
+		queueBudget: queueBudget,
+		desired:     cfg.Min,
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	obs.GetGauge("mvpar_autoscale_replicas").Set(float64(a.desired))
+	return a
+}
+
+// evaluate makes one scaling decision from the sampled signals and
+// applies it. Exposed separately from the ticker loop so tests drive it
+// with synthetic queue fractions, latencies and clocks.
+func (a *autoscaler) evaluate(queueFrac, p99Seconds float64, now time.Time) (int, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	hot := queueFrac >= a.cfg.UpQueueFrac ||
+		(a.cfg.UpP99 > 0 && p99Seconds >= a.cfg.UpP99.Seconds())
+	changed := false
+	if hot {
+		a.calm = 0
+		if a.desired < a.cfg.Max && now.Sub(a.lastScale) >= a.cfg.Cooldown {
+			a.desired++
+			a.lastScale = now
+			changed = true
+			obs.GetCounter("mvpar_autoscale_up_total").Inc()
+			obs.Info("serve.autoscale", "direction", "up", "replicas", a.desired,
+				"queue_frac", queueFrac, "p99_seconds", p99Seconds)
+		}
+	} else {
+		a.calm++
+		if a.calm >= a.cfg.DownTicks && a.desired > a.cfg.Min && now.Sub(a.lastScale) >= a.cfg.Cooldown {
+			a.calm = 0
+			a.desired--
+			a.lastScale = now
+			changed = true
+			obs.GetCounter("mvpar_autoscale_down_total").Inc()
+			obs.Info("serve.autoscale", "direction", "down", "replicas", a.desired,
+				"queue_frac", queueFrac, "p99_seconds", p99Seconds)
+		}
+	}
+	if changed {
+		obs.GetGauge("mvpar_autoscale_replicas").Set(float64(a.desired))
+		a.apply(a.desired)
+	}
+	return a.desired, changed
+}
+
+// apply pushes the desired count to every model: the live generation
+// resizes its traffic window now, and desiredActive makes the next hot
+// swap start there instead of resetting a scaled-up model.
+func (a *autoscaler) apply(n int) {
+	for _, m := range a.reg.all() {
+		m.desiredActive.Store(int64(n))
+		if gen := m.gen.Load(); gen != nil {
+			gen.setActive(n)
+		}
+	}
+}
+
+// sampleQueueFrac sums shard queue occupancy against the queue budget.
+func (a *autoscaler) sampleQueueFrac() float64 {
+	depth := 0
+	for _, sh := range a.shards {
+		depth += sh.bat.depth()
+	}
+	return float64(depth) / float64(a.queueBudget)
+}
+
+// sampleP99 estimates the interval-local classify p99 from the delta of
+// consecutive cumulative bucket snapshots: the upper bound of the first
+// bucket holding ≥99% of the interval's observations. No observations
+// this interval → 0 (calm).
+func (a *autoscaler) sampleP99() float64 {
+	cur := obs.GetHistogram("mvpar_http_request_classify_seconds").Buckets()
+	prev := a.prev
+	a.prev = cur
+	if prev == nil || len(prev) != len(cur) {
+		return 0
+	}
+	total := cur[len(cur)-1].Count - prev[len(prev)-1].Count
+	if total <= 0 {
+		return 0
+	}
+	need := int64(math.Ceil(0.99 * float64(total)))
+	lastFinite := 0.0
+	for i := range cur {
+		if cur[i].Count-prev[i].Count >= need {
+			if math.IsInf(cur[i].UpperBound, 1) {
+				return lastFinite
+			}
+			return cur[i].UpperBound
+		}
+		if !math.IsInf(cur[i].UpperBound, 1) {
+			lastFinite = cur[i].UpperBound
+		}
+	}
+	return lastFinite
+}
+
+// run is the ticker loop: sample, evaluate, repeat until stopped.
+func (a *autoscaler) run() {
+	defer close(a.done)
+	t := time.NewTicker(a.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case now := <-t.C:
+			a.mu.Lock()
+			p99 := a.sampleP99()
+			a.mu.Unlock()
+			a.evaluate(a.sampleQueueFrac(), p99, now)
+		case <-a.stop:
+			return
+		}
+	}
+}
+
+func (a *autoscaler) start() { go a.run() }
+
+func (a *autoscaler) halt() {
+	a.stopOnce.Do(func() { close(a.stop) })
+	<-a.done
+}

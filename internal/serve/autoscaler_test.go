@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mvpar/internal/obs"
+)
+
+// scalerFixture builds an autoscaler over a one-model registry whose
+// generation has cfg.Max pre-allocated slots, the way NewMulti wires it.
+func scalerFixture(t *testing.T, cfg autoscalerConfig) (*autoscaler, *model) {
+	t.Helper()
+	reg, err := newRegistry([]ModelSpec{{Name: DefaultModel, Snapshot: snapshotOf(&stubInference{}, cfg.Max)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := reg.get("")
+	m.gen.Store(newGeneration(1, m.name, snapshotOf(&stubInference{}, cfg.Max), breakerConfig{}, cfg.Min))
+	return newAutoscaler(cfg, reg, nil, 10), m
+}
+
+func TestAutoscalerStepsAndCooldown(t *testing.T) {
+	cfg := autoscalerConfig{Min: 1, Max: 4, Cooldown: 2 * time.Second, DownTicks: 3, UpQueueFrac: 0.5}
+	a, m := scalerFixture(t, cfg)
+	t0 := time.Unix(1000, 0)
+
+	// Calm ticks at the floor change nothing.
+	if n, changed := a.evaluate(0.1, 0, t0); n != 1 || changed {
+		t.Fatalf("calm at floor = (%d, %v), want (1, false)", n, changed)
+	}
+
+	// One hot tick scales up immediately — no hysteresis on the way up.
+	if n, changed := a.evaluate(0.9, 0, t0); n != 2 || !changed {
+		t.Fatalf("hot tick = (%d, %v), want (2, true)", n, changed)
+	}
+	if got := m.gen.Load().activeN(); got != 2 {
+		t.Fatalf("live generation active window = %d, want 2", got)
+	}
+	if got := m.desiredActive.Load(); got != 2 {
+		t.Fatalf("desiredActive = %d, want 2", got)
+	}
+
+	// A hot tick inside the cooldown is ignored.
+	if n, changed := a.evaluate(0.9, 0, t0.Add(time.Second)); n != 2 || changed {
+		t.Fatalf("hot tick inside cooldown = (%d, %v), want (2, false)", n, changed)
+	}
+	// Past the cooldown it steps again, one replica at a time.
+	if n, _ := a.evaluate(0.9, 0, t0.Add(3*time.Second)); n != 3 {
+		t.Fatalf("hot tick past cooldown = %d, want 3", n)
+	}
+	if n, _ := a.evaluate(0.9, 0, t0.Add(6*time.Second)); n != 4 {
+		t.Fatalf("third hot tick = %d, want 4", n)
+	}
+	// Clamped at Max.
+	if n, changed := a.evaluate(0.9, 0, t0.Add(9*time.Second)); n != 4 || changed {
+		t.Fatalf("hot tick at ceiling = (%d, %v), want (4, false)", n, changed)
+	}
+}
+
+func TestAutoscalerDownHysteresis(t *testing.T) {
+	cfg := autoscalerConfig{Min: 1, Max: 4, Cooldown: 2 * time.Second, DownTicks: 3, UpQueueFrac: 0.5}
+	a, m := scalerFixture(t, cfg)
+	t0 := time.Unix(2000, 0)
+	a.evaluate(0.9, 0, t0) // → 2
+
+	// Two calm intervals are not enough; the third (DownTicks) steps down.
+	now := t0.Add(10 * time.Second)
+	for i := 0; i < 2; i++ {
+		now = now.Add(time.Second)
+		if n, changed := a.evaluate(0, 0, now); n != 2 || changed {
+			t.Fatalf("calm tick %d = (%d, %v), want (2, false) before hysteresis expires", i+1, n, changed)
+		}
+	}
+	now = now.Add(time.Second)
+	if n, changed := a.evaluate(0, 0, now); n != 1 || !changed {
+		t.Fatalf("calm tick 3 = (%d, %v), want the scale-down to (1, true)", n, changed)
+	}
+	if got := m.gen.Load().activeN(); got != 1 {
+		t.Fatalf("live generation active window = %d, want 1 after scale-down", got)
+	}
+
+	// A hot tick resets the calm streak: two calm, one hot, two calm must
+	// not scale down (the counter restarted at the hot tick).
+	a.evaluate(0.9, 0, now.Add(3*time.Second)) // → 2, resets calm
+	base := now.Add(10 * time.Second)
+	a.evaluate(0, 0, base.Add(1*time.Second))
+	a.evaluate(0, 0, base.Add(2*time.Second))
+	a.evaluate(0.9, 0, base.Add(3*time.Second)) // hot: already at a recent scale so no step, but calm resets
+	a.evaluate(0, 0, base.Add(4*time.Second))
+	if n, changed := a.evaluate(0, 0, base.Add(5*time.Second)); changed {
+		t.Fatalf("scale-down fired after an interrupted calm streak (n=%d)", n)
+	}
+	// Floor clamp: already at Min, endless calm changes nothing.
+	a2, _ := scalerFixture(t, cfg)
+	now2 := time.Unix(3000, 0)
+	for i := 0; i < 10; i++ {
+		now2 = now2.Add(time.Second)
+		if n, changed := a2.evaluate(0, 0, now2); n != 1 || changed {
+			t.Fatalf("calm at floor scaled to (%d, %v)", n, changed)
+		}
+	}
+}
+
+func TestAutoscalerP99Trigger(t *testing.T) {
+	cfg := autoscalerConfig{Min: 1, Max: 2, Cooldown: time.Second, DownTicks: 3, UpQueueFrac: 0.5, UpP99: 50 * time.Millisecond}
+	a, _ := scalerFixture(t, cfg)
+	t0 := time.Unix(4000, 0)
+	// Queue is idle but the latency signal alone marks the interval hot.
+	if n, changed := a.evaluate(0, 0.200, t0); n != 2 || !changed {
+		t.Fatalf("p99 trigger = (%d, %v), want (2, true)", n, changed)
+	}
+	// Without UpP99 configured the latency signal is inert.
+	b, _ := scalerFixture(t, autoscalerConfig{Min: 1, Max: 2, Cooldown: time.Second, DownTicks: 3, UpQueueFrac: 0.5})
+	if n, changed := b.evaluate(0, 10.0, t0); n != 1 || changed {
+		t.Fatalf("latency with UpP99=0 = (%d, %v), want (1, false)", n, changed)
+	}
+}
+
+func TestAutoscalerSampleP99IntervalLocal(t *testing.T) {
+	cfg := autoscalerConfig{Min: 1, Max: 2}
+	a, _ := scalerFixture(t, cfg)
+	h := obs.GetHistogram("mvpar_http_request_classify_seconds")
+
+	// First sample only takes the baseline snapshot.
+	a.sampleP99()
+	// An interval with no observations is calm regardless of history.
+	if p := a.sampleP99(); p != 0 {
+		t.Fatalf("empty interval p99 = %v, want 0", p)
+	}
+	// 100 fast observations and 1 slow one this interval: p99 must come
+	// from the interval's own distribution, not the cumulative one.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.001)
+	}
+	h.Observe(5.0)
+	fast := a.sampleP99()
+	if fast <= 0 {
+		t.Fatalf("interval p99 = %v, want a positive bucket bound", fast)
+	}
+	// Next interval: slow requests dominate, the p99 must rise even
+	// though cumulatively the fast requests still outnumber them.
+	for i := 0; i < 20; i++ {
+		h.Observe(5.0)
+	}
+	slow := a.sampleP99()
+	if slow <= fast {
+		t.Fatalf("interval p99 did not track the interval: fast=%v slow=%v", fast, slow)
+	}
+}
+
+// TestAutoscalerDesiredPersistsAcrossReload pins the interaction with
+// hot swap: a scaled-up model must come back at its scaled width after a
+// reload, not reset to the minimum.
+func TestAutoscalerDesiredPersistsAcrossReload(t *testing.T) {
+	gen2 := &genStub{gen: 2}
+	cfg := Config{
+		CacheSize:   -1,
+		MinReplicas: 1,
+		MaxReplicas: 3,
+		Loader: func(context.Context) (Snapshot, error) {
+			return snapshotOf(gen2, 3), nil
+		},
+	}
+	s := New(&genStub{gen: 1}, cfg)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	m := s.defaultModel()
+	if got := m.gen.Load().activeN(); got != 1 {
+		t.Fatalf("initial active window = %d, want MinReplicas", got)
+	}
+
+	// Scale to 2 via the decision path, then hot-swap.
+	if n, _ := s.scaler.evaluate(1.0, 0, time.Unix(5000, 0)); n != 2 {
+		t.Fatalf("scale-up = %d, want 2", n)
+	}
+	if _, err := s.Reload(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	g := m.gen.Load()
+	if g.id != 2 {
+		t.Fatalf("reload produced generation %d, want 2", g.id)
+	}
+	if got := g.activeN(); got != 2 {
+		t.Fatalf("post-reload active window = %d, want the scaled 2", got)
+	}
+	if len(g.reps) != 3 {
+		t.Fatalf("post-reload slots = %d, want MaxReplicas", len(g.reps))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"mvpar/internal/obs"
 )
@@ -77,9 +78,66 @@ func TestServeMetricsExpositionConformance(t *testing.T) {
 		"# TYPE mvpar_classify_requests_float64_total counter",
 		"# TYPE mvpar_classify_requests_float32_total counter",
 		"# TYPE mvpar_classify_requests_int8_total counter",
+		"# TYPE mvpar_model_info_default gauge",
+		`mvpar_model_info_default{`,
+		`model="default"`,
+		"# TYPE mvpar_http_queue_depth gauge",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestShardedMetricsExposition pins the sharded/autoscaled families: a
+// multi-shard autoscaled server must expose per-shard queue-depth
+// gauges, the autoscale families, and one mvpar_model_info_<model> info
+// gauge per registry entry — all conformant.
+func TestShardedMetricsExposition(t *testing.T) {
+	def := &stubInference{}
+	alt := &stubInference{}
+	s, err := NewMulti([]ModelSpec{
+		{Name: DefaultModel, Snapshot: snapshotOf(def, 2)},
+		{Name: "alt.v2", Snapshot: snapshotOf(alt, 2)},
+	}, Config{Shards: 2, MinReplicas: 1, MaxReplicas: 2, AutoscaleInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	if err := s.Warmup(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	obs.GetCounter("mvpar_autoscale_up_total").Add(0)
+	obs.GetCounter("mvpar_autoscale_down_total").Add(0)
+
+	var b strings.Builder
+	if err := obs.Default().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := obs.CheckExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("sharded exposition fails conformance: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE mvpar_shard_queue_depth_0 gauge",
+		"# TYPE mvpar_shard_queue_depth_1 gauge",
+		"# TYPE mvpar_autoscale_replicas gauge",
+		"# TYPE mvpar_autoscale_up_total counter",
+		"# TYPE mvpar_autoscale_down_total counter",
+		"# TYPE mvpar_model_info_default gauge",
+		`mvpar_model_info_default{`,
+		// Dots in a model name are sanitized for the metric name but kept
+		// verbatim in the label value.
+		"# TYPE mvpar_model_info_alt_v2 gauge",
+		`model="alt.v2"`,
+		`fingerprint="`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sharded exposition missing %q", want)
 		}
 	}
 }

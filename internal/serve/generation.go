@@ -79,10 +79,16 @@ type replica struct {
 // execute against it even if a swap lands mid-flight; the old
 // generation's drain completes when its last pinned request finishes.
 type generation struct {
-	id   uint64
-	fp   string
-	prec string // inference precision tier of the replicas
-	reps []*replica
+	id    uint64
+	model string // registry name of the model this generation serves
+	fp    string
+	prec  string // inference precision tier of the replicas
+	reps  []*replica
+
+	// active bounds how many replica slots acquire considers
+	// (1..len(reps)): the autoscaler raises and lowers it between the
+	// configured min and max. Slots past it exist but take no traffic.
+	active atomic.Int64
 
 	// inflight counts requests pinned to this generation (admitted but
 	// not yet answered). The swap path waits on it to declare the
@@ -92,8 +98,8 @@ type generation struct {
 	rr atomic.Uint64
 }
 
-func newGeneration(id uint64, snap Snapshot, bcfg breakerConfig) *generation {
-	g := &generation{id: id, fp: snap.Fingerprint, prec: "float64"}
+func newGeneration(id uint64, modelName string, snap Snapshot, bcfg breakerConfig, active int) *generation {
+	g := &generation{id: id, model: modelName, fp: snap.Fingerprint, prec: "float64"}
 	for i, inf := range snap.Replicas {
 		g.reps = append(g.reps, &replica{id: i, inf: inf, br: newBreaker(bcfg, i)})
 	}
@@ -102,24 +108,51 @@ func newGeneration(id uint64, snap Snapshot, bcfg breakerConfig) *generation {
 			g.prec = p.Precision()
 		}
 	}
+	if active <= 0 || active > len(g.reps) {
+		active = len(g.reps)
+	}
+	g.active.Store(int64(active))
 	return g
 }
 
-// key is the generation's cache-key namespace: id plus fingerprint, so
-// neither a reload (new id) nor a changed config (new fingerprint) can
-// ever surface a prediction computed by other weights.
+// key is the generation's cache-key namespace: model name, id and
+// fingerprint, so neither a reload (new id), a changed config (new
+// fingerprint) nor another registry entry that happens to share weights
+// can ever surface a prediction computed under a different identity.
 func (g *generation) key() string {
-	return fmt.Sprintf("g%d:%s", g.id, g.fp)
+	return fmt.Sprintf("m:%s|g%d:%s", g.model, g.id, g.fp)
 }
 
-// acquire picks the next replica whose breaker admits a request,
+// activeN is the current count of replica slots taking traffic.
+func (g *generation) activeN() int {
+	return int(g.active.Load())
+}
+
+// setActive resizes the traffic-taking replica window, clamped to
+// [1, len(reps)], and returns the applied value.
+func (g *generation) setActive(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(g.reps) {
+		n = len(g.reps)
+	}
+	g.active.Store(int64(n))
+	return n
+}
+
+// acquire picks the next active replica whose breaker admits a request,
 // scanning round-robin from a shared cursor. It reports false when every
 // breaker refuses — the all-unhealthy state the degradation ladder
 // handles.
 func (g *generation) acquire() (*replica, bool) {
+	n := g.activeN()
+	if n <= 0 || n > len(g.reps) {
+		n = len(g.reps)
+	}
 	start := g.rr.Add(1)
-	for i := 0; i < len(g.reps); i++ {
-		rep := g.reps[(start+uint64(i))%uint64(len(g.reps))]
+	for i := 0; i < n; i++ {
+		rep := g.reps[(start+uint64(i))%uint64(n)]
 		if rep.br.allow() {
 			return rep, true
 		}
@@ -127,10 +160,13 @@ func (g *generation) acquire() (*replica, bool) {
 	return nil, false
 }
 
-// healthy counts replicas whose breaker is not open.
+// healthy counts active replicas whose breaker is not open.
 func (g *generation) healthy() int {
 	n := 0
-	for _, rep := range g.reps {
+	for i, rep := range g.reps {
+		if i >= g.activeN() {
+			break
+		}
 		if rep.br.currentState() != breakerOpen {
 			n++
 		}

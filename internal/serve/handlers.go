@@ -20,6 +20,9 @@ type ClassifyRequest struct {
 	Name string `json:"name"`
 	// Source is the MiniC program (entry function main).
 	Source string `json:"source"`
+	// Model selects the registry entry that answers; empty means the
+	// default model. The ?model= query parameter takes precedence.
+	Model string `json:"model,omitempty"`
 	// Timings asks for the per-request latency breakdown: the response
 	// gains trace_id and a timings span tree (handler → batcher →
 	// replica → dataset stages → per-loop GNN forwards). Cache hits skip
@@ -154,20 +157,36 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if req.Name == "" {
 		req.Name = "unnamed"
 	}
+	if q := r.URL.Query().Get("model"); q != "" {
+		req.Model = q
+	}
+	m, err := s.reg.get(req.Model)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{
+			Error:   fmt.Sprintf("unknown model %q", req.Model),
+			Reasons: []string{"GET /v1/models lists the served models"},
+		})
+		return
+	}
 
-	// Pin the request to the current model generation: it registers with
-	// the generation's in-flight count here and executes against that
-	// generation's replicas even if a hot swap lands while it waits. The
-	// registration is released on every exit path — cache hit and submit
-	// rejection below, or by the executor once it delivers a result.
-	gen := s.admit()
+	// Pin the request to the model's current generation: it registers
+	// with the generation's in-flight count here and executes against
+	// that generation's replicas even if a hot swap lands while it
+	// waits. The registration is released on every exit path — cache hit
+	// and submit rejection below, or by the executor once it delivers a
+	// result.
+	gen := m.admit()
 	// Per-precision request accounting: which inference tier is about to
 	// answer (float64 reference or float32 fast path).
 	obs.GetCounter("mvpar_classify_requests_" + gen.prec + "_total").Inc()
+	// Consistent-hash the submission to its admission shard. The hash is
+	// generation-scoped like the cache key, so one submission's repeat
+	// traffic lands on one shard's cache.
+	shard := s.shardFor(requestHash(gen.key(), req.Name, req.Source))
 	var key string
-	if s.cache != nil {
+	if shard.cache != nil {
 		key = cacheKey(gen.key(), req.Name, req.Source)
-		if preds, ok := s.cache.get(key); ok {
+		if preds, ok := shard.cache.get(key); ok {
 			gen.inflight.Done()
 			obs.GetCounter("mvpar_http_cache_hits_total").Inc()
 			resp := toResponse(req.Name, preds, true)
@@ -195,15 +214,16 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	bctx, bspan := trace.StartSpan(ctx, "batcher")
 	breq := &batchRequest{
-		ctx:  bctx,
-		name: req.Name,
-		src:  req.Source,
-		key:  key,
-		gen:  gen,
-		done: make(chan batchResult, 1),
-		span: bspan,
+		ctx:   bctx,
+		name:  req.Name,
+		src:   req.Source,
+		key:   key,
+		shard: shard,
+		gen:   gen,
+		done:  make(chan batchResult, 1),
+		span:  bspan,
 	}
-	if err := s.bat.submit(breq); err != nil {
+	if err := shard.bat.submit(breq); err != nil {
 		gen.inflight.Done()
 		switch {
 		case errors.Is(err, ErrQueueFull):
@@ -286,20 +306,27 @@ func (s *Server) writeResult(w http.ResponseWriter, name, prec string, res batch
 	}
 }
 
-// handleReload is POST /v1/models/reload: one atomic hot swap through
-// Server.Reload. 200 with the new generation on success, 500 with the
-// rollback cause on failure (the previous model keeps serving), 501
-// when the server was built without a Loader.
+// handleReload is POST /v1/models/reload[?model=<name>]: one atomic hot
+// swap through Server.ReloadModel. 200 with the new generation on
+// success, 404 for an unknown model, 500 with the rollback cause on
+// failure (the previous model keeps serving), 501 when the model has no
+// Loader.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "use POST"})
 		return
 	}
-	res, err := s.Reload(r.Context())
+	name := r.URL.Query().Get("model")
+	res, err := s.ReloadModel(r.Context(), name)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, res)
+	case errors.Is(err, ErrUnknownModel):
+		writeJSON(w, http.StatusNotFound, ErrorResponse{
+			Error:   fmt.Sprintf("unknown model %q", name),
+			Reasons: []string{"GET /v1/models lists the served models"},
+		})
 	case errors.Is(err, ErrNoLoader):
 		writeJSON(w, http.StatusNotImplemented, ErrorResponse{
 			Error:   "no model loader configured",
@@ -313,15 +340,70 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleHealthz is liveness: 200 as long as the process serves, with
-// the live generation's identity so operators can confirm which model a
-// replica runs without a classify round-trip.
+// ModelStatus is one registry entry in the GET /v1/models listing and
+// the /healthz models array.
+type ModelStatus struct {
+	Name        string `json:"name"`
+	Default     bool   `json:"default,omitempty"`
+	Generation  uint64 `json:"generation"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Precision   string `json:"precision"`
+	// Replicas is the pre-allocated slot count; ActiveReplicas how many
+	// take traffic right now (the autoscaler's window); HealthyReplicas
+	// how many of those have a non-open breaker.
+	Replicas        int `json:"replicas"`
+	ActiveReplicas  int `json:"active_replicas"`
+	HealthyReplicas int `json:"healthy_replicas"`
+	// Reloadable reports whether the model has a Loader (POST
+	// /v1/models/reload?model=<name> works).
+	Reloadable bool `json:"reloadable"`
+}
+
+// modelStatuses snapshots every registry entry.
+func (s *Server) modelStatuses() []ModelStatus {
+	out := make([]ModelStatus, 0, len(s.reg.names))
+	for _, m := range s.reg.all() {
+		gen := m.gen.Load()
+		out = append(out, ModelStatus{
+			Name:            m.name,
+			Default:         m.name == s.reg.def,
+			Generation:      gen.id,
+			Fingerprint:     gen.fp,
+			Precision:       gen.prec,
+			Replicas:        len(gen.reps),
+			ActiveReplicas:  gen.activeN(),
+			HealthyReplicas: gen.healthy(),
+			Reloadable:      m.loader != nil,
+		})
+	}
+	return out
+}
+
+// handleModels is GET /v1/models: the registry listing with each
+// model's generation, fingerprint and replica state.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "use GET"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"default": s.reg.def,
+		"models":  s.modelStatuses(),
+	})
+}
+
+// handleHealthz is liveness: 200 as long as the process serves. The
+// top-level generation and fingerprint are the default model's (the
+// single-model wire format, kept for monitors that predate the
+// registry); the models array carries every entry's identity.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	gen := s.gen.Load()
+	gen := s.defaultModel().gen.Load()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":          true,
 		"generation":  gen.id,
 		"fingerprint": gen.fp,
+		"models":      s.modelStatuses(),
 	})
 }
 
@@ -329,12 +411,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // until the warm-up classification passes, "draining" (503) once
 // Shutdown begins — the signal load balancers key on during the drain
 // grace window — "degraded" (200: still routable, the degradation
-// ladder answers) while every replica breaker is open, and "ready"
-// (200) otherwise. The body always carries the generation and healthy
-// replica count.
+// ladder answers) while any model has every active-replica breaker
+// open, and "ready" (200) otherwise. The top-level generation and
+// replica counts are the default model's.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	gen := s.gen.Load()
+	gen := s.defaultModel().gen.Load()
 	healthy := gen.healthy()
+	anyUnhealthy := false
+	for _, m := range s.reg.all() {
+		if m.gen.Load().healthy() == 0 {
+			anyUnhealthy = true
+		}
+	}
 	state := "ready"
 	code := http.StatusOK
 	switch {
@@ -342,7 +430,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		state, code = "draining", http.StatusServiceUnavailable
 	case !s.ready.Load():
 		state, code = "starting", http.StatusServiceUnavailable
-	case healthy == 0:
+	case anyUnhealthy:
 		state = "degraded"
 	}
 	writeJSON(w, code, map[string]any{

@@ -3,15 +3,25 @@
 // so downstream consumers — editors, CI gates, build systems — classify
 // loops without paying model-load and encoder-build costs per request.
 //
-// The request path is a micro-batching admission pipeline:
+// The request path is a sharded micro-batching admission pipeline over a
+// registry of named models:
 //
-//	POST /v1/classify → generation pin → LRU cache (generation-keyed)
-//	  → bounded queue (429 past MaxQueue)
+//	POST /v1/classify?model=<name> → registry lookup → generation pin
+//	  → consistent-hash shard (fingerprint-aware request hash)
+//	  → per-shard LRU cache (generation-keyed)
+//	  → per-shard bounded queue (429 past the queue budget)
 //	  → batcher (coalesce ≤ MaxBatch within BatchWindow)
 //	  → circuit-breaking replica routing (retry around faults)
 //	  → per-request context deadline into the interpreter's stride check
 //	  → degradation ladder (cache-only → node-view-only) when replicas
 //	    are unhealthy or the deadline is nearly spent
+//
+// Sharding (Config.Shards) splits the cache and admission queue into
+// independent lock + channel domains so no single mutex is the
+// rendezvous point for every request at high concurrency; replica
+// autoscaling (Config.MinReplicas/MaxReplicas) moves each model's
+// traffic-taking replica window with queue depth and interval p99,
+// with hysteresis and a cooldown.
 //
 // plus /healthz (liveness + generation identity), /readyz (warm, not
 // draining; reports "degraded" while the ladder is active), /metrics
@@ -41,7 +51,6 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"strconv"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -103,6 +112,30 @@ type Config struct {
 	// single Inference the domains share it; a Loader may supply
 	// genuinely distinct handles.
 	Replicas int
+	// Shards is how many independent admission domains (cache + bounded
+	// queue, each with its own lock and dispatcher) requests are
+	// consistent-hashed over; default 1 (the classic single-queue
+	// server). The queue and cache budgets are split evenly across
+	// shards.
+	Shards int
+	// MinReplicas / MaxReplicas bound replica autoscaling. MaxReplicas 0
+	// (the default) disables the autoscaler: every replica slot takes
+	// traffic, exactly the fixed-replica behaviour of earlier versions.
+	// With MaxReplicas > 0 the generation is pre-allocated MaxReplicas
+	// slots (they share the Inference, so slots are cheap), traffic
+	// starts on MinReplicas of them (default 1), and the autoscaler
+	// widens or narrows the window from queue depth and latency.
+	MinReplicas int
+	MaxReplicas int
+	// AutoscaleInterval is the autoscaler's evaluation cadence; default
+	// 500ms.
+	AutoscaleInterval time.Duration
+	// AutoscaleCooldown is the minimum spacing between scale events;
+	// default 2s.
+	AutoscaleCooldown time.Duration
+	// AutoscaleP99 scales up when the interval-local classify p99
+	// crosses it; default 0 (scale on queue depth only).
+	AutoscaleP99 time.Duration
 	// MaxRetries is how many additional replicas a request is retried on
 	// after a replica fault (panic, deadline overrun) before falling to
 	// the degradation ladder; default 2, negative disables retries.
@@ -178,6 +211,20 @@ func (c Config) withDefaults() Config {
 	if c.Replicas <= 0 {
 		c.Replicas = 4
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.MaxReplicas > 0 {
+		if c.MinReplicas <= 0 {
+			c.MinReplicas = 1
+		}
+		if c.MaxReplicas < c.MinReplicas {
+			c.MaxReplicas = c.MinReplicas
+		}
+	} else {
+		c.MinReplicas = 0
+		c.MaxReplicas = 0
+	}
 	if c.MaxRetries == 0 {
 		c.MaxRetries = 2
 	}
@@ -213,44 +260,85 @@ var ErrNoLoader = errors.New("serve: no model loader configured")
 // Server is one inference service instance.
 type Server struct {
 	cfg    Config
-	cache  *lruCache
-	bat    *batcher
 	hs     *http.Server
 	traces *trace.Ring // slow-request retention, nil when disabled
 
-	// gen is the live model generation; genSeq issues generation ids.
-	// reloadMu serializes hot swaps (concurrent reload requests queue).
-	gen      atomic.Pointer[generation]
-	genSeq   atomic.Uint64
-	reloadMu sync.Mutex
+	// reg holds the served models (name → generation chain); shards are
+	// the independent admission domains requests consistent-hash over;
+	// ring assigns request hashes to shards; scaler is the replica
+	// autoscaler (nil when MaxReplicas is 0).
+	reg    *registry
+	shards []*shard
+	ring   *hashRing
+	scaler *autoscaler
 
 	ready    atomic.Bool
 	draining atomic.Bool
 }
 
 // New builds a server around a single Inference (fanned over
-// cfg.Replicas breaker domains) and starts its dispatcher. The server
-// is not ready until Warmup succeeds; use Handler for in-process tests
-// or ListenAndServe for the full lifecycle.
+// cfg.Replicas breaker domains — or cfg.MaxReplicas slots when
+// autoscaling is on) and starts its dispatchers. The server is not
+// ready until Warmup succeeds; use Handler for in-process tests or
+// ListenAndServe for the full lifecycle.
 func New(inf Inference, cfg Config) *Server {
-	return NewWithSnapshot(snapshotOf(inf, cfg.withDefaults().Replicas), cfg)
+	cfg = cfg.withDefaults()
+	n := cfg.Replicas
+	if cfg.MaxReplicas > n {
+		n = cfg.MaxReplicas
+	}
+	return NewWithSnapshot(snapshotOf(inf, n), cfg)
 }
 
 // NewWithSnapshot is New for callers that already hold a multi-replica
-// snapshot (e.g. one core.Classifier handle per failure domain).
+// snapshot (e.g. one core.Classifier handle per failure domain). The
+// snapshot becomes the registry's default model; cfg.Loader (when set)
+// is its reload loader.
 func NewWithSnapshot(snap Snapshot, cfg Config) *Server {
-	cfg = cfg.withDefaults()
-	s := &Server{
-		cfg:   cfg,
-		cache: newLRUCache(cfg.CacheSize),
+	s, err := NewMulti([]ModelSpec{{Name: DefaultModel, Snapshot: snap, Loader: cfg.Loader}}, cfg)
+	if err != nil {
+		// The single-model spec above is valid by construction; an error
+		// here means the snapshot itself is unusable (no replicas) — a
+		// programmer error in the caller, as before this path existed.
+		panic(err)
 	}
+	return s
+}
+
+// NewMulti builds a server over a registry of named models. The first
+// spec is the default model: the one unnamed requests (and the
+// single-model metric families) resolve to.
+func NewMulti(specs []ModelSpec, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	reg, err := newRegistry(specs)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, reg: reg}
 	if cfg.TraceRing > 0 {
 		s.traces = trace.NewRing(cfg.TraceRing)
 	}
-	s.install(snap)
-	s.bat = newBatcher(cfg.MaxBatch, cfg.BatchWindow, cfg.MaxQueue, cfg.Workers, s.execute)
+	s.shards = newShards(cfg.Shards, cfg, s.execute)
+	members := make([]string, len(s.shards))
+	for i := range members {
+		members[i] = "shard-" + strconv.Itoa(i)
+	}
+	s.ring = newHashRing(members, 0)
+	for _, spec := range specs {
+		s.install(reg.byName[spec.Name], spec.Snapshot)
+	}
+	if cfg.MaxReplicas > 0 {
+		s.scaler = newAutoscaler(autoscalerConfig{
+			Min:      cfg.MinReplicas,
+			Max:      cfg.MaxReplicas,
+			Interval: cfg.AutoscaleInterval,
+			Cooldown: cfg.AutoscaleCooldown,
+			UpP99:    cfg.AutoscaleP99,
+		}, reg, s.shards, cfg.MaxQueue)
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/v1/classify", instrument("classify", http.HandlerFunc(s.handleClassify)))
+	mux.Handle("/v1/models", instrument("models", http.HandlerFunc(s.handleModels)))
 	mux.Handle("/v1/models/reload", instrument("reload", http.HandlerFunc(s.handleReload)))
 	mux.Handle("/healthz", instrument("healthz", http.HandlerFunc(s.handleHealthz)))
 	mux.Handle("/readyz", instrument("readyz", http.HandlerFunc(s.handleReadyz)))
@@ -270,60 +358,74 @@ func NewWithSnapshot(snap Snapshot, cfg Config) *Server {
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	s.bat.start()
-	return s
+	for _, sh := range s.shards {
+		sh.bat.start()
+	}
+	if s.scaler != nil {
+		s.scaler.start()
+	}
+	return s, nil
 }
 
 // Handler exposes the routed handler for httptest-style embedding.
 func (s *Server) Handler() http.Handler { return s.hs.Handler }
 
-// Generation returns the live generation's id (1 for the initial model,
-// +1 per successful hot swap).
-func (s *Server) Generation() uint64 { return s.gen.Load().id }
+// defaultModel returns the registry's default model (the first spec).
+func (s *Server) defaultModel() *model { return s.reg.byName[s.reg.def] }
 
-// install makes snap the live generation and starts draining the old
+// Generation returns the default model's live generation id (1 for the
+// initial model, +1 per successful hot swap).
+func (s *Server) Generation() uint64 { return s.defaultModel().gen.Load().id }
+
+// shardFor routes a fingerprint-aware request hash to its shard.
+func (s *Server) shardFor(h uint64) *shard { return s.shards[s.ring.lookup(h)] }
+
+// install makes snap m's live generation and starts draining the old
 // one: in-flight requests pinned to it finish against its replicas, and
 // once the last of them completes the generation is declared drained.
-func (s *Server) install(snap Snapshot) *generation {
-	id := s.genSeq.Add(1)
-	gen := newGeneration(id, snap, s.cfg.breakerCfg())
-	old := s.gen.Swap(gen)
-	obs.GetGauge("mvpar_model_generation").Set(float64(id))
-	obs.SetInfo("mvpar_build_info", map[string]string{
-		"version":    s.cfg.Version,
-		"go_version": runtime.Version(),
-		"generation": strconv.FormatUint(id, 10),
-		"model":      gen.fp,
-	})
-	// Build-info-style precision gauge: which inference engine the live
-	// generation answers with (operators alert on an unexpected flip).
-	obs.SetInfo("mvpar_inference_precision", map[string]string{
-		"precision": gen.prec,
+func (s *Server) install(m *model, snap Snapshot) *generation {
+	id := m.genSeq.Add(1)
+	active := int(m.desiredActive.Load())
+	if active == 0 && s.cfg.MaxReplicas > 0 {
+		// First install under autoscaling: traffic starts on the floor.
+		active = s.cfg.MinReplicas
+	}
+	gen := newGeneration(id, m.name, snap, s.cfg.breakerCfg(), active)
+	old := m.gen.Swap(gen)
+	if m.name == s.reg.def {
+		// The default model keeps the single-model metric families every
+		// existing dashboard reads.
+		obs.GetGauge("mvpar_model_generation").Set(float64(id))
+		obs.SetInfo("mvpar_build_info", map[string]string{
+			"version":    s.cfg.Version,
+			"go_version": runtime.Version(),
+			"generation": strconv.FormatUint(id, 10),
+			"model":      gen.fp,
+		})
+		// Build-info-style precision gauge: which inference engine the
+		// live generation answers with (operators alert on an unexpected
+		// flip).
+		obs.SetInfo("mvpar_inference_precision", map[string]string{
+			"precision": gen.prec,
+		})
+	}
+	// Per-model identity gauge: one constant-1 info metric per registry
+	// entry, so operators confirm every model's generation + weights
+	// from /metrics alone.
+	obs.SetInfo("mvpar_model_info_"+m.metric, map[string]string{
+		"model":       m.name,
+		"generation":  strconv.FormatUint(id, 10),
+		"fingerprint": gen.fp,
+		"precision":   gen.prec,
 	})
 	if old != nil {
 		go func() {
 			old.inflight.Wait()
 			obs.GetCounter("mvpar_model_generations_drained_total").Inc()
-			obs.Info("serve.generation_drained", "generation", old.id)
+			obs.Info("serve.generation_drained", "model", m.name, "generation", old.id)
 		}()
 	}
 	return gen
-}
-
-// admit pins the caller to the current generation by registering with
-// its in-flight count. The re-check closes the swap race: if a swap
-// landed between the load and the Add, the registration is undone and
-// retried on the new generation, so a drain wait can never miss a
-// pinned request.
-func (s *Server) admit() *generation {
-	for {
-		gen := s.gen.Load()
-		gen.inflight.Add(1)
-		if s.gen.Load() == gen {
-			return gen
-		}
-		gen.inflight.Done()
-	}
 }
 
 // warmupSource is the program warm-up classifies: small enough to finish
@@ -366,19 +468,21 @@ func warmGeneration(ctx context.Context, gen *generation) error {
 	return nil
 }
 
-// Warmup runs one classification through every replica of the live
-// generation and marks the server ready on success. Until it returns
-// nil, /readyz and /v1/classify answer 503.
+// Warmup runs one classification through every replica of every model's
+// live generation and marks the server ready on success. Until it
+// returns nil, /readyz and /v1/classify answer 503.
 func (s *Server) Warmup(ctx context.Context) error {
 	start := time.Now()
-	gen := s.gen.Load()
-	if err := warmGeneration(ctx, gen); err != nil {
-		obs.GetCounter("mvpar_http_warmup_failures_total").Inc()
-		obs.Error("serve.warmup", "generation", gen.id, "err", err)
-		return err
+	for _, m := range s.reg.all() {
+		gen := m.gen.Load()
+		if err := warmGeneration(ctx, gen); err != nil {
+			obs.GetCounter("mvpar_http_warmup_failures_total").Inc()
+			obs.Error("serve.warmup", "model", m.name, "generation", gen.id, "err", err)
+			return fmt.Errorf("model %q: %w", m.name, err)
+		}
 	}
 	s.ready.Store(true)
-	obs.Info("serve.ready", "generation", gen.id, "warmup_seconds", time.Since(start).Seconds())
+	obs.Info("serve.ready", "models", len(s.reg.names), "warmup_seconds", time.Since(start).Seconds())
 	return nil
 }
 
@@ -387,6 +491,9 @@ func (s *Server) Ready() bool { return s.ready.Load() }
 
 // ReloadResult reports a successful hot swap.
 type ReloadResult struct {
+	// Model names the registry entry that swapped (omitted for the
+	// default model, keeping the single-model wire format unchanged).
+	Model       string        `json:"model,omitempty"`
 	Generation  uint64        `json:"generation"`
 	Fingerprint string        `json:"fingerprint,omitempty"`
 	Warmup      time.Duration `json:"-"`
@@ -394,26 +501,38 @@ type ReloadResult struct {
 	WarmupSeconds float64 `json:"warmup_seconds"`
 }
 
-// Reload performs one atomic model hot swap: load a fresh snapshot via
-// cfg.Loader, warm and parity-check every candidate replica OFF the
-// serving path, then swap it in as a new generation while the old one
-// drains in flight. Any failure — loader error (corrupt checkpoint,
-// missing file), warm-up error, parity failure — rolls back: the swap
-// never happens, the previous generation keeps serving untouched, and
-// the error is returned. Concurrent reloads serialize.
+// Reload hot-swaps the default model (see ReloadModel).
 func (s *Server) Reload(ctx context.Context) (ReloadResult, error) {
-	if s.cfg.Loader == nil {
+	return s.ReloadModel(ctx, "")
+}
+
+// ReloadModel performs one atomic hot swap of the named model (empty
+// means the default): load a fresh snapshot via the model's Loader,
+// warm and parity-check every candidate replica OFF the serving path,
+// then swap it in as a new generation while the old one drains in
+// flight. Any failure — loader error (corrupt checkpoint, missing
+// file), warm-up error, parity failure — rolls back: the swap never
+// happens, the previous generation keeps serving untouched, and the
+// error is returned. Concurrent reloads of one model serialize;
+// different models swap independently.
+func (s *Server) ReloadModel(ctx context.Context, name string) (ReloadResult, error) {
+	m, err := s.reg.get(name)
+	if err != nil {
+		return ReloadResult{}, err
+	}
+	if m.loader == nil {
 		return ReloadResult{}, ErrNoLoader
 	}
-	s.reloadMu.Lock()
-	defer s.reloadMu.Unlock()
+	m.reloadMu.Lock()
+	defer m.reloadMu.Unlock()
 	obs.GetCounter("mvpar_model_reloads_total").Inc()
 	fail := func(stage string, err error) (ReloadResult, error) {
 		obs.GetCounter("mvpar_model_reload_failures_total").Inc()
-		obs.Error("serve.reload_rollback", "stage", stage, "generation", s.Generation(), "err", err)
+		obs.Error("serve.reload_rollback", "model", m.name, "stage", stage,
+			"generation", m.gen.Load().id, "err", err)
 		return ReloadResult{}, fmt.Errorf("serve: reload rolled back (%s): %w", stage, err)
 	}
-	snap, err := s.cfg.Loader(ctx)
+	snap, err := m.loader(ctx)
 	if err != nil {
 		return fail("load", err)
 	}
@@ -421,23 +540,27 @@ func (s *Server) Reload(ctx context.Context) (ReloadResult, error) {
 		return fail("load", errors.New("loader returned no replicas"))
 	}
 	start := time.Now()
-	candidate := newGeneration(0, snap, s.cfg.breakerCfg()) // id 0: never serves
+	candidate := newGeneration(0, m.name, snap, s.cfg.breakerCfg(), 0) // id 0: never serves
 	if err := warmGeneration(ctx, candidate); err != nil {
 		return fail("warmup", err)
 	}
 	warm := time.Since(start)
-	gen := s.install(snap)
+	gen := s.install(m, snap)
 	// A successful swap implies a warm model: a server that reloaded
 	// before its initial warm-up finished is ready now.
 	s.ready.Store(true)
-	obs.Info("serve.reloaded", "generation", gen.id, "fingerprint", gen.fp,
-		"warmup_seconds", warm.Seconds())
-	return ReloadResult{
+	obs.Info("serve.reloaded", "model", m.name, "generation", gen.id,
+		"fingerprint", gen.fp, "warmup_seconds", warm.Seconds())
+	res := ReloadResult{
 		Generation:    gen.id,
 		Fingerprint:   gen.fp,
 		Warmup:        warm,
 		WarmupSeconds: warm.Seconds(),
-	}, nil
+	}
+	if m.name != s.reg.def {
+		res.Model = m.name
+	}
+	return res, nil
 }
 
 // execute runs one admitted request against its pinned generation and
@@ -474,8 +597,8 @@ func (s *Server) classify(r *batchRequest) batchResult {
 		preds, err := s.runReplica(rep, r)
 		if err == nil {
 			rep.br.success()
-			if s.cache != nil && r.key != "" {
-				s.cache.put(r.key, preds)
+			if r.shard != nil && r.shard.cache != nil && r.key != "" {
+				r.shard.cache.put(r.key, preds)
 			}
 			return batchResult{preds: preds, gen: gen.id}
 		}
@@ -569,8 +692,8 @@ func (s *Server) noteReplicaFault(r *batchRequest, err error) error {
 // scoped), then a node-view-only degraded prediction. It reports false
 // when neither rung can answer.
 func (s *Server) degradedResult(r *batchRequest, reason string) (batchResult, bool) {
-	if s.cache != nil && r.key != "" {
-		if preds, ok := s.cache.get(r.key); ok {
+	if r.shard != nil && r.shard.cache != nil && r.key != "" {
+		if preds, ok := r.shard.cache.get(r.key); ok {
 			obs.GetCounter("mvpar_http_degraded_responses_total").Inc()
 			obs.Warn("serve.degraded", "program", r.name, "rung", "cache", "reason", reason)
 			return batchResult{
@@ -678,6 +801,11 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 // 503.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	if s.scaler != nil {
+		// Stop the autoscaler first: resizing the replica window during a
+		// drain serves nobody.
+		s.scaler.halt()
+	}
 	if g := s.cfg.DrainGrace; g > 0 {
 		t := time.NewTimer(g)
 		select {
@@ -687,7 +815,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	}
 	herr := s.hs.Shutdown(ctx)
-	berr := s.bat.drain(ctx)
+	var berr error
+	for _, sh := range s.shards {
+		if err := sh.bat.drain(ctx); err != nil && berr == nil {
+			berr = err
+		}
+	}
 	if herr != nil {
 		return herr
 	}

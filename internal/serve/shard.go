@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+
+	"mvpar/internal/obs"
+)
+
+// hashRing is a consistent-hash ring over named members: every member
+// owns vnodes points on a 64-bit circle, and a key belongs to the member
+// owning the first point clockwise of the key's hash. The property the
+// serving layer builds on is minimal disruption: adding or removing one
+// member remaps only the keys that land on that member's points —
+// everything else keeps its assignment, so a registry change (model
+// added, model retired) or a shard-count change never reshuffles the
+// whole keyspace. Lookups are immutable after construction and safe for
+// concurrent use.
+type hashRing struct {
+	names  []string
+	points []ringPoint // sorted by hash
+}
+
+// ringPoint is one vnode: its position on the circle and the ordinal of
+// the member owning it.
+type ringPoint struct {
+	hash   uint64
+	member int
+}
+
+// ringVnodes is how many points each member owns. 128 keeps the maximum
+// member's share within a few tens of percent of the mean at any member
+// count this server uses (pinned by TestRingDistributionBalance).
+const ringVnodes = 128
+
+// newHashRing builds a ring over members (order-insensitive: the ring
+// depends only on the member names). Members must be non-empty and
+// unique; vnodes <= 0 takes ringVnodes.
+func newHashRing(members []string, vnodes int) *hashRing {
+	if vnodes <= 0 {
+		vnodes = ringVnodes
+	}
+	r := &hashRing{names: append([]string(nil), members...)}
+	for m, name := range r.names {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hashKey(name + "#" + strconv.Itoa(v)),
+				member: m,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Identical vnode hashes (vanishingly rare) tie-break on the
+		// member name so the winner does not depend on member order.
+		return r.names[r.points[i].member] < r.names[r.points[j].member]
+	})
+	return r
+}
+
+// lookup returns the ordinal (index into the construction member list)
+// of the member owning h.
+func (r *hashRing) lookup(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the first point clockwise past the top of the circle
+	}
+	return r.points[i].member
+}
+
+// lookupName is lookup returning the member name.
+func (r *hashRing) lookupName(h uint64) string {
+	return r.names[r.lookup(h)]
+}
+
+// hashKey is the ring's point hash: FNV-1a 64 put through a finalizer.
+// Raw FNV of short, sequential strings ("shard-0#17") clusters in the
+// high bits, which skews the circle badly; the finalizer's avalanche
+// spreads the points.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer: a bijective scrambler whose output
+// bits all depend on all input bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// requestHash is the fingerprint-aware request hash sharding keys on:
+// the generation namespace (generation id + model fingerprint) plus the
+// submission identity. Length prefixes keep (name, src) pairs injective,
+// matching the cache key's framing, so two requests share a shard's
+// cache entry only if they would share the cache key.
+func requestHash(genKey, name, src string) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d\x00%s\x00%d\x00%s\x00", len(genKey), genKey, len(name), name)
+	h.Write([]byte(src))
+	return mix64(h.Sum64())
+}
+
+// shard is one independent slice of the admission layer: its own LRU
+// cache (own lock) and its own batch queue + dispatcher. Requests are
+// routed to shards by consistent-hashing their fingerprint-aware hash,
+// so at high concurrency no single queue channel or cache mutex is the
+// rendezvous point for every request in the process.
+type shard struct {
+	id    int
+	cache *lruCache // nil when caching is disabled
+	bat   *batcher
+}
+
+// newShards builds n shards around exec, splitting the total queue and
+// cache budgets evenly (each shard gets at least one slot of any
+// positive budget).
+func newShards(n int, cfg Config, exec func(*batchRequest)) []*shard {
+	if n <= 0 {
+		n = 1
+	}
+	perQueue := (cfg.MaxQueue + n - 1) / n
+	if perQueue < 1 {
+		perQueue = 1
+	}
+	perCache := 0
+	if cfg.CacheSize > 0 {
+		perCache = (cfg.CacheSize + n - 1) / n
+		if perCache < 1 {
+			perCache = 1
+		}
+	}
+	shards := make([]*shard, n)
+	for i := range shards {
+		gauge := "mvpar_http_queue_depth"
+		if n > 1 {
+			gauge = fmt.Sprintf("mvpar_shard_queue_depth_%d", i)
+		}
+		// Register the depth gauge now so /metrics shows every shard from
+		// startup, not only the shards that have taken traffic.
+		obs.GetGauge(gauge).Set(0)
+		shards[i] = &shard{
+			id:    i,
+			cache: newLRUCache(perCache),
+			bat:   newBatcher(cfg.MaxBatch, cfg.BatchWindow, perQueue, cfg.Workers, gauge, exec),
+		}
+	}
+	return shards
+}

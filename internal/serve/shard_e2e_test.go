@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestShardedAutoscaledBitIdentical is the sharding acceptance test:
+// with the cache and the batch queues split over four shards and the
+// autoscaler widening and narrowing the replica window mid-burst, every
+// response must stay bit-identical to the serial ClassifySource result.
+// Sharding and autoscaling are routing and capacity mechanisms — they
+// must never touch the numbers. Run under -race this also pins the
+// per-shard locking and the active-window atomics.
+func TestShardedAutoscaledBitIdentical(t *testing.T) {
+	pl := e2eTrained(t)
+
+	serial := map[string]ClassifyResponse{}
+	for name, src := range e2eSources {
+		preds, err := pl.ClassifySource(name, src)
+		if err != nil {
+			t.Fatalf("serial ClassifySource(%s): %v", name, err)
+		}
+		resp := toResponse(name, preds, false)
+		resp.Generation = 1
+		serial[name] = resp
+	}
+
+	cls, err := pl.Classifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(cls, Config{
+		MaxBatch:    4,
+		BatchWindow: 2 * time.Millisecond,
+		MaxQueue:    64,
+		CacheSize:   -1,
+		Shards:      4,
+		MinReplicas: 1,
+		MaxReplicas: 3,
+		// A long interval keeps the background ticker quiet; the test
+		// drives scale decisions deterministically through evaluate.
+		AutoscaleInterval: time.Hour,
+		AutoscaleCooldown: time.Nanosecond,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	if err := s.Warmup(context.Background()); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	if len(s.shards) != 4 {
+		t.Fatalf("server built %d shards, want 4", len(s.shards))
+	}
+	if got := s.defaultModel().gen.Load().activeN(); got != 1 {
+		t.Fatalf("initial active window = %d, want MinReplicas", got)
+	}
+
+	const rounds = 8
+	type reply struct {
+		name string
+		code int
+		resp ClassifyResponse
+	}
+	replies := make(chan reply, rounds*len(e2eSources))
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		// Move the replica window while requests are in flight: two
+		// widening steps, then narrow again, so responses span every
+		// window size.
+		switch r {
+		case 2, 4:
+			s.scaler.evaluate(1.0, 0, time.Now())
+		case 6:
+			for i := 0; i < s.scaler.cfg.DownTicks; i++ {
+				s.scaler.evaluate(0, 0, time.Now())
+			}
+		}
+		for name, src := range e2eSources {
+			wg.Add(1)
+			go func(name, src string) {
+				defer wg.Done()
+				code, resp := tryClassify(ts.URL, name, src)
+				replies <- reply{name, code, resp}
+			}(name, src)
+		}
+	}
+	wg.Wait()
+	close(replies)
+
+	n := 0
+	for got := range replies {
+		n++
+		if got.code != 200 {
+			t.Fatalf("sharded request %s = %d, want 200", got.name, got.code)
+		}
+		if !reflect.DeepEqual(got.resp, serial[got.name]) {
+			t.Fatalf("sharded response for %s diverged from serial ClassifySource:\n got %+v\nwant %+v",
+				got.name, got.resp, serial[got.name])
+		}
+	}
+	if n != rounds*len(e2eSources) {
+		t.Fatalf("got %d replies, want %d", n, rounds*len(e2eSources))
+	}
+}

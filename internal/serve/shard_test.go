@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+)
+
+// TestRingDistributionBalance pins the vnode count's load-spread
+// guarantee: hashing a large keyspace over rings of every size the
+// server uses, no member's share strays far from the mean.
+func TestRingDistributionBalance(t *testing.T) {
+	const keys = 100000
+	for _, members := range []int{2, 4, 8, 16} {
+		names := make([]string, members)
+		for i := range names {
+			names[i] = "shard-" + strconv.Itoa(i)
+		}
+		ring := newHashRing(names, 0)
+		counts := make([]int, members)
+		for k := 0; k < keys; k++ {
+			counts[ring.lookup(hashKey(fmt.Sprintf("key-%d", k)))]++
+		}
+		mean := float64(keys) / float64(members)
+		for i, c := range counts {
+			frac := float64(c) / mean
+			if frac < 0.5 || frac > 1.6 {
+				t.Errorf("%d members: member %d holds %.2fx the mean share (%d keys)", members, i, frac, c)
+			}
+		}
+	}
+}
+
+// TestRingMinimalDisruption pins the consistent-hashing contract the
+// registry relies on: removing one member remaps only that member's
+// keys (every other key keeps its assignment), and adding one member
+// only moves keys onto the newcomer.
+func TestRingMinimalDisruption(t *testing.T) {
+	names := []string{"m0", "m1", "m2", "m3", "m4"}
+	ring := newHashRing(names, 0)
+	const keys = 20000
+	before := make([]string, keys)
+	for k := range before {
+		before[k] = ring.lookupName(hashKey(fmt.Sprintf("key-%d", k)))
+	}
+
+	// Remove m2: its keys must scatter, everyone else's must not move.
+	smaller := newHashRing([]string{"m0", "m1", "m3", "m4"}, 0)
+	moved := 0
+	for k := range before {
+		after := smaller.lookupName(hashKey(fmt.Sprintf("key-%d", k)))
+		if before[k] == "m2" {
+			moved++
+			continue
+		}
+		if after != before[k] {
+			t.Fatalf("key-%d moved %s→%s though its member survived", k, before[k], after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys were owned by the removed member; test is vacuous")
+	}
+
+	// Add m5: keys either stay put or move to m5, never between old
+	// members.
+	larger := newHashRing(append(append([]string(nil), names...), "m5"), 0)
+	gained := 0
+	for k := range before {
+		after := larger.lookupName(hashKey(fmt.Sprintf("key-%d", k)))
+		if after == "m5" {
+			gained++
+			continue
+		}
+		if after != before[k] {
+			t.Fatalf("key-%d moved %s→%s on member add (only moves onto the new member are allowed)",
+				k, before[k], after)
+		}
+	}
+	if gained == 0 {
+		t.Fatal("new member took no keys; test is vacuous")
+	}
+}
+
+// TestRingOrderInsensitive: the ring depends on the member names, not
+// their construction order.
+func TestRingOrderInsensitive(t *testing.T) {
+	a := newHashRing([]string{"x", "y", "z"}, 0)
+	b := newHashRing([]string{"z", "x", "y"}, 0)
+	for k := 0; k < 5000; k++ {
+		h := hashKey(fmt.Sprintf("key-%d", k))
+		if a.lookupName(h) != b.lookupName(h) {
+			t.Fatalf("key-%d: order-dependent assignment %s vs %s", k, a.lookupName(h), b.lookupName(h))
+		}
+	}
+}
+
+// TestRequestHashFraming pins the injective framing: shifting bytes
+// between the name and source fields must change the hash, exactly like
+// the cache key's framing.
+func TestRequestHashFraming(t *testing.T) {
+	if requestHash("g1:fp", "ab", "c") == requestHash("g1:fp", "a", "bc") {
+		t.Fatal("name/source framing is not injective")
+	}
+	if requestHash("g1:fp", "a", "b") == requestHash("g1:fpa", "", "b") {
+		t.Fatal("namespace/name framing is not injective")
+	}
+	if requestHash("g1:fp", "a", "b") != requestHash("g1:fp", "a", "b") {
+		t.Fatal("requestHash is not deterministic")
+	}
+}
+
+// TestShardedCacheAndQueueSplit: a multi-shard server splits the cache
+// and queue budgets and names per-shard depth gauges; a single-shard
+// server keeps the classic gauge name.
+func TestShardedCacheAndQueueSplit(t *testing.T) {
+	cfg := Config{MaxQueue: 10, CacheSize: 8, MaxBatch: 1, Workers: 1}.withDefaults()
+	shards := newShards(4, cfg, func(*batchRequest) {})
+	if len(shards) != 4 {
+		t.Fatalf("newShards built %d shards, want 4", len(shards))
+	}
+	for i, sh := range shards {
+		if sh.cache == nil {
+			t.Fatalf("shard %d has no cache though caching is on", i)
+		}
+		if got := cap(sh.bat.queue); got != 3 { // ceil(10/4)
+			t.Fatalf("shard %d queue capacity = %d, want 3", i, got)
+		}
+		want := fmt.Sprintf("mvpar_shard_queue_depth_%d", i)
+		if sh.bat.gauge != want {
+			t.Fatalf("shard %d gauge = %q, want %q", i, sh.bat.gauge, want)
+		}
+	}
+	single := newShards(1, cfg, func(*batchRequest) {})
+	if single[0].bat.gauge != "mvpar_http_queue_depth" {
+		t.Fatalf("single-shard gauge = %q, want the classic name", single[0].bat.gauge)
+	}
+}
